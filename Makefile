@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -timeout 1800s ./...
+
+# Short mode skips the slow CLI-pipeline and wide-fit integration tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream' ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/events
+	$(GO) run ./examples/forecast
+	$(GO) run ./examples/worldmap
+	$(GO) run ./examples/streaming
+
+# Regenerate the paper's figures at full scale (minutes; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/dspot-exp -fig all -scale full
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,377 @@
+package dspot
+
+// One benchmark per figure of the paper's evaluation (Figs. 1, 4–11), plus
+// micro-benchmarks for the core primitives. Figure benchmarks run the same
+// code paths as cmd/dspot-exp at the Small experiment scale and report the
+// headline quality metric alongside timing, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a compact form of the whole evaluation. Table 1 (the
+// capability matrix) is qualitative and documented in README.md instead.
+
+import (
+	"testing"
+
+	"dspot/internal/core"
+	"dspot/internal/experiments"
+	"dspot/internal/lm"
+	"dspot/internal/stats"
+)
+
+func benchCfg() experiments.Config {
+	cfg := experiments.Small()
+	cfg.Workers = 4
+	return cfg
+}
+
+// BenchmarkFig01HarryPotter — Fig. 1: event detection + world reaction.
+func BenchmarkFig01HarryPotter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fit.NRMSE, "nrmse")
+		b.ReportMetric(float64(len(res.Fit.Events)), "events")
+	}
+}
+
+// BenchmarkFig04Ablation — Fig. 4: growth/shock ablation on "Amazon".
+func BenchmarkFig04Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RMSEBoth, "rmse-both")
+		b.ReportMetric(res.RMSENone, "rmse-none")
+	}
+}
+
+// BenchmarkFig05Keywords — Fig. 5: global fits for the 8 keywords.
+func BenchmarkFig05Keywords(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := 0.0
+		for _, r := range res.Reports {
+			mean += r.NRMSE
+		}
+		b.ReportMetric(mean/float64(len(res.Reports)), "mean-nrmse")
+	}
+}
+
+// BenchmarkFig06Twitter — Fig. 6: hashtag fits.
+func BenchmarkFig06Twitter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := 0.0
+		for _, r := range res.Reports {
+			mean += r.NRMSE
+		}
+		b.ReportMetric(mean/float64(len(res.Reports)), "mean-nrmse")
+	}
+}
+
+// BenchmarkFig07Memes — Fig. 7: meme fits.
+func BenchmarkFig07Memes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := 0.0
+		for _, r := range res.Reports {
+			mean += r.NRMSE
+		}
+		b.ReportMetric(mean/float64(len(res.Reports)), "mean-nrmse")
+	}
+}
+
+// BenchmarkFig08EbolaLocal — Fig. 8: local analysis + outlier detection.
+func BenchmarkFig08EbolaLocal(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Locations = 20
+	cfg.Ticks = 0 // needs the 2014 burst
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Similar)), "similar")
+		b.ReportMetric(float64(len(res.Outliers)), "outliers")
+	}
+}
+
+// BenchmarkFig09GlobalAccuracy — Fig. 9(a): Δ-SPOT vs SIRS/SKIPS/FUNNEL.
+func BenchmarkFig09GlobalAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9Global(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Global["D-SPOT"], "dspot-nrmse")
+		b.ReportMetric(res.Global["SIRS"], "sirs-nrmse")
+		b.ReportMetric(res.Global["SKIPS"], "skips-nrmse")
+		b.ReportMetric(res.Global["FUNNEL"], "funnel-nrmse")
+	}
+}
+
+// BenchmarkFig09LocalAccuracy — Fig. 9(b): local-level comparison. Smaller
+// location budget: every baseline fits every local sequence.
+func BenchmarkFig09LocalAccuracy(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Locations = 6
+	cfg.Ticks = 200
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9Local(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Local["D-SPOT"], "dspot-nrmse")
+		b.ReportMetric(res.Local["FUNNEL"], "funnel-nrmse")
+	}
+}
+
+// BenchmarkFig10ScalabilityKeywords — Fig. 10(a): cost vs d.
+func BenchmarkFig10ScalabilityKeywords(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Ticks = 160
+	cfg.Locations = 8
+	sweeps := experiments.Fig10Sweeps{Keywords: []int{1, 2, 4},
+		Locations: []int{4}, Ticks: []int{160}}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(cfg, sweeps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.LinearityR2(res.ByKeywords), "r2-linear")
+	}
+}
+
+// BenchmarkFig10ScalabilityLocations — Fig. 10(b): cost vs l.
+func BenchmarkFig10ScalabilityLocations(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Ticks = 160
+	sweeps := experiments.Fig10Sweeps{Keywords: []int{1},
+		Locations: []int{4, 8, 16}, Ticks: []int{160}}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(cfg, sweeps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.LinearityR2(res.ByLocations), "r2-linear")
+	}
+}
+
+// BenchmarkFig10ScalabilityTicks — Fig. 10(c): cost vs n.
+func BenchmarkFig10ScalabilityTicks(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Locations = 8
+	sweeps := experiments.Fig10Sweeps{Keywords: []int{1},
+		Locations: []int{4}, Ticks: []int{80, 160, 240}}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(cfg, sweeps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(experiments.LinearityR2(res.ByTicks), "r2-linear")
+	}
+}
+
+// BenchmarkFig11Forecast — Fig. 11: Grammy forecasting vs AR/TBATS.
+func BenchmarkFig11Forecast(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Ticks = 0 // full series: the horizon must contain future spikes
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(cfg, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RMSE["D-SPOT"], "dspot-rmse")
+		b.ReportMetric(res.Flat, "flat-rmse")
+	}
+}
+
+// Extension studies (beyond the paper's figures; see EXPERIMENTS.md).
+
+// BenchmarkAblationCycles — the cyclic-shock-class ablation.
+func BenchmarkAblationCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCycles(benchCfg(), 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FullFcstRMSE, "full-fcst-rmse")
+		b.ReportMetric(res.NoCycFcstRMSE, "nocyc-fcst-rmse")
+	}
+}
+
+// BenchmarkAblationMDL — the MDL-gate ablation.
+func BenchmarkAblationMDL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMDL(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.GatedShocks), "gated-shocks")
+		b.ReportMetric(float64(res.UngatedShocks), "ungated-shocks")
+	}
+}
+
+// BenchmarkRobustness — missing/noise degradation sweeps.
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Robustness(benchCfg(),
+			[]float64{0, 0.2}, []float64{0.02, 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := 0.0
+		if res.Missing[1].Score.PeriodFound {
+			found = 1
+		}
+		b.ReportMetric(found, "period-at-20pct-missing")
+	}
+}
+
+// BenchmarkRollingForecast — rolling-origin comparison on the grammy series.
+func BenchmarkRollingForecast(b *testing.B) {
+	rc := experiments.RollingConfig{FirstOrigin: 400, Horizon: 52, Step: 124}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Rolling(benchCfg(), rc, []string{"grammy"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RMSE["D-SPOT"], "dspot-nrmse")
+		b.ReportMetric(res.RMSE["flat"], "flat-nrmse")
+	}
+}
+
+// BenchmarkTailScale — wide-fit throughput over a bursty hashtag tail.
+func BenchmarkTailScale(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Locations = 4
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TailScale(cfg, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PerSequence, "s/sequence")
+		b.ReportMetric(res.MeanNRMSE, "mean-nrmse")
+	}
+}
+
+// Micro-benchmarks for the primitives the figures are built on.
+
+// BenchmarkSimulate576 measures one SIV simulation at GoogleTrends length.
+func BenchmarkSimulate576(b *testing.B) {
+	p := KeywordParams{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.02,
+		TEta: NoGrowth}
+	eps := make([]float64, 576)
+	for i := range eps {
+		eps[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Simulate(&p, 576, eps, -1)
+	}
+}
+
+// BenchmarkLevenbergMarquardt measures an LM fit of the 5-parameter base
+// model against a 576-tick sequence.
+func BenchmarkLevenbergMarquardt(b *testing.B) {
+	truth := KeywordParams{N: 1, Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.02,
+		TEta: NoGrowth}
+	obs := core.Simulate(&truth, 576, nil, -1)
+	resid := func(p []float64) []float64 {
+		cand := KeywordParams{N: p[0], Beta: p[1], Delta: p[2], Gamma: p[3],
+			I0: p[4], TEta: NoGrowth}
+		sim := core.Simulate(&cand, 576, nil, -1)
+		r := make([]float64, len(sim))
+		for t := range r {
+			r[t] = sim[t] - obs[t]
+		}
+		return r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lm.Fit(resid, []float64{0.5, 0.3, 0.3, 0.3, 0.01},
+			lm.Options{MaxIter: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGlobalFitSequence measures a full single-sequence GlobalFit.
+func BenchmarkGlobalFitSequence(b *testing.B) {
+	truth, err := SyntheticGoogleTrendsKeyword("grammy",
+		SyntheticConfig{Locations: 8, Ticks: 260, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := truth.Tensor.Global(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitSequence(seq, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForecast measures forecasting from a fitted model.
+func BenchmarkForecast(b *testing.B) {
+	occ := make([]float64, 8)
+	for i := range occ {
+		occ[i] = 9
+	}
+	m := &Model{
+		Keywords: []string{"k"}, Locations: []string{"WW"}, Ticks: 400,
+		Global: []KeywordParams{{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5,
+			I0: 0.02, TEta: NoGrowth}},
+		Shocks: []Shock{{Keyword: 0, Period: 52, Start: 6, Width: 2, Strength: occ}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForecastGlobal(0, 156)
+	}
+}
+
+// BenchmarkMDLCost measures the per-candidate MDL evaluation used inside
+// shock discovery.
+func BenchmarkMDLCost(b *testing.B) {
+	truth, err := SyntheticGoogleTrendsKeyword("amazon",
+		SyntheticConfig{Locations: 4, Ticks: 200, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := truth.Tensor
+	m, err := FitGlobal(x, Options{DisableShocks: true, DisableGrowth: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.TotalCost(x)
+	}
+}
+
+// BenchmarkRMSE576 measures the evaluation metric itself.
+func BenchmarkRMSE576(b *testing.B) {
+	a := make([]float64, 576)
+	c := make([]float64, 576)
+	for i := range a {
+		a[i] = float64(i % 53)
+		c[i] = float64(i % 47)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.RMSE(a, c)
+	}
+}

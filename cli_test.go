@@ -1,0 +1,175 @@
+package dspot
+
+// End-to-end CLI tests: build the three binaries and run the full
+// generate → fit → events → forecast pipeline on a small synthetic tensor.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the CLI binaries once into a shared temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"dspot", "dspot-gen", "dspot-exp"} {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+	data := filepath.Join(work, "data.csv")
+	model := filepath.Join(work, "model.json")
+	fcOut := filepath.Join(work, "forecast.csv")
+
+	// Generate a small grammy world.
+	out := run(t, filepath.Join(bins, "dspot-gen"),
+		"-dataset", "googletrends", "-keyword", "grammy",
+		"-locations", "6", "-seed", "3", "-out", data)
+	if !strings.Contains(out, "1 keywords × 6 locations") {
+		t.Fatalf("gen output: %s", out)
+	}
+
+	// Fit.
+	out = run(t, filepath.Join(bins, "dspot"),
+		"fit", "-in", data, "-out", model, "-workers", "4")
+	if !strings.Contains(out, "fitted 1 keywords") {
+		t.Fatalf("fit output: %s", out)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model file not written: %v", err)
+	}
+
+	// Events: the grammy world has an annual cycle.
+	out = run(t, filepath.Join(bins, "dspot"), "events", "-model", model)
+	if !strings.Contains(out, "grammy:") {
+		t.Fatalf("events output: %s", out)
+	}
+	if !strings.Contains(out, "every") {
+		t.Fatalf("no cyclic event in events output: %s", out)
+	}
+
+	// Forecast with CSV output.
+	out = run(t, filepath.Join(bins, "dspot"),
+		"forecast", "-model", model, "-horizon", "104", "-out", fcOut)
+	if !strings.Contains(out, "predicted event") {
+		t.Fatalf("forecast output: %s", out)
+	}
+	fc, err := os.ReadFile(fcOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(fc)), "\n")
+	if len(lines) != 105 { // header + 104 ticks
+		t.Fatalf("forecast CSV has %d lines", len(lines))
+	}
+
+	// Simulate (fitted curve) to stdout.
+	out = run(t, filepath.Join(bins, "dspot"), "simulate", "-model", model)
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 100 {
+		t.Fatalf("simulate output too short")
+	}
+
+	// Local structure table.
+	out = run(t, filepath.Join(bins, "dspot"), "local", "-model", model, "-top", "3")
+	if !strings.Contains(out, "population") || !strings.Contains(out, "participation") {
+		t.Fatalf("local output: %s", out)
+	}
+
+	// MDL cost report.
+	out = run(t, filepath.Join(bins, "dspot"), "cost", "-model", model, "-in", data)
+	if !strings.Contains(out, "total MDL cost") {
+		t.Fatalf("cost output: %s", out)
+	}
+}
+
+func TestCLIWideFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+	wide := filepath.Join(work, "wide.csv")
+	content := "week,US,JP\n"
+	for i := 0; i < 120; i++ {
+		content += "t" + string(rune('0'+i%10)) + ",5,3\n"
+	}
+	if err := os.WriteFile(wide, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	model := filepath.Join(work, "wide-model.json")
+	out := run(t, filepath.Join(bins, "dspot"),
+		"fit", "-in", wide, "-wide", "flatkw", "-out", model,
+		"-no-shocks", "-no-growth", "-global-only")
+	if !strings.Contains(out, "fitted 1 keywords × 2 locations") {
+		t.Fatalf("wide fit output: %s", out)
+	}
+}
+
+func TestCLIGenDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	bins := buildCmds(t)
+	work := t.TempDir()
+	gen := filepath.Join(bins, "dspot-gen")
+
+	for _, c := range []struct {
+		dataset string
+		args    []string
+		want    string
+	}{
+		{"twitter", []string{"-extra", "2", "-locations", "4"}, "4 keywords × 4 locations × 245"},
+		{"memetracker", []string{"-locations", "3"}, "2 keywords × 3 locations × 92"},
+		{"googletrends", []string{"-locations", "3", "-ticks", "60"}, "8 keywords × 3 locations × 60"},
+	} {
+		out := filepath.Join(work, c.dataset+".csv")
+		args := append([]string{"-dataset", c.dataset, "-seed", "2", "-out", out}, c.args...)
+		got := run(t, gen, args...)
+		if !strings.Contains(got, c.want) {
+			t.Fatalf("%s: got %q, want %q", c.dataset, got, c.want)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI pipeline is slow")
+	}
+	bins := buildCmds(t)
+	// Missing -in must fail.
+	if err := exec.Command(filepath.Join(bins, "dspot"), "fit").Run(); err == nil {
+		t.Fatal("fit without -in succeeded")
+	}
+	// Unknown subcommand must fail.
+	if err := exec.Command(filepath.Join(bins, "dspot"), "bogus").Run(); err == nil {
+		t.Fatal("unknown subcommand succeeded")
+	}
+	// Unknown dataset must fail.
+	if err := exec.Command(filepath.Join(bins, "dspot-gen"),
+		"-dataset", "bogus").Run(); err == nil {
+		t.Fatal("unknown dataset succeeded")
+	}
+}

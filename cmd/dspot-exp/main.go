@@ -1,0 +1,250 @@
+// Command dspot-exp regenerates the figures of the Δ-SPOT paper's
+// evaluation against the synthetic datasets and prints the rows/series the
+// paper reports. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	dspot-exp -fig all|1|4|5|6|7|8|9|10|11 [-scale small|full] [-seed S] [-csv DIR] [-plot]
+//	dspot-exp -fig ablations|robustness|rolling|regional|tailscale [-scale small|full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dspot/internal/dataset"
+	"dspot/internal/experiments"
+	"dspot/internal/plot"
+	"dspot/internal/svgplot"
+)
+
+func main() {
+	fig := flag.String("fig", "all",
+		"figure to run: all, 1, 4, 5, 6, 7, 8, 9, 10, 11, ablations, robustness, rolling, regional, tailscale")
+	scale := flag.String("scale", "small", "small (fast) or full (paper scale)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	csvDir := flag.String("csv", "", "optional directory for per-figure series CSVs")
+	train := flag.Int("train", 400, "Fig 11 training ticks")
+	doPlot := flag.Bool("plot", false, "render ASCII charts for figure panels")
+	svgDir := flag.String("svg", "", "optional directory for per-figure SVG panels")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "small":
+		cfg = experiments.Small()
+	case "full":
+		cfg = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "dspot-exp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "dspot-exp: fig %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if run("1") {
+		res, err := experiments.Fig1(cfg)
+		if err != nil {
+			fail("1", err)
+		}
+		fmt.Print(res)
+		if *doPlot {
+			fmt.Print(plot.NewChart(90, 14).
+				Title("harry potter — observed (.) vs fitted (*)").
+				Line(res.Obs, '.').Line(res.Est, '*').Render())
+		}
+		if *svgDir != "" {
+			chart := svgplot.New("Fig 1 — harry potter: observed vs Δ-SPOT fit").
+				Add(svgplot.Series{Name: "observed", Data: res.Obs, Points: true}).
+				Add(svgplot.Series{Name: "fitted", Data: res.Est})
+			for _, e := range res.Fit.Events {
+				chart.Mark(svgplot.Marker{Tick: e.Start, Label: e.StartDate})
+			}
+			saveSVG(chart, *svgDir, "fig1_harry_potter.svg")
+		}
+		saveSeries(*csvDir, "fig1_harry_potter.csv",
+			[]string{"observed", "fitted"}, res.Obs, res.Est)
+	}
+	if run("4") {
+		res, err := experiments.Fig4(cfg)
+		if err != nil {
+			fail("4", err)
+		}
+		fmt.Print(res)
+	}
+	if run("5") {
+		res, err := experiments.Fig5(cfg)
+		if err != nil {
+			fail("5", err)
+		}
+		fmt.Print(res)
+	}
+	if run("6") {
+		res, err := experiments.Fig6(cfg)
+		if err != nil {
+			fail("6", err)
+		}
+		fmt.Print(res)
+	}
+	if run("7") {
+		res, err := experiments.Fig7(cfg)
+		if err != nil {
+			fail("7", err)
+		}
+		fmt.Print(res)
+	}
+	if run("8") {
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			fail("8", err)
+		}
+		fmt.Print(res)
+		if *csvDir != "" {
+			var names []string
+			var levels []float64
+			for _, cr := range res.Reaction {
+				names = append(names, cr.Code)
+				levels = append(levels, cr.Level)
+			}
+			path := filepath.Join(*csvDir, "fig8_reaction.csv")
+			f, err := os.Create(path)
+			if err == nil {
+				fmt.Fprintln(f, "country,level")
+				for i := range names {
+					fmt.Fprintf(f, "%s,%g\n", names[i], levels[i])
+				}
+				f.Close()
+			}
+		}
+	}
+	if run("9") {
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			fail("9", err)
+		}
+		fmt.Print(res)
+		if *doPlot {
+			var labels []string
+			var values []float64
+			for _, method := range []string{"SIRS", "SKIPS", "FUNNEL", "D-SPOT"} {
+				if v, ok := res.Global[method]; ok {
+					labels = append(labels, method)
+					values = append(values, v)
+				}
+			}
+			fmt.Println("global RMSE/peak (shorter is better):")
+			fmt.Print(plot.Bars(labels, values, 50))
+		}
+	}
+	if run("10") {
+		res, err := experiments.Fig10(cfg, experiments.Fig10Sweeps{})
+		if err != nil {
+			fail("10", err)
+		}
+		fmt.Print(res)
+	}
+	if run("11") {
+		res, err := experiments.Fig11(cfg, *train)
+		if err != nil {
+			fail("11", err)
+		}
+		fmt.Print(res)
+		if *doPlot {
+			fmt.Print(plot.NewChart(90, 14).
+				Title("grammy — observed (.) vs Δ-SPOT forecast (*)").
+				Line(res.Obs, '.').
+				Line(padLeft(res.Forecast, res.TrainTicks), '*').Render())
+		}
+		if *svgDir != "" {
+			chart := svgplot.New("Fig 11 — grammy: observed vs Δ-SPOT forecast").
+				Add(svgplot.Series{Name: "observed", Data: res.Obs, Points: true}).
+				Add(svgplot.Series{Name: "forecast",
+					Data: padLeft(res.Forecast, res.TrainTicks)}).
+				Mark(svgplot.Marker{Tick: res.TrainTicks, Label: "train end"})
+			saveSVG(chart, *svgDir, "fig11_grammy.svg")
+		}
+		saveSeries(*csvDir, "fig11_grammy.csv",
+			[]string{"observed", "dspot_forecast"}, res.Obs, padLeft(res.Forecast, res.TrainTicks))
+	}
+	if run("ablations") && *fig != "all" {
+		out, err := experiments.Ablations(cfg)
+		if err != nil {
+			fail("ablations", err)
+		}
+		fmt.Print(out)
+	}
+	if run("robustness") && *fig != "all" {
+		res, err := experiments.Robustness(cfg, nil, nil)
+		if err != nil {
+			fail("robustness", err)
+		}
+		fmt.Print(res)
+	}
+	if run("rolling") && *fig != "all" {
+		res, err := experiments.Rolling(cfg, experiments.RollingConfig{}, nil)
+		if err != nil {
+			fail("rolling", err)
+		}
+		fmt.Print(res)
+	}
+	if run("regional") && *fig != "all" {
+		res, err := experiments.Regional(cfg, "harry potter")
+		if err != nil {
+			fail("regional", err)
+		}
+		fmt.Print(res)
+	}
+	if run("tailscale") && *fig != "all" {
+		res, err := experiments.TailScale(cfg, 0)
+		if err != nil {
+			fail("tailscale", err)
+		}
+		fmt.Print(res)
+	}
+	if !strings.Contains("all 1 4 5 6 7 8 9 10 11 ablations robustness rolling regional tailscale", *fig) {
+		fmt.Fprintf(os.Stderr, "dspot-exp: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// padLeft aligns a forecast starting at tick offset with the full series.
+func padLeft(s []float64, offset int) []float64 {
+	out := make([]float64, offset+len(s))
+	for i := 0; i < offset; i++ {
+		out[i] = math.NaN()
+	}
+	copy(out[offset:], s)
+	return out
+}
+
+func saveSVG(chart *svgplot.Chart, dir, name string) {
+	if err := chart.Save(filepath.Join(dir, name)); err != nil {
+		fmt.Fprintf(os.Stderr, "dspot-exp: %v\n", err)
+	}
+}
+
+func saveSeries(dir, name string, labels []string, series ...[]float64) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dspot-exp: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := dataset.WriteSeriesCSV(f, labels, series); err != nil {
+		fmt.Fprintf(os.Stderr, "dspot-exp: %v\n", err)
+	}
+}

@@ -1,0 +1,77 @@
+// Command dspot-gen generates the synthetic evaluation datasets (see
+// DESIGN.md §3 for how they substitute the paper's GoogleTrends, Twitter and
+// MemeTracker data) as long-form CSV tensors.
+//
+// Usage:
+//
+//	dspot-gen -dataset googletrends|twitter|memetracker [-locations L] [-ticks N] [-seed S] [-extra K] [-noise F] -out data.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dspot"
+)
+
+func main() {
+	ds := flag.String("dataset", "googletrends", "googletrends, twitter, or memetracker")
+	locations := flag.Int("locations", 0, "number of countries (0 = all 232)")
+	ticks := flag.Int("ticks", 0, "duration in ticks (0 = dataset's natural length)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	extra := flag.Int("extra", 0, "extra random hashtags/memes (twitter, memetracker)")
+	noise := flag.Float64("noise", 0, "observation noise relative to peak (0 = default)")
+	missing := flag.Float64("missing", 0, "fraction of cells dropped as missing observations")
+	keyword := flag.String("keyword", "", "googletrends: restrict to one scripted keyword")
+	out := flag.String("out", "data.csv", "output CSV path")
+	flag.Parse()
+	if *missing < 0 || *missing >= 1 {
+		fmt.Fprintln(os.Stderr, "dspot-gen: -missing must be in [0, 1)")
+		os.Exit(2)
+	}
+
+	cfg := dspot.SyntheticConfig{
+		Locations: *locations, Ticks: *ticks, Seed: *seed, Noise: *noise,
+	}
+	var truth *dspot.SyntheticTruth
+	var err error
+	switch *ds {
+	case "googletrends":
+		if *keyword != "" {
+			truth, err = dspot.SyntheticGoogleTrendsKeyword(*keyword, cfg)
+		} else {
+			truth = dspot.SyntheticGoogleTrends(cfg)
+		}
+	case "twitter":
+		truth = dspot.SyntheticTwitter(*extra, cfg)
+	case "memetracker":
+		truth = dspot.SyntheticMemeTracker(*extra, cfg)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *ds)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspot-gen:", err)
+		os.Exit(1)
+	}
+	x := truth.Tensor
+	if *missing > 0 {
+		rng := rand.New(rand.NewSource(*seed ^ 0x9e3779b9))
+		for i := 0; i < x.D(); i++ {
+			for j := 0; j < x.L(); j++ {
+				for t := 0; t < x.N(); t++ {
+					if rng.Float64() < *missing {
+						x.Set(i, j, t, dspot.Missing)
+					}
+				}
+			}
+		}
+	}
+	if err := dspot.SaveTensorCSV(*out, x); err != nil {
+		fmt.Fprintln(os.Stderr, "dspot-gen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d keywords × %d locations × %d ticks → %s\n",
+		*ds, x.D(), x.L(), x.N(), *out)
+}

@@ -1,0 +1,38 @@
+// Command dspot-serve runs the Δ-SPOT HTTP service.
+//
+//	dspot-serve [-addr :8080] [-workers N]
+//
+// Endpoints (see internal/service):
+//
+//	POST /v1/fit        text/csv tensor → model JSON
+//	POST /v1/events     model JSON → detected events
+//	POST /v1/forecast   model JSON → forecast + predicted events
+//	POST /v1/anomalies  model + series → flagged ticks
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"dspot/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "fitting concurrency per request")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           (&service.Server{Workers: *workers}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Fits on large tensors take a while; no blanket write timeout.
+	}
+	log.Printf("dspot-serve listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

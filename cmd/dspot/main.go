@@ -1,0 +1,338 @@
+// Command dspot fits the Δ-SPOT model to an activity tensor, lists the
+// detected external events, and forecasts future dynamics.
+//
+// Usage:
+//
+//	dspot fit      -in data.csv -out model.json [-global-only] [-no-growth] [-no-shocks] [-no-cycles] [-workers N]
+//	dspot events   -model model.json
+//	dspot forecast -model model.json [-keyword NAME] [-horizon H] [-out forecast.csv]
+//	dspot simulate -model model.json [-keyword NAME] [-out fitted.csv]
+//
+// Tensors travel as long-form CSV with the header keyword,location,tick,count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"dspot"
+	"dspot/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fit":
+		err = runFit(os.Args[2:])
+	case "events":
+		err = runEvents(os.Args[2:])
+	case "forecast":
+		err = runForecast(os.Args[2:])
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	case "local":
+		err = runLocal(os.Args[2:])
+	case "cost":
+		err = runCost(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspot:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dspot fit      -in data.csv -out model.json [-wide KEYWORD] [-global-only] [-no-growth] [-no-shocks] [-no-cycles] [-workers N]
+  dspot events   -model model.json
+  dspot forecast -model model.json [-keyword NAME] [-horizon H] [-out forecast.csv]
+  dspot simulate -model model.json [-keyword NAME] [-out fitted.csv]
+  dspot local    -model model.json [-keyword NAME] [-top N]
+  dspot cost     -model model.json -in data.csv`)
+}
+
+func runFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	in := fs.String("in", "", "input tensor CSV (keyword,location,tick,count)")
+	wide := fs.String("wide", "", "treat -in as a wide-format file for this keyword")
+	out := fs.String("out", "model.json", "output model JSON")
+	globalOnly := fs.Bool("global-only", false, "skip the local fitting phase")
+	noGrowth := fs.Bool("no-growth", false, "disable the population growth effect")
+	noShocks := fs.Bool("no-shocks", false, "disable external shock detection")
+	noCycles := fs.Bool("no-cycles", false, "restrict shocks to one-shot events")
+	workers := fs.Int("workers", 4, "fitting concurrency")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	var x *dspot.Tensor
+	var err error
+	if *wide != "" {
+		x, err = dspot.LoadTensorWideCSV(*in, *wide)
+	} else {
+		x, err = dspot.LoadTensorCSV(*in)
+	}
+	if err != nil {
+		return err
+	}
+	opts := dspot.Options{
+		DisableGrowth: *noGrowth, DisableShocks: *noShocks,
+		DisableCycles: *noCycles, Workers: *workers,
+	}
+	var m *dspot.Model
+	if *globalOnly {
+		m, err = dspot.FitGlobal(x, opts)
+	} else {
+		m, err = dspot.Fit(x, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if err := dspot.SaveModel(*out, m); err != nil {
+		return err
+	}
+	fmt.Printf("fitted %d keywords × %d locations × %d ticks; %d shocks; model → %s\n",
+		len(m.Keywords), len(m.Locations), m.Ticks, len(m.Shocks), *out)
+	return nil
+}
+
+func runEvents(args []string) error {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "fitted model JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := dspot.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	for i, kw := range m.Keywords {
+		shocks := m.ShocksFor(i)
+		fmt.Printf("%s: %d events", kw, len(shocks))
+		if p := m.Global[i]; p.HasGrowth() {
+			fmt.Printf(", growth effect from tick %d (rate %.3f)", p.TEta, p.Eta0)
+		}
+		fmt.Println()
+		for _, s := range shocks {
+			kind := "one-shot"
+			if s.Period > 0 {
+				kind = fmt.Sprintf("every %d ticks", s.Period)
+			}
+			fmt.Printf("  t=%-5d width=%-3d strength=%-8.3f %s\n",
+				s.Start, s.Width, s.MeanStrength(), kind)
+		}
+	}
+	return nil
+}
+
+func keywordIndex(m *dspot.Model, name string) (int, error) {
+	if name == "" {
+		return 0, nil
+	}
+	for i, kw := range m.Keywords {
+		if kw == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown keyword %q (have %v)", name, m.Keywords)
+}
+
+func runForecast(args []string) error {
+	fs := flag.NewFlagSet("forecast", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "fitted model JSON")
+	keyword := fs.String("keyword", "", "keyword to forecast (default: first)")
+	horizon := fs.Int("horizon", 52, "ticks to forecast")
+	out := fs.String("out", "", "optional CSV output (tick,forecast)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := dspot.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	i, err := keywordIndex(m, *keyword)
+	if err != nil {
+		return err
+	}
+	fc := m.ForecastGlobal(i, *horizon)
+	for _, e := range m.PredictedEvents(i, *horizon) {
+		fmt.Printf("predicted event: t=%d width=%d strength=%.2f (every %d ticks)\n",
+			e.Start, e.Width, e.Strength, e.Period)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteSeriesCSV(f, []string{"forecast"}, [][]float64{fc}); err != nil {
+			return err
+		}
+		fmt.Printf("forecast (%d ticks) → %s\n", len(fc), *out)
+		return f.Close()
+	}
+	for t, v := range fc {
+		fmt.Printf("%d,%g\n", m.Ticks+t, v)
+	}
+	return nil
+}
+
+func runLocal(args []string) error {
+	fs := flag.NewFlagSet("local", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "fitted model JSON")
+	keyword := fs.String("keyword", "", "keyword (default: first)")
+	top := fs.Int("top", 20, "number of locations to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := dspot.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	if m.LocalN == nil {
+		return fmt.Errorf("model has no local phase (refit without -global-only)")
+	}
+	i, err := keywordIndex(m, *keyword)
+	if err != nil {
+		return err
+	}
+	// Per-location potential population and peak shock participation.
+	type row struct {
+		loc   string
+		n     float64
+		level float64
+	}
+	rows := make([]row, len(m.Locations))
+	for j, loc := range m.Locations {
+		rows[j] = row{loc: loc, n: m.LocalN[i][j]}
+	}
+	for _, s := range m.ShocksFor(i) {
+		if s.Local == nil {
+			continue
+		}
+		for _, occ := range s.Local {
+			for j, v := range occ {
+				if v > rows[j].level {
+					rows[j].level = v
+				}
+			}
+		}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].n != rows[b].n {
+			return rows[a].n > rows[b].n
+		}
+		return rows[a].loc < rows[b].loc
+	})
+	fmt.Printf("%s: local structure (top %d of %d locations)\n",
+		m.Keywords[i], *top, len(rows))
+	fmt.Printf("%-6s %12s %14s\n", "loc", "population", "participation")
+	for r, row := range rows {
+		if r >= *top {
+			break
+		}
+		fmt.Printf("%-6s %12.2f %14.2f\n", row.loc, row.n, row.level)
+	}
+	return nil
+}
+
+func runCost(args []string) error {
+	fs := flag.NewFlagSet("cost", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "fitted model JSON")
+	in := fs.String("in", "", "tensor CSV the model was fitted on")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+	m, err := dspot.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	x, err := dspot.LoadTensorCSV(*in)
+	if err != nil {
+		return err
+	}
+	b := m.CostBreakdown(x)
+	fmt.Printf("total MDL cost: %.1f bits (%d keywords, %d locations, %d ticks, %d shocks)\n",
+		b.Total, len(m.Keywords), len(m.Locations), m.Ticks, len(m.Shocks))
+	fmt.Printf("  header %.1f | base %.1f | growth %.1f | locals %.1f | shocks %.1f | data coding %.1f\n",
+		b.Header, b.Base, b.Growth, b.Locals, b.Shocks, b.Coding)
+	fmt.Printf("  compression ratio vs raw coding: %.2fx\n", m.CompressionRatio(x))
+	for i, kw := range m.Keywords {
+		obs := x.Global(i)
+		est := m.SimulateGlobal(i, m.Ticks)
+		fmt.Printf("  %-20s fit RMSE %.3f, %d shocks\n",
+			kw, rmseOf(obs, est), len(m.ShocksFor(i)))
+	}
+	return nil
+}
+
+func rmseOf(obs, est []float64) float64 {
+	n := len(obs)
+	if len(est) < n {
+		n = len(est)
+	}
+	sum, cnt := 0.0, 0
+	for t := 0; t < n; t++ {
+		if math.IsNaN(obs[t]) || math.IsNaN(est[t]) {
+			continue
+		}
+		d := obs[t] - est[t]
+		sum += d * d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "fitted model JSON")
+	keyword := fs.String("keyword", "", "keyword to simulate (default: first)")
+	out := fs.String("out", "", "optional CSV output (tick,fitted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := dspot.LoadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	i, err := keywordIndex(m, *keyword)
+	if err != nil {
+		return err
+	}
+	est := m.SimulateGlobal(i, m.Ticks)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteSeriesCSV(f, []string{"fitted"}, [][]float64{est}); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	for t, v := range est {
+		fmt.Printf("%d,%g\n", t, v)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package dspot
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dspot/internal/stats"
+)
+
+func TestFacadeFitSequenceAndForecast(t *testing.T) {
+	truth, err := SyntheticGoogleTrendsKeyword("grammy",
+		SyntheticConfig{Locations: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := truth.Tensor.Global(0)
+	m, err := FitSequence(seq[:400], Options{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ShocksFor(0)) == 0 {
+		t.Fatal("no events detected on the grammy series")
+	}
+	fc := m.ForecastGlobal(0, len(seq)-400)
+	if len(fc) != len(seq)-400 {
+		t.Fatalf("forecast length %d", len(fc))
+	}
+	flat := make([]float64, len(fc))
+	mean := stats.Mean(seq[:400])
+	for i := range flat {
+		flat[i] = mean
+	}
+	if stats.RMSE(seq[400:], fc) >= stats.RMSE(seq[400:], flat) {
+		t.Fatal("facade forecast no better than flat mean")
+	}
+}
+
+func TestFacadeTensorRoundTrip(t *testing.T) {
+	x := NewTensor([]string{"k"}, []string{"US"}, 5)
+	x.Set(0, 0, 0, 3)
+	x.Set(0, 0, 1, Missing)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.csv")
+	if err := SaveTensorCSV(path, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := LoadTensorCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(0, 0, 0) != 3 {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestFacadeModelRoundTrip(t *testing.T) {
+	truth, _ := SyntheticGoogleTrendsKeyword("amazon",
+		SyntheticConfig{Locations: 3, Ticks: 120, Seed: 5})
+	m, err := FitGlobal(truth.Tensor, Options{DisableShocks: true, DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ticks != m.Ticks || len(got.Global) != len(m.Global) {
+		t.Fatal("model round trip lost structure")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	seq := make([]float64, 120)
+	for i := range seq {
+		seq[i] = 10 + float64(i%12)
+	}
+	ar, err := ForecastAR(seq, 12, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar) != 24 {
+		t.Fatalf("AR forecast length %d", len(ar))
+	}
+	tb, err := ForecastTBATS(seq, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb) != 24 {
+		t.Fatalf("TBATS forecast length %d", len(tb))
+	}
+	if _, err := ForecastAR(seq[:3], 12, 5); err == nil {
+		t.Fatal("short AR input accepted")
+	}
+}
+
+func TestFacadeSyntheticConstructors(t *testing.T) {
+	if len(SyntheticKeywords()) != 8 {
+		t.Fatalf("SyntheticKeywords = %v", SyntheticKeywords())
+	}
+	tw := SyntheticTwitter(1, SyntheticConfig{Locations: 4, Seed: 1})
+	if tw.Tensor.D() != 3 {
+		t.Fatalf("twitter d = %d", tw.Tensor.D())
+	}
+	mt := SyntheticMemeTracker(0, SyntheticConfig{Locations: 4, Seed: 1})
+	if mt.Tensor.D() != 2 {
+		t.Fatalf("memetracker d = %d", mt.Tensor.D())
+	}
+	gt := SyntheticGoogleTrends(SyntheticConfig{Locations: 4, Ticks: 60, Seed: 1})
+	if gt.Tensor.D() != 8 || gt.Tensor.N() != 60 {
+		t.Fatalf("googletrends dims (%d,%d)", gt.Tensor.D(), gt.Tensor.N())
+	}
+}
+
+func TestFacadeFitLocalFlow(t *testing.T) {
+	truth, _ := SyntheticGoogleTrendsKeyword("amazon",
+		SyntheticConfig{Locations: 4, Ticks: 150, Seed: 7})
+	x := truth.Tensor
+	m, err := FitGlobal(x, Options{DisableShocks: true, DisableGrowth: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FitLocal(x, m, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.LocalN == nil {
+		t.Fatal("FitLocal did not fill local matrices")
+	}
+	full, err := Fit(x, Options{DisableShocks: true, DisableGrowth: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LocalN == nil {
+		t.Fatal("Fit did not run local phase")
+	}
+}

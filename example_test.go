@@ -1,0 +1,122 @@
+package dspot_test
+
+import (
+	"fmt"
+
+	"dspot"
+)
+
+// ExampleFitSequence fits the single-sequence model to an annual-spike
+// series and inspects the discovered cyclic event.
+func ExampleFitSequence() {
+	// A synthetic "grammy"-like world: annual spikes every 52 weeks.
+	truth, err := dspot.SyntheticGoogleTrendsKeyword("grammy",
+		dspot.SyntheticConfig{Locations: 8, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	seq := truth.Tensor.Global(0)
+
+	model, err := dspot.FitSequence(seq, dspot.Options{DisableGrowth: true})
+	if err != nil {
+		panic(err)
+	}
+
+	cyclic := 0
+	for _, s := range model.ShocksFor(0) {
+		if s.Period > 0 {
+			cyclic++
+		}
+	}
+	fmt.Println("found cyclic events:", cyclic > 0)
+	// Output:
+	// found cyclic events: true
+}
+
+// ExampleModel_ForecastGlobal forecasts past the training window; cyclic
+// events recur at the right phase.
+func ExampleModel_ForecastGlobal() {
+	occ := make([]float64, 8)
+	for i := range occ {
+		occ[i] = 9
+	}
+	model := &dspot.Model{
+		Keywords:  []string{"awards"},
+		Locations: []string{"WW"},
+		Ticks:     400,
+		Global: []dspot.KeywordParams{{N: 100, Beta: 0.5, Delta: 0.45,
+			Gamma: 0.5, I0: 0.02, TEta: dspot.NoGrowth}},
+		Shocks: []dspot.Shock{{Keyword: 0, Period: 52, Start: 6, Width: 2,
+			Strength: occ}},
+	}
+
+	forecast := model.ForecastGlobal(0, 156)
+	events := model.PredictedEvents(0, 156)
+
+	fmt.Println("forecast ticks:", len(forecast))
+	fmt.Println("predicted occurrences:", len(events))
+	fmt.Println("first at tick:", events[0].Start)
+	// Output:
+	// forecast ticks: 156
+	// predicted occurrences: 3
+	// first at tick: 422
+}
+
+// ExampleNewTensor shows direct tensor construction with missing values.
+func ExampleNewTensor() {
+	x := dspot.NewTensor([]string{"olympics"}, []string{"US", "JP"}, 4)
+	x.Set(0, 0, 0, 36)
+	x.Set(0, 1, 0, 12)
+	x.Set(0, 0, 1, dspot.Missing) // unobserved week
+
+	global := x.Global(0)
+	fmt.Println("world total at tick 0:", global[0])
+	// Output:
+	// world total at tick 0: 48
+}
+
+// ExampleModel_AnomaliesGlobal flags ticks that the fitted model cannot
+// explain.
+func ExampleModel_AnomaliesGlobal() {
+	model := &dspot.Model{
+		Keywords:  []string{"k"},
+		Locations: []string{"WW"},
+		Ticks:     200,
+		Global: []dspot.KeywordParams{{N: 100, Beta: 0.5, Delta: 0.45,
+			Gamma: 0.5, I0: 0.02, TEta: dspot.NoGrowth}},
+	}
+	// Observations that follow the model except one corrupted tick.
+	obs := model.SimulateGlobal(0, 200)
+	obs[120] += 40
+
+	anomalies := model.AnomaliesGlobal(0, obs, 3)
+	fmt.Println("flagged:", len(anomalies) > 0 && anomalies[0].Tick == 120)
+	// Output:
+	// flagged: true
+}
+
+// ExampleNewStream appends ticks to a stream and refits incrementally.
+func ExampleNewStream() {
+	truth, err := dspot.SyntheticGoogleTrendsKeyword("grammy",
+		dspot.SyntheticConfig{Locations: 8, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	seq := truth.Tensor.Global(0)
+
+	stream := dspot.NewStream(dspot.Options{DisableGrowth: true}, 52)
+	refitted, err := stream.Append(seq[:300]...) // initial fit
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("initial fit:", refitted)
+
+	refitted, _ = stream.Append(seq[300:310]...) // below refit threshold
+	fmt.Println("eager refit:", refitted)
+
+	fmt.Println("forecast ticks:", len(stream.Forecast(26)))
+	// Output:
+	// initial fit: true
+	// eager refit: false
+	// forecast ticks: 26
+}

@@ -1,0 +1,109 @@
+// Events: reproduce the paper's Fig. 1 workflow — detect the cyclic and
+// one-shot external events behind the "Harry Potter" search series and
+// rank the world-wide reaction to the strongest occurrence.
+//
+//	go run ./examples/events
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"dspot"
+)
+
+func main() {
+	truth, err := dspot.SyntheticGoogleTrendsKeyword("harry potter",
+		dspot.SyntheticConfig{Locations: 40, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := truth.Tensor
+
+	model, err := dspot.Fit(x, dspot.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("detected events for \"harry potter\":")
+	shocks := model.ShocksFor(0)
+	for _, s := range shocks {
+		date := weekToDate(s.Start)
+		if s.Period > 0 {
+			fmt.Printf("  cyclic: first %s, every %d weeks, width %d, strengths %s\n",
+				date, s.Period, s.Width, fmtStrengths(s.Strength))
+		} else {
+			fmt.Printf("  one-shot: %s, width %d, strength %.2f\n",
+				date, s.Width, s.MeanStrength())
+		}
+	}
+
+	// World-wide reaction to the strongest single occurrence (the paper's
+	// Fig. 1(b): the release of the final episode).
+	bestShock, bestOcc, bestVal := -1, -1, -1.0
+	for si, s := range shocks {
+		for occ, v := range s.Strength {
+			if v > bestVal {
+				bestShock, bestOcc, bestVal = si, occ, v
+			}
+		}
+	}
+	if bestShock < 0 || shocks[bestShock].Local == nil {
+		fmt.Println("no local participation fitted")
+		return
+	}
+	s := shocks[bestShock]
+	fmt.Printf("\nworld-wide reaction to the %s occurrence:\n",
+		weekToDate(s.OccurrenceStart(bestOcc)))
+
+	type reaction struct {
+		code  string
+		level float64
+	}
+	var rs []reaction
+	maxLevel := 0.0
+	for j, v := range s.Local[bestOcc] {
+		rs = append(rs, reaction{x.Locations[j], v})
+		if v > maxLevel {
+			maxLevel = v
+		}
+	}
+	sort.Slice(rs, func(a, b int) bool {
+		if rs[a].level != rs[b].level {
+			return rs[a].level > rs[b].level
+		}
+		return rs[a].code < rs[b].code
+	})
+	for i, r := range rs {
+		if i >= 15 {
+			fmt.Printf("  ... and %d more countries\n", len(rs)-i)
+			break
+		}
+		bar := ""
+		if maxLevel > 0 {
+			bar = strings.Repeat("#", int(20*r.level/maxLevel))
+		}
+		fmt.Printf("  %-3s %6.2f %s\n", r.code, r.level, bar)
+	}
+}
+
+// weekToDate renders a weekly tick (tick 0 = January 2004) as YYYY-MM.
+func weekToDate(tick int) string {
+	days := tick * 7
+	year := 2004 + days/365
+	month := (days%365)/30 + 1
+	if month > 12 {
+		month = 12
+	}
+	return fmt.Sprintf("%04d-%02d", year, month)
+}
+
+func fmtStrengths(s []float64) string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprintf("%.1f", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

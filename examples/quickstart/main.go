@@ -1,0 +1,78 @@
+// Quickstart: build an activity tensor, fit Δ-SPOT, inspect the detected
+// structure, and forecast.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dspot"
+)
+
+func main() {
+	// A small synthetic world stands in for real (keyword, country, week)
+	// search counts: the "grammy" keyword over the ten largest markets.
+	truth, err := dspot.SyntheticGoogleTrendsKeyword("grammy",
+		dspot.SyntheticConfig{Locations: 10, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := truth.Tensor
+	fmt.Printf("tensor: %d keyword × %d countries × %d weeks\n", x.D(), x.L(), x.N())
+
+	// Fit the full two-layer model. No parameters to tune: the MDL
+	// objective decides how many external events exist, whether there is a
+	// growth effect, and which countries participate in which event.
+	model, err := dspot.Fit(x, dspot.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (P1) Base dynamics per keyword.
+	p := model.Global[0]
+	fmt.Printf("base dynamics: N=%.1f beta=%.3f delta=%.3f gamma=%.3f\n",
+		p.N, p.Beta, p.Delta, p.Gamma)
+	if p.HasGrowth() {
+		fmt.Printf("growth effect: onset tick %d, rate %.3f\n", p.TEta, p.Eta0)
+	}
+
+	// (P4) Detected external events.
+	for _, s := range model.ShocksFor(0) {
+		kind := "one-shot"
+		if s.Period > 0 {
+			kind = fmt.Sprintf("every %d weeks", s.Period)
+		}
+		fmt.Printf("event: start week %d, width %d, strength %.2f (%s)\n",
+			s.Start, s.Width, s.MeanStrength(), kind)
+	}
+
+	// (P2) Area specificity: the largest and smallest fitted local
+	// populations.
+	bigJ, smallJ := 0, 0
+	for j := range x.Locations {
+		if model.LocalN[0][j] > model.LocalN[0][bigJ] {
+			bigJ = j
+		}
+		if model.LocalN[0][j] < model.LocalN[0][smallJ] {
+			smallJ = j
+		}
+	}
+	fmt.Printf("largest market: %s (N=%.1f); smallest: %s (N=%.1f)\n",
+		x.Locations[bigJ], model.LocalN[0][bigJ],
+		x.Locations[smallJ], model.LocalN[0][smallJ])
+
+	// Forecast one year ahead: cyclic events recur in the forecast.
+	future := model.ForecastGlobal(0, 52)
+	peak, at := 0.0, 0
+	for t, v := range future {
+		if v > peak {
+			peak, at = v, t
+		}
+	}
+	fmt.Printf("forecast: next-year peak %.1f at week +%d\n", peak, at+1)
+	for _, e := range model.PredictedEvents(0, 52) {
+		fmt.Printf("predicted event: week %d (strength %.2f)\n", e.Start, e.Strength)
+	}
+}

@@ -1,0 +1,77 @@
+// Streaming: a live-monitoring scenario. Weekly counts arrive in batches;
+// a dspot.Stream keeps the model warm (incremental refits that retain the
+// discovered events), and each batch is screened for anomalies against the
+// current model — the workflow of a team watching search interest for a
+// brand or a disease.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dspot"
+)
+
+func main() {
+	// The "wire": a synthetic grammy world replayed in batches, with one
+	// corrupted observation injected mid-stream.
+	truth, err := dspot.SyntheticGoogleTrendsKeyword("grammy",
+		dspot.SyntheticConfig{Locations: 12, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed := truth.Tensor.Global(0)
+	feed[430] *= 6 // a data glitch (or an undetected real-world event)
+
+	stream := dspot.NewStream(dspot.Options{DisableGrowth: true}, 26)
+
+	const batch = 26 // half a year per delivery
+	for start := 0; start < len(feed); start += batch {
+		end := start + batch
+		if end > len(feed) {
+			end = len(feed)
+		}
+		refitted, err := stream.Append(feed[start:end]...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !refitted || !stream.Ready() {
+			continue
+		}
+		model := stream.Model()
+		fmt.Printf("tick %4d: refit — %d events known", end, len(model.ShocksFor(0)))
+
+		// Screen the window we just ingested for anomalies.
+		flagged := 0
+		for _, a := range model.AnomaliesGlobal(0, feed[:end], 4) {
+			if a.Tick >= start {
+				flagged++
+				fmt.Printf("; ANOMALY t=%d (%.1fσ, saw %.1f expected %.1f)",
+					a.Tick, a.Score, a.Value, a.Est)
+			}
+		}
+		if flagged == 0 {
+			fmt.Printf("; window clean")
+		}
+		fmt.Println()
+	}
+
+	// End of stream: what does the model expect next year?
+	fmt.Println("\nnext-year outlook:")
+	model := stream.Model()
+	for _, e := range model.PredictedEvents(0, 52) {
+		fmt.Printf("  event at tick %d (width %d, strength %.1f, every %d weeks)\n",
+			e.Start, e.Width, e.Strength, e.Period)
+	}
+	band := model.ForecastBands(0, 52, feed, 200, 0.8, 1)
+	peak, at := 0.0, 0
+	for t, v := range band.Median {
+		if v > peak {
+			peak, at = v, t
+		}
+	}
+	fmt.Printf("  peak week +%d: median %.1f (80%% band %.1f – %.1f)\n",
+		at+1, peak, band.Lower[at], band.Upper[at])
+}

@@ -1,0 +1,102 @@
+// Worldmap: reproduce the paper's Fig. 8 workflow — fit the "Ebola" world
+// locally, find the countries that track the global burst of 2014, and the
+// low-connectivity outliers that do not react. Prints a text reaction map.
+//
+//	go run ./examples/worldmap
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"dspot"
+)
+
+func main() {
+	truth, err := dspot.SyntheticGoogleTrendsKeyword("ebola",
+		dspot.SyntheticConfig{Seed: 1}) // all 232 territories
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := truth.Tensor
+
+	// Keep the run quick: the 30 largest markets plus the paper's named
+	// countries (the outliers are small and would otherwise be sliced off).
+	keep := []int{}
+	seen := map[int]bool{}
+	for j := 0; j < 30; j++ {
+		keep = append(keep, j)
+		seen[j] = true
+	}
+	for _, code := range []string{"AU", "RU", "GB", "US", "JP", "LA", "NP", "CG"} {
+		if j, err := x.LocationIndex(code); err == nil && !seen[j] {
+			keep = append(keep, j)
+			seen[j] = true
+		}
+	}
+	x, err = x.SliceLocations(keep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := dspot.Fit(x, dspot.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reaction level per country: the maximum fitted participation across
+	// all occurrences of the keyword's shocks.
+	levels := make([]float64, len(x.Locations))
+	for _, s := range model.ShocksFor(0) {
+		if s.Local == nil {
+			continue
+		}
+		for _, row := range s.Local {
+			for j, v := range row {
+				if v > levels[j] {
+					levels[j] = v
+				}
+			}
+		}
+	}
+	max := 0.0
+	for _, v := range levels {
+		if v > max {
+			max = v
+		}
+	}
+
+	type row struct {
+		code  string
+		level float64
+	}
+	rows := make([]row, len(levels))
+	for j := range levels {
+		l := 0.0
+		if max > 0 {
+			l = levels[j] / max
+		}
+		rows[j] = row{x.Locations[j], l}
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].level != rows[b].level {
+			return rows[a].level > rows[b].level
+		}
+		return rows[a].code < rows[b].code
+	})
+
+	fmt.Println("world reaction to the 2014 Ebola burst (fitted participation):")
+	var outliers []string
+	for _, r := range rows {
+		if r.level <= 0.05 {
+			outliers = append(outliers, r.code)
+			continue
+		}
+		fmt.Printf("  %-3s %5.2f %s\n", r.code, r.level,
+			strings.Repeat("#", 1+int(30*r.level)))
+	}
+	fmt.Printf("\noutliers (no reaction despite observed activity): %s\n",
+		strings.Join(outliers, " "))
+}

@@ -1,0 +1,3 @@
+module dspot
+
+go 1.22

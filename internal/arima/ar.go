@@ -1,0 +1,242 @@
+// Package arima implements autoregressive models — the linear forecasting
+// baseline the Δ-SPOT paper compares against in Fig. 11 (AR with regression
+// orders r = 8, 26, 50). Coefficients are estimated by conditional least
+// squares on the normal equations; forecasting is recursive. An optional
+// differencing order handles trending series (the "I" in ARIMA).
+package arima
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ARModel is a fitted autoregressive model x(t) = c + Σ φ_k x(t-k) + e(t).
+type ARModel struct {
+	Order     int       // regression order p
+	Diff      int       // differencing order applied before fitting
+	Intercept float64   // c
+	Coef      []float64 // φ_1..φ_p
+	history   []float64 // last Order values of the (differenced) series
+	last      []float64 // values needed to undo differencing
+}
+
+// FitAR fits an AR(order) model to seq by least squares. The sequence must
+// contain at least order+2 observations after differencing. Missing (NaN)
+// values are linearly interpolated before fitting, since AR regression needs
+// a contiguous design matrix.
+func FitAR(seq []float64, order int) (*ARModel, error) {
+	return FitARI(seq, order, 0)
+}
+
+// FitARI fits an AR(order) model after diff rounds of first differencing.
+func FitARI(seq []float64, order, diff int) (*ARModel, error) {
+	if order < 1 {
+		return nil, errors.New("arima: order must be >= 1")
+	}
+	if diff < 0 {
+		return nil, errors.New("arima: negative differencing order")
+	}
+	work := interpolate(seq)
+	last := make([]float64, 0, diff)
+	for k := 0; k < diff; k++ {
+		if len(work) < 2 {
+			return nil, errors.New("arima: series too short to difference")
+		}
+		last = append(last, work[len(work)-1])
+		work = difference(work)
+	}
+	n := len(work)
+	if n < order+2 {
+		return nil, fmt.Errorf("arima: need at least %d observations, have %d", order+2, n)
+	}
+
+	// Design: rows t = order..n-1, columns [1, x(t-1), ..., x(t-p)].
+	dim := order + 1
+	ata := make([]float64, dim*dim)
+	atb := make([]float64, dim)
+	row := make([]float64, dim)
+	for t := order; t < n; t++ {
+		row[0] = 1
+		for k := 1; k <= order; k++ {
+			row[k] = work[t-k]
+		}
+		y := work[t]
+		for a := 0; a < dim; a++ {
+			atb[a] += row[a] * y
+			for b := 0; b < dim; b++ {
+				ata[a*dim+b] += row[a] * row[b]
+			}
+		}
+	}
+	// Ridge jitter keeps near-collinear designs solvable.
+	for a := 0; a < dim; a++ {
+		ata[a*dim+a] += 1e-9
+	}
+	theta, err := solve(ata, atb, dim)
+	if err != nil {
+		return nil, fmt.Errorf("arima: normal equations singular: %w", err)
+	}
+
+	m := &ARModel{
+		Order:     order,
+		Diff:      diff,
+		Intercept: theta[0],
+		Coef:      theta[1:],
+		history:   append([]float64(nil), work[n-order:]...),
+		last:      last,
+	}
+	return m, nil
+}
+
+// Predict returns in-sample one-step-ahead predictions aligned with seq
+// (the first order+diff entries repeat the observations, as no prediction
+// exists for them).
+func (m *ARModel) Predict(seq []float64) []float64 {
+	work := interpolate(seq)
+	for k := 0; k < m.Diff; k++ {
+		work = difference(work)
+	}
+	n := len(work)
+	pred := make([]float64, n)
+	for t := 0; t < n; t++ {
+		if t < m.Order {
+			pred[t] = work[t]
+			continue
+		}
+		v := m.Intercept
+		for k := 1; k <= m.Order; k++ {
+			v += m.Coef[k-1] * work[t-k]
+		}
+		pred[t] = v
+	}
+	// Undo differencing against the observed (not predicted) lags so the
+	// output is a proper one-step-ahead prediction in the original scale.
+	for k := m.Diff - 1; k >= 0; k-- {
+		undone := make([]float64, len(pred)+1)
+		base := interpolate(seq)
+		for j := 0; j < k; j++ {
+			base = difference(base)
+		}
+		undone[0] = base[0]
+		for t := 0; t < len(pred); t++ {
+			undone[t+1] = base[t] + pred[t]
+		}
+		pred = undone
+	}
+	if len(pred) > len(seq) {
+		pred = pred[len(pred)-len(seq):]
+	}
+	return pred
+}
+
+// Forecast extrapolates h steps past the end of the training sequence.
+func (m *ARModel) Forecast(h int) []float64 {
+	if h <= 0 {
+		return nil
+	}
+	hist := append([]float64(nil), m.history...)
+	out := make([]float64, h)
+	for t := 0; t < h; t++ {
+		v := m.Intercept
+		for k := 1; k <= m.Order; k++ {
+			v += m.Coef[k-1] * hist[len(hist)-k]
+		}
+		hist = append(hist, v)
+		out[t] = v
+	}
+	// Integrate back through each level of differencing.
+	for k := len(m.last) - 1; k >= 0; k-- {
+		acc := m.last[k]
+		for t := range out {
+			acc += out[t]
+			out[t] = acc
+		}
+	}
+	return out
+}
+
+// difference returns the first difference of s (length len(s)-1).
+func difference(s []float64) []float64 {
+	out := make([]float64, len(s)-1)
+	for i := range out {
+		out[i] = s[i+1] - s[i]
+	}
+	return out
+}
+
+// interpolate fills NaN gaps linearly (edge gaps take the nearest value).
+func interpolate(s []float64) []float64 {
+	out := append([]float64(nil), s...)
+	n := len(out)
+	prev := -1
+	for t := 0; t < n; t++ {
+		if math.IsNaN(out[t]) {
+			continue
+		}
+		if prev == -1 && t > 0 {
+			for u := 0; u < t; u++ {
+				out[u] = out[t]
+			}
+		} else if prev >= 0 && t-prev > 1 {
+			for u := prev + 1; u < t; u++ {
+				frac := float64(u-prev) / float64(t-prev)
+				out[u] = out[prev] + (out[t]-out[prev])*frac
+			}
+		}
+		prev = t
+	}
+	if prev == -1 {
+		for t := range out {
+			out[t] = 0
+		}
+		return out
+	}
+	for t := prev + 1; t < n; t++ {
+		out[t] = out[prev]
+	}
+	return out
+}
+
+// solve performs Gaussian elimination with partial pivoting on the n×n
+// system a·x = b. a and b are modified in place.
+func solve(a, b []float64, n int) ([]float64, error) {
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot, pmax := col, math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > pmax {
+				pivot, pmax = r, v
+			}
+		}
+		if pmax < 1e-300 {
+			return nil, errors.New("singular matrix")
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				a[col*n+c], a[pivot*n+c] = a[pivot*n+c], a[col*n+c]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r*n+c] -= f * a[col*n+c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r*n+c] * x[c]
+		}
+		x[r] = v / a[r*n+r]
+	}
+	return x, nil
+}

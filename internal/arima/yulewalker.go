@@ -1,0 +1,146 @@
+package arima
+
+// Yule–Walker estimation and automatic order selection. The conditional
+// least-squares estimator in ar.go is the workhorse; Yule–Walker solves the
+// autocorrelation normal equations via Levinson–Durbin recursion instead —
+// O(p²), numerically stable, and guaranteed-stationary — and its per-order
+// innovation variances give AIC order selection for free.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FitYuleWalker fits an AR(order) model by solving the Yule–Walker
+// equations with Levinson–Durbin. Missing values are linearly interpolated
+// first (as in FitAR). The fitted model forecasts identically to an
+// LS-fitted one via the shared ARModel machinery.
+func FitYuleWalker(seq []float64, order int) (*ARModel, error) {
+	if order < 1 {
+		return nil, errors.New("arima: order must be >= 1")
+	}
+	work := interpolate(seq)
+	n := len(work)
+	if n < order+2 {
+		return nil, fmt.Errorf("arima: need at least %d observations, have %d", order+2, n)
+	}
+	mean := 0.0
+	for _, v := range work {
+		mean += v
+	}
+	mean /= float64(n)
+
+	// Autocovariances c(0..order).
+	c := make([]float64, order+1)
+	for lag := 0; lag <= order; lag++ {
+		sum := 0.0
+		for t := lag; t < n; t++ {
+			sum += (work[t] - mean) * (work[t-lag] - mean)
+		}
+		c[lag] = sum / float64(n)
+	}
+	if c[0] <= 0 {
+		return nil, errors.New("arima: constant series has no AR structure")
+	}
+
+	phi, _, err := levinsonDurbin(c, order)
+	if err != nil {
+		return nil, err
+	}
+
+	// Intercept so the process mean matches the sample mean.
+	sumPhi := 0.0
+	for _, p := range phi {
+		sumPhi += p
+	}
+	m := &ARModel{
+		Order:     order,
+		Intercept: mean * (1 - sumPhi),
+		Coef:      phi,
+		history:   append([]float64(nil), work[n-order:]...),
+	}
+	return m, nil
+}
+
+// levinsonDurbin solves the Toeplitz system for AR coefficients up to the
+// given order, returning the final coefficients and the innovation variance
+// at each order 0..order.
+func levinsonDurbin(c []float64, order int) (phi []float64, variances []float64, err error) {
+	variances = make([]float64, order+1)
+	variances[0] = c[0]
+	phi = make([]float64, 0, order)
+	prev := make([]float64, 0, order)
+	for k := 1; k <= order; k++ {
+		if variances[k-1] <= 0 {
+			return nil, nil, errors.New("arima: Levinson-Durbin variance collapsed")
+		}
+		acc := c[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j-1] * c[k-j]
+		}
+		kappa := acc / variances[k-1]
+		cur := make([]float64, k)
+		cur[k-1] = kappa
+		for j := 1; j < k; j++ {
+			cur[j-1] = prev[j-1] - kappa*prev[k-1-j]
+		}
+		variances[k] = variances[k-1] * (1 - kappa*kappa)
+		prev = cur
+		phi = cur
+	}
+	return phi, variances, nil
+}
+
+// SelectOrder picks the AR order in [1, maxOrder] minimising AIC computed
+// from the Levinson–Durbin innovation variances, then fits that order by
+// Yule–Walker. It returns the fitted model and the selected order.
+func SelectOrder(seq []float64, maxOrder int) (*ARModel, int, error) {
+	work := interpolate(seq)
+	n := len(work)
+	if maxOrder < 1 {
+		return nil, 0, errors.New("arima: maxOrder must be >= 1")
+	}
+	if maxOrder > n/3 {
+		maxOrder = n / 3
+	}
+	if maxOrder < 1 {
+		return nil, 0, errors.New("arima: series too short for order selection")
+	}
+	mean := 0.0
+	for _, v := range work {
+		mean += v
+	}
+	mean /= float64(n)
+	c := make([]float64, maxOrder+1)
+	for lag := 0; lag <= maxOrder; lag++ {
+		sum := 0.0
+		for t := lag; t < n; t++ {
+			sum += (work[t] - mean) * (work[t-lag] - mean)
+		}
+		c[lag] = sum / float64(n)
+	}
+	if c[0] <= 0 {
+		return nil, 0, errors.New("arima: constant series has no AR structure")
+	}
+	_, variances, err := levinsonDurbin(c, maxOrder)
+	if err != nil {
+		return nil, 0, err
+	}
+	bestOrder, bestAIC := 1, math.Inf(1)
+	for k := 1; k <= maxOrder; k++ {
+		v := variances[k]
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		aic := float64(n)*math.Log(v) + 2*float64(k)
+		if aic < bestAIC {
+			bestAIC, bestOrder = aic, k
+		}
+	}
+	m, err := FitYuleWalker(seq, bestOrder)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, bestOrder, nil
+}

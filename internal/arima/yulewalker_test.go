@@ -1,0 +1,150 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dspot/internal/stats"
+)
+
+func TestFitYuleWalkerRecoversAR1(t *testing.T) {
+	seq := genAR([]float64{0.7}, 1, 5000, 0.3, 11)
+	m, err := FitYuleWalker(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-0.7) > 0.05 {
+		t.Fatalf("YW phi = %v, want ≈0.7", m.Coef)
+	}
+	// Intercept should reproduce the process mean c/(1-φ) ≈ 3.33.
+	implied := m.Intercept / (1 - m.Coef[0])
+	if math.Abs(implied-1.0/(1-0.7)) > 0.4 {
+		t.Fatalf("implied mean %g, want ≈3.33", implied)
+	}
+}
+
+func TestFitYuleWalkerMatchesLSOnLongSeries(t *testing.T) {
+	seq := genAR([]float64{0.5, -0.2}, 0.5, 8000, 0.4, 12)
+	yw, err := FitYuleWalker(seq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := FitAR(seq, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range yw.Coef {
+		if math.Abs(yw.Coef[i]-ls.Coef[i]) > 0.05 {
+			t.Fatalf("YW %v vs LS %v diverge", yw.Coef, ls.Coef)
+		}
+	}
+}
+
+func TestFitYuleWalkerErrors(t *testing.T) {
+	if _, err := FitYuleWalker([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, err := FitYuleWalker([]float64{1, 2}, 3); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if _, err := FitYuleWalker([]float64{5, 5, 5, 5, 5}, 1); err == nil {
+		t.Fatal("constant series accepted")
+	}
+}
+
+func TestYuleWalkerForecastWorks(t *testing.T) {
+	seq := genAR([]float64{0.6}, 2, 2000, 0.1, 13)
+	m, err := FitYuleWalker(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(100)
+	want := 2 / (1 - 0.6) // process mean
+	if math.Abs(fc[99]-want) > 0.5 {
+		t.Fatalf("long-run YW forecast %g, want ≈%g", fc[99], want)
+	}
+}
+
+func TestLevinsonDurbinStationarity(t *testing.T) {
+	// Yule–Walker solutions are always stationary: |roots| inside the unit
+	// circle, which for AR(1) means |phi| < 1 even on rough data.
+	rng := rand.New(rand.NewSource(14))
+	seq := make([]float64, 200)
+	for i := range seq {
+		seq[i] = rng.Float64() * 100
+	}
+	m, err := FitYuleWalker(seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]) >= 1 {
+		t.Fatalf("non-stationary YW AR(1): %g", m.Coef[0])
+	}
+}
+
+func TestSelectOrderFindsTrueOrder(t *testing.T) {
+	seq := genAR([]float64{0.5, -0.3}, 1, 6000, 0.3, 15)
+	m, order, err := SelectOrder(seq, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != 2 {
+		t.Fatalf("selected order %d, want 2", order)
+	}
+	if m.Order != 2 {
+		t.Fatalf("model order %d", m.Order)
+	}
+}
+
+func TestSelectOrderWhiteNoisePicksSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	seq := make([]float64, 3000)
+	for i := range seq {
+		seq[i] = rng.NormFloat64()
+	}
+	_, order, err := SelectOrder(seq, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order > 2 {
+		t.Fatalf("white noise selected order %d", order)
+	}
+}
+
+func TestSelectOrderErrors(t *testing.T) {
+	if _, _, err := SelectOrder([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("maxOrder 0 accepted")
+	}
+	if _, _, err := SelectOrder([]float64{1, 2}, 5); err == nil {
+		t.Fatal("tiny series accepted")
+	}
+	if _, _, err := SelectOrder(make([]float64, 100), 5); err == nil {
+		t.Fatal("constant series accepted")
+	}
+}
+
+// Property: Yule–Walker AR(1) coefficient equals lag-1 autocorrelation.
+func TestYuleWalkerAR1EqualsACFQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(200)
+		seq := make([]float64, n)
+		for i := 1; i < n; i++ {
+			seq[i] = 0.4*seq[i-1] + rng.NormFloat64()
+		}
+		if stats.Std(seq) < 1e-9 {
+			return true
+		}
+		m, err := FitYuleWalker(seq, 1)
+		if err != nil {
+			return false
+		}
+		r1 := stats.Autocorrelation(seq, 1)
+		return math.Abs(m.Coef[0]-r1) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import "sort"
+
+// Shock consolidation: incremental refits discover events one window at a
+// time, so a cyclic real-world event first enters the model as a series of
+// one-shot shocks — each learned when its occurrence arrived. Once several
+// phase-aligned one-shots exist, a single cyclic shock describes them more
+// cheaply (one header, one strength per occurrence, and the ability to
+// forecast the next occurrence). consolidateShocks proposes such merges and
+// accepts them under the usual MDL gate.
+
+// consolidateShocks merges groups of same-phase one-shot shocks of the
+// current keyword into cyclic shocks while the cost improves.
+func (g *gfit) consolidateShocks() {
+	for {
+		if !g.tryConsolidateOnce() {
+			return
+		}
+	}
+}
+
+// tryConsolidateOnce attempts the single best merge; it reports whether a
+// merge was accepted.
+func (g *gfit) tryConsolidateOnce() bool {
+	// One-shot shocks, sorted by start.
+	var oneShots []int
+	for si, s := range g.shocks {
+		if s.Period == NonCyclic {
+			oneShots = append(oneShots, si)
+		}
+	}
+	if len(oneShots) < 2 {
+		return false
+	}
+	sort.Slice(oneShots, func(a, b int) bool {
+		return g.shocks[oneShots[a]].Start < g.shocks[oneShots[b]].Start
+	})
+
+	// Candidate periods: pairwise start differences plus the calendar set.
+	periodSet := map[int]bool{}
+	for i := 0; i < len(oneShots); i++ {
+		for j := i + 1; j < len(oneShots); j++ {
+			d := g.shocks[oneShots[j]].Start - g.shocks[oneShots[i]].Start
+			if d >= 4 && d <= g.n/2 {
+				periodSet[d] = true
+			}
+		}
+	}
+	for _, p := range g.opts.CalendarPeriods {
+		if p >= 4 && p <= g.n/2 {
+			periodSet[p] = true
+		}
+	}
+	var periods []int
+	for p := range periodSet {
+		periods = append(periods, p)
+	}
+	sort.Ints(periods)
+
+	curCost := g.cost()
+	const phaseTol = 2
+
+	type proposal struct {
+		group  []int // indices into g.shocks
+		merged Shock
+		params KeywordParams
+		cost   float64
+	}
+	var best *proposal
+	for _, p := range periods {
+		// Greedy grouping by phase.
+		used := map[int]bool{}
+		for _, anchorIdx := range oneShots {
+			if used[anchorIdx] {
+				continue
+			}
+			anchor := g.shocks[anchorIdx]
+			group := []int{anchorIdx}
+			width := anchor.Width
+			for _, si := range oneShots {
+				if si == anchorIdx || used[si] {
+					continue
+				}
+				s := g.shocks[si]
+				diff := s.Start - anchor.Start
+				if diff <= 0 {
+					continue
+				}
+				phase := diff % p
+				if phase > p-phaseTol {
+					phase -= p // wrap-around closeness
+				}
+				if phase >= -phaseTol && phase <= phaseTol {
+					group = append(group, si)
+					if s.Width > width {
+						width = s.Width
+					}
+				}
+			}
+			if len(group) < 2 {
+				continue
+			}
+			for _, si := range group {
+				used[si] = true
+			}
+			if width >= p {
+				continue
+			}
+			merged := Shock{Keyword: g.keyword, Period: p, Start: anchor.Start, Width: width}
+			merged.Strength = make([]float64, merged.Occurrences(g.n))
+			if err := merged.Validate(g.n, 0); err != nil {
+				continue
+			}
+			// Evaluate the merge: remove the group, joint-fit the merged
+			// candidate, MDL-compare.
+			saved := g.shocks
+			savedParams := g.params
+			g.shocks = withoutIndices(g.shocks, group)
+			cand, params, cost := g.evaluateCandidate(merged)
+			g.shocks = saved
+			g.params = savedParams
+			if cost < curCost-1e-9 && (best == nil || cost < best.cost) {
+				best = &proposal{group: group, merged: cand, params: params, cost: cost}
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	g.shocks = append(withoutIndices(g.shocks, best.group), best.merged)
+	g.params = best.params
+	sortShocks(g.shocks)
+	return true
+}
+
+// withoutIndices returns a copy of shocks with the given indices removed.
+func withoutIndices(shocks []Shock, drop []int) []Shock {
+	dropSet := map[int]bool{}
+	for _, i := range drop {
+		dropSet[i] = true
+	}
+	out := make([]Shock, 0, len(shocks))
+	for i, s := range shocks {
+		if !dropSet[i] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pruneZeroShocks drops shocks whose every occurrence strength fitted to
+// zero — they describe nothing and cost header bits.
+func (g *gfit) pruneZeroShocks() {
+	kept := g.shocks[:0]
+	for _, s := range g.shocks {
+		if s.MeanStrength() > 0 {
+			kept = append(kept, s)
+		}
+	}
+	g.shocks = kept
+}

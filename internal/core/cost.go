@@ -1,0 +1,170 @@
+package core
+
+import (
+	"dspot/internal/mdl"
+	"dspot/internal/tensor"
+)
+
+// Model description costs, following §4.1 of the paper. The universal header
+// log*(d)+log*(l)+log*(n) is shared by every candidate model for the same
+// tensor, so comparisons may omit it; TotalCost includes it for completeness.
+
+// baseParamCount is the number of floats in one B_G row. The paper lists
+// {N, β, δ, γ}; our implementation also encodes the initial infective
+// fraction, so a row costs five floats. This only shifts every candidate's
+// cost by a constant and cannot change any MDL decision.
+const baseParamCount = 5
+
+// costBaseGlobal returns Cost_M(B_G) for d keywords.
+func costBaseGlobal(d int) float64 { return mdl.FloatsCost(baseParamCount * d) }
+
+// costGrowthGlobal returns Cost_M(R_G): each keyword with an active growth
+// effect pays {η₀, t_η} = 2 floats, plus one indicator bit per keyword.
+func costGrowthGlobal(params []KeywordParams) float64 {
+	cost := float64(len(params)) // 1 bit each for "has growth?"
+	for i := range params {
+		if params[i].HasGrowth() {
+			cost += mdl.FloatsCost(2)
+		}
+	}
+	return cost
+}
+
+// costShock returns Cost_M(s) for a single shock: the keyword pointer
+// (log d), the shock-time vector {t_p, t_s, t_w} (3·log n), the global
+// occurrence strengths (one presence bit per occurrence plus a float per
+// active occurrence — cyclic events may skip cycles), and the non-zero
+// entries of s^(L).
+func costShock(s *Shock, d, l, n int) float64 {
+	cost := mdl.IntCost(d) + 3*mdl.IntCost(n)
+	cost += float64(len(s.Strength)) // presence bits
+	for _, v := range s.Strength {
+		if v != 0 {
+			cost += mdl.FloatCost
+		}
+	}
+	if s.Local != nil {
+		entry := mdl.IntCost(d) + mdl.IntCost(l) + mdl.IntCost(n) + mdl.FloatCost
+		for _, row := range s.Local {
+			for _, v := range row {
+				if v != 0 {
+					cost += entry
+				}
+			}
+		}
+	}
+	return cost
+}
+
+// costShockTensor returns Cost_M(S) = log*(k) + Σ Cost_M(s_i).
+func costShockTensor(shocks []Shock, d, l, n int) float64 {
+	cost := mdl.LogStar(len(shocks))
+	for i := range shocks {
+		cost += costShock(&shocks[i], d, l, n)
+	}
+	return cost
+}
+
+// costLocalMatrices returns Cost_M(B_L) + Cost_M(R_L): d×l floats each when
+// present.
+func costLocalMatrices(m *Model) float64 {
+	cost := 0.0
+	if m.LocalN != nil {
+		cost += mdl.FloatsCost(len(m.Keywords) * len(m.Locations))
+	}
+	if m.LocalR != nil {
+		cost += mdl.FloatsCost(len(m.Keywords) * len(m.Locations))
+	}
+	return cost
+}
+
+// GlobalCodingCost returns Cost_C of the global sequences: the Gaussian
+// coding cost of x̄_i − Î_i summed over keywords.
+func (m *Model) GlobalCodingCost(globals [][]float64) float64 {
+	cost := 0.0
+	for i := range m.Global {
+		est := m.SimulateGlobal(i, m.Ticks)
+		cost += mdl.GaussianCost(residuals(globals[i], est))
+	}
+	return cost
+}
+
+// LocalCodingCost returns Cost_C of every local sequence under the local
+// model.
+func (m *Model) LocalCodingCost(x *tensor.Tensor) float64 {
+	cost := 0.0
+	for i := 0; i < x.D(); i++ {
+		for j := 0; j < x.L(); j++ {
+			est := m.SimulateLocal(i, j, m.Ticks)
+			cost += mdl.GaussianCost(residuals(x.Local(i, j), est))
+		}
+	}
+	return cost
+}
+
+// TotalCost returns Cost_T(X; F) — Eq. (2) of the paper — for the model
+// against the full tensor: universal header, all model description costs,
+// and the data coding cost of the local sequences (the global sequences are
+// derived from the locals, so they are not coded twice).
+func (m *Model) TotalCost(x *tensor.Tensor) float64 {
+	d, l, n := x.D(), x.L(), x.N()
+	cost := mdl.LogStar(d) + mdl.LogStar(l) + mdl.LogStar(n)
+	cost += costBaseGlobal(d)
+	cost += costGrowthGlobal(m.Global)
+	cost += costLocalMatrices(m)
+	cost += costShockTensor(m.Shocks, d, l, n)
+	if m.LocalN != nil {
+		cost += m.LocalCodingCost(x)
+	} else {
+		cost += m.GlobalCodingCost(x.GlobalAll())
+	}
+	return cost
+}
+
+// CostBreakdown itemises Cost_T(X; F) by component, so users can see where
+// the description length goes — the MDL analogue of a model summary table.
+type CostBreakdown struct {
+	Header float64 // log*(d)+log*(l)+log*(n)
+	Base   float64 // Cost_M(B_G)
+	Growth float64 // Cost_M(R_G)
+	Locals float64 // Cost_M(B_L)+Cost_M(R_L)
+	Shocks float64 // Cost_M(S)
+	Coding float64 // Cost_C(X|F)
+	Total  float64
+}
+
+// CostBreakdown computes the itemised total cost against the tensor.
+func (m *Model) CostBreakdown(x *tensor.Tensor) CostBreakdown {
+	d, l, n := x.D(), x.L(), x.N()
+	b := CostBreakdown{
+		Header: mdl.LogStar(d) + mdl.LogStar(l) + mdl.LogStar(n),
+		Base:   costBaseGlobal(d),
+		Growth: costGrowthGlobal(m.Global),
+		Locals: costLocalMatrices(m),
+		Shocks: costShockTensor(m.Shocks, d, l, n),
+	}
+	if m.LocalN != nil {
+		b.Coding = m.LocalCodingCost(x)
+	} else {
+		b.Coding = m.GlobalCodingCost(x.GlobalAll())
+	}
+	b.Total = b.Header + b.Base + b.Growth + b.Locals + b.Shocks + b.Coding
+	return b
+}
+
+// residuals returns obs−est with missing observations mapped to NaN.
+func residuals(obs, est []float64) []float64 {
+	n := len(obs)
+	if len(est) < n {
+		n = len(est)
+	}
+	r := make([]float64, n)
+	for t := 0; t < n; t++ {
+		if tensor.IsMissing(obs[t]) {
+			r[t] = tensor.Missing
+			continue
+		}
+		r[t] = obs[t] - est[t]
+	}
+	return r
+}

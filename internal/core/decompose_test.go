@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dspot/internal/stats"
+)
+
+func decomposeModel() *Model {
+	return &Model{
+		Keywords: []string{"k"}, Locations: []string{"WW"}, Ticks: 300,
+		Global: []KeywordParams{{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5,
+			I0: 0.02, Eta0: 0.3, TEta: 200}},
+		Shocks: []Shock{
+			{Keyword: 0, Period: 52, Start: 20, Width: 2,
+				Strength: []float64{8, 8, 8, 8, 8, 8}},
+			{Keyword: 0, Period: NonCyclic, Start: 120, Width: 2,
+				Strength: []float64{12}},
+		},
+	}
+}
+
+func TestDecomposeSumsToFitted(t *testing.T) {
+	m := decomposeModel()
+	c := m.Decompose(0, 300)
+	for tt := 0; tt < 300; tt++ {
+		sum := c.Base[tt] + c.Growth[tt] + c.Shocks[tt]
+		if math.Abs(sum-c.Fitted[tt]) > 1e-9 {
+			t.Fatalf("components do not sum at %d: %g vs %g", tt, sum, c.Fitted[tt])
+		}
+	}
+}
+
+func TestDecomposeMatchesSimulateGlobal(t *testing.T) {
+	m := decomposeModel()
+	c := m.Decompose(0, 300)
+	direct := m.SimulateGlobal(0, 300)
+	if r := stats.RMSE(direct, c.Fitted); r > 1e-12 {
+		t.Fatalf("fitted curve mismatch: %g", r)
+	}
+}
+
+func TestDecomposeGrowthZeroBeforeOnset(t *testing.T) {
+	m := decomposeModel()
+	c := m.Decompose(0, 300)
+	for tt := 0; tt < 200; tt++ {
+		if math.Abs(c.Growth[tt]) > 1e-12 {
+			t.Fatalf("growth lift %g before onset at %d", c.Growth[tt], tt)
+		}
+	}
+	late := stats.Mean(c.Growth[250:])
+	if late <= 0 {
+		t.Fatalf("growth lift after onset = %g, want positive", late)
+	}
+}
+
+func TestDecomposeShocksZeroBeforeFirstShock(t *testing.T) {
+	m := decomposeModel()
+	c := m.Decompose(0, 300)
+	for tt := 0; tt < 20; tt++ {
+		if math.Abs(c.Shocks[tt]) > 1e-12 {
+			t.Fatalf("shock lift %g before first occurrence at %d", c.Shocks[tt], tt)
+		}
+	}
+	if stats.Max(c.Shocks) <= 0 {
+		t.Fatal("no positive shock lift anywhere")
+	}
+}
+
+func TestDecomposePerShockAttribution(t *testing.T) {
+	m := decomposeModel()
+	c := m.Decompose(0, 300)
+	if len(c.PerShock) != 2 {
+		t.Fatalf("per-shock components = %d", len(c.PerShock))
+	}
+	// The one-shot at 120 contributes nothing before 120.
+	oneShot := c.PerShock[1] // ShocksFor order: sorted by start (20 first)
+	for tt := 0; tt < 120; tt++ {
+		if math.Abs(oneShot[tt]) > 1e-12 {
+			t.Fatalf("one-shot lift %g before its start at %d", oneShot[tt], tt)
+		}
+	}
+	if stats.Max(oneShot[120:130]) <= 0 {
+		t.Fatal("one-shot contributes nothing in its window")
+	}
+}
+
+func TestDecomposeNoStructure(t *testing.T) {
+	m := &Model{Keywords: []string{"k"}, Ticks: 100,
+		Global: []KeywordParams{{N: 10, Beta: 0.5, Delta: 0.4, Gamma: 0.3,
+			I0: 0.01, TEta: NoGrowth}}}
+	c := m.Decompose(0, 100)
+	for tt := range c.Fitted {
+		if c.Growth[tt] != 0 || c.Shocks[tt] != 0 {
+			t.Fatal("structureless model has non-zero lifts")
+		}
+		if c.Base[tt] != c.Fitted[tt] {
+			t.Fatal("base should equal fitted")
+		}
+	}
+	if len(c.PerShock) != 0 {
+		t.Fatal("unexpected per-shock components")
+	}
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dspot/internal/core"
+)
+
+// Simulate the SIV dynamics with an external shock profile.
+func ExampleSimulate() {
+	p := core.KeywordParams{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5,
+		I0: 0.02, TEta: core.NoGrowth}
+	// ε(t) = 1 everywhere except a strong event at ticks 50–51.
+	eps := make([]float64, 100)
+	for t := range eps {
+		eps[t] = 1
+	}
+	eps[50], eps[51] = 11, 11
+
+	out := core.Simulate(&p, 100, eps, -1)
+	peak, at := 0.0, 0
+	for t, v := range out {
+		if v > peak {
+			peak, at = v, t
+		}
+	}
+	fmt.Printf("spike follows the event: %v\n", at >= 50 && at <= 55)
+	fmt.Printf("spike dwarfs baseline: %v\n", peak > 4*out[49])
+	// Output:
+	// spike follows the event: true
+	// spike dwarfs baseline: true
+}
+
+// Shock occurrence bookkeeping.
+func ExampleShock_Occurrences() {
+	annual := core.Shock{Period: 52, Start: 6, Width: 2}
+	fmt.Println(annual.Occurrences(160), annual.OccurrenceStart(2), annual.OccurrenceAt(59))
+	// Output:
+	// 3 110 1
+}
+
+// Decompose a fitted curve into explanatory components.
+func ExampleModel_Decompose() {
+	m := &core.Model{
+		Keywords: []string{"k"}, Locations: []string{"WW"}, Ticks: 200,
+		Global: []core.KeywordParams{{N: 100, Beta: 0.5, Delta: 0.45,
+			Gamma: 0.5, I0: 0.02, Eta0: 0.4, TEta: 120}},
+		Shocks: []core.Shock{{Keyword: 0, Period: 0, Start: 60, Width: 2,
+			Strength: []float64{10}}},
+	}
+	c := m.Decompose(0, 200)
+	sum := c.Base[150] + c.Growth[150] + c.Shocks[150]
+	fmt.Printf("components sum to fit: %v\n", diffSmall(sum, c.Fitted[150]))
+	fmt.Printf("growth active late: %v\n", c.Growth[150] > 0)
+	fmt.Printf("shock inactive late: %v\n", diffSmall(c.Shocks[199], 0))
+	// Output:
+	// components sum to fit: true
+	// growth active late: true
+	// shock inactive late: true
+}
+
+func diffSmall(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-6
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"dspot/internal/tensor"
+)
+
+// Fit runs the full Δ-SPOT algorithm (Algorithm 1): GlobalFit over the d
+// global sequences, then LocalFit over the d×l local sequences, returning
+// the complete parameter set F = {B_G, B_L, R_G, R_L, S}. Fitting is
+// parallel across keywords and locations but fully deterministic: every
+// worker writes only its own slots.
+func Fit(x *tensor.Tensor, opts FitOptions) (*Model, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	m, err := FitGlobal(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := FitLocal(x, m, opts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FitGlobal runs only the global phase (Algorithm 2) and returns a model
+// whose local matrices are nil. Useful when only world-level analysis or
+// forecasting is needed — it is l times cheaper than the full fit.
+func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	d := x.D()
+	m := &Model{
+		Keywords:  append([]string(nil), x.Keywords...),
+		Locations: append([]string(nil), x.Locations...),
+		Ticks:     x.N(),
+		Global:    make([]KeywordParams, d),
+		Scale:     make([]float64, d),
+	}
+
+	results := make([]GlobalFitResult, d)
+	errs := make([]error, d)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i := 0; i < d; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = FitGlobalSequence(x.Global(i), i, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: keyword %q: %w", x.Keywords[i], err)
+		}
+	}
+	for i, r := range results {
+		m.Global[i] = r.Params
+		m.Scale[i] = r.Scale
+		m.Shocks = append(m.Shocks, r.Shocks...)
+	}
+	sortShocks(m.Shocks)
+	return m, nil
+}
+
+// FitLocal runs the local phase (Algorithm 3) against a model produced by
+// FitGlobal, filling B_L, R_L and the shock Local matrices in place.
+func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
+	opts = opts.withDefaults()
+	d, l, n := x.D(), x.L(), x.N()
+	if n != m.Ticks || d != len(m.Global) {
+		return fmt.Errorf("core: tensor (%d,%d,%d) does not match model (%d keywords, %d ticks)",
+			d, l, n, len(m.Global), m.Ticks)
+	}
+	m.LocalN = newMatrix(d, l)
+	m.LocalR = newMatrix(d, l)
+	// Pre-allocate every shock's Local matrix; workers fill disjoint columns.
+	for si := range m.Shocks {
+		s := &m.Shocks[si]
+		s.Local = make([][]float64, len(s.Strength))
+		for occ := range s.Local {
+			s.Local[occ] = make([]float64, l)
+		}
+	}
+	// Group shock indices by keyword once.
+	byKeyword := make([][]int, d)
+	for si := range m.Shocks {
+		k := m.Shocks[si].Keyword
+		byKeyword[k] = append(byKeyword[k], si)
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i := 0; i < d; i++ {
+		for j := 0; j < l; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				// Worker-local copies of the keyword's shocks.
+				shocks := make([]Shock, len(byKeyword[i]))
+				for p, si := range byKeyword[i] {
+					shocks[p] = m.Shocks[si]
+				}
+				nij, rij, strengths := m.localFitKeywordLocation(i, j, x.Local(i, j), shocks)
+				m.LocalN[i][j] = nij
+				m.LocalR[i][j] = rij
+				for p, si := range byKeyword[i] {
+					for occ, v := range strengths[p] {
+						m.Shocks[si].Local[occ][j] = v
+					}
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	return out
+}

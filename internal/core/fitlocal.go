@@ -1,0 +1,135 @@
+package core
+
+import (
+	"dspot/internal/mdl"
+	"dspot/internal/optimize"
+	"dspot/internal/stats"
+	"dspot/internal/tensor"
+)
+
+// localFitKeywordLocation fits the local-level parameters of keyword i in
+// location j (Algorithm 3 body): the potential population b^(L)_ij, the
+// growth rate r^(L)_ij, and the per-occurrence shock participation
+// strengths s^(L)[·][j]. The global shape parameters stay fixed.
+//
+// strengths is the worker-local scratch: strengths[si][m] is the strength of
+// occurrence m of shock si as seen in this location; it starts at the global
+// values and is refined here. The accepted values are written into the
+// model's shock Local matrices (column j) by the caller.
+func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock) (nij, rij float64, strengths [][]float64) {
+	n := m.Ticks
+	p := m.Global[i]
+
+	// Worker-local strengths initialised from the global fit.
+	strengths = make([][]float64, len(shocks))
+	for si := range shocks {
+		strengths[si] = append([]float64(nil), shocks[si].Strength...)
+	}
+
+	buildEps := func() []float64 {
+		eps := make([]float64, n)
+		for t := range eps {
+			eps[t] = 1
+		}
+		for si := range shocks {
+			addShockProfile(eps, &shocks[si], strengths[si])
+		}
+		return eps
+	}
+
+	// Initial population share: proportion of the keyword's global volume
+	// observed in this location.
+	localVolume := tensor.SumSeq(seq)
+	globalSim := Simulate(&p, n, buildEps(), -1)
+	simVolume := tensor.SumSeq(globalSim)
+	if simVolume > 0 {
+		nij = p.N * localVolume / (simVolume)
+	} else {
+		nij = p.N / 100
+	}
+	if nij <= 0 {
+		nij = 1e-9
+	}
+	rij = p.Eta0
+
+	localSim := func() []float64 {
+		q := p
+		q.N = nij
+		return Simulate(&q, n, buildEps(), rij)
+	}
+
+	maxN := 4 * nij
+	if upper := 2 * stats.Max(seq); upper > maxN {
+		maxN = upper
+	}
+	if maxN <= 0 {
+		maxN = 1
+	}
+
+	for round := 0; round < 2; round++ {
+		// (a) Potential population b^(L)_ij.
+		nij, _ = optimize.Golden(func(v float64) float64 {
+			save := nij
+			nij = v
+			sse := stats.SSE(seq, localSim())
+			nij = save
+			return sse
+		}, 0, maxN, maxN*1e-5, 80)
+
+		// (b) Growth rate r^(L)_ij.
+		if p.HasGrowth() {
+			rij, _ = optimize.Golden(func(v float64) float64 {
+				save := rij
+				rij = v
+				sse := stats.SSE(seq, localSim())
+				rij = save
+				return sse
+			}, 0, 10, 1e-4, 60)
+		}
+
+		// (c) Local shock participation, MDL-gated per occurrence.
+		entryCost := mdl.IntCost(len(m.Keywords)) + mdl.IntCost(len(m.Locations)) +
+			mdl.IntCost(n) + mdl.FloatCost
+		for si := range shocks {
+			s := &shocks[si]
+			for occ := range strengths[si] {
+				wstart := s.OccurrenceStart(occ)
+				if wstart >= n {
+					continue
+				}
+				wend := n
+				if s.Period > 0 && wstart+s.Period < n {
+					wend = wstart + s.Period
+				} else if wstart+4*s.Width+16 < n {
+					wend = wstart + 4*s.Width + 16
+				}
+				if tensor.ObservedCount(seq[wstart:wend]) == 0 {
+					continue
+				}
+				window := func(str float64) []float64 {
+					save := strengths[si][occ]
+					strengths[si][occ] = str
+					sim := localSim()
+					strengths[si][occ] = save
+					return residuals(seq[wstart:wend], sim[wstart:wend])
+				}
+				fit := func(str float64) float64 {
+					r := window(str)
+					return stats.SSE(r, make([]float64, len(r)))
+				}
+				best, _ := optimize.Golden(fit, 0, 80, 1e-3, 60)
+				// MDL gate: a non-zero entry must repay its description cost
+				// relative to not participating at all.
+				_, sigma2 := mdl.ResidualNoise(residuals(seq, localSim()))
+				costZero := mdl.GaussianCostFixed(window(0), 0, sigma2)
+				costBest := mdl.GaussianCostFixed(window(best), 0, sigma2) + entryCost
+				if best < 1e-3 || costBest >= costZero {
+					strengths[si][occ] = 0
+				} else {
+					strengths[si][occ] = best
+				}
+			}
+		}
+	}
+	return nij, rij, strengths
+}

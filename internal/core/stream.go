@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+
+	"dspot/internal/tensor"
+)
+
+// Incremental fitting: online activity streams grow one tick at a time, and
+// refitting from scratch on every arrival wastes the work already done.
+// ContinueGlobalSequence warm-starts from a previous fit — base parameters
+// seed the LM search, previously discovered shocks are kept (their
+// occurrence lists extended into the new window) and only *new* shocks are
+// searched for — and Stream wraps this into an append-and-refit API.
+
+// ContinueGlobalSequence refits keyword's single-sequence model on an
+// extended sequence, warm-starting from prev (typically the result of
+// FitGlobalSequence on a prefix). The sequence may have grown and may have
+// revised recent values; it must be at least as long as it was when prev
+// was fitted.
+func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, opts FitOptions) (GlobalFitResult, error) {
+	opts = opts.withDefaults()
+	if tensor.ObservedCount(seq) < 8 {
+		return GlobalFitResult{}, errors.New("core: sequence too short to fit")
+	}
+	norm, scale := tensor.Normalize(seq)
+	n := len(norm)
+
+	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts}
+	st.params = prev.Params
+	if scale > 0 {
+		st.params.N = prev.Params.N / scale // back into normalised space
+	}
+	// Carry the previous shocks into the longer window: each cyclic shock
+	// gains occurrences, seeded with its historical mean strength.
+	for _, s := range prev.Shocks {
+		if s.Start >= n || s.Width <= 0 {
+			continue
+		}
+		occ := s.Occurrences(n)
+		strengths := make([]float64, occ)
+		mean := s.MeanStrength()
+		for m := range strengths {
+			if m < len(s.Strength) {
+				strengths[m] = s.Strength[m]
+			} else {
+				strengths[m] = mean
+			}
+		}
+		s.Strength = strengths
+		s.Local = nil
+		st.shocks = append(st.shocks, s)
+	}
+
+	best := st.snapshot()
+	bestCost := st.cost()
+	for iter := 0; iter < opts.MaxOuterIter; iter++ {
+		st.fitBase(iter == 0)
+		if !opts.DisableGrowth {
+			st.fitGrowth()
+		}
+		if !opts.DisableShocks {
+			st.refineStrengthsAll()
+			st.growShocks() // keep existing shocks, look for new ones only
+			st.pruneZeroShocks()
+			st.consolidateShocks() // merge phase-aligned one-shots into cycles
+			st.refineStrengths()
+		}
+		c := st.cost()
+		if c < bestCost-1e-9 {
+			bestCost = c
+			best = st.snapshot()
+		} else {
+			break
+		}
+	}
+
+	params, shocks := best.params, best.shocks
+	params.N *= scale
+	return GlobalFitResult{Params: params, Shocks: shocks, Scale: scale, Cost: bestCost}, nil
+}
+
+// refineStrengthsAll re-fits every occurrence strength by windowed golden
+// search — cheap polish for strengths seeded from historical means.
+func (g *gfit) refineStrengthsAll() {
+	for si := range g.shocks {
+		s := &g.shocks[si]
+		for m := range s.Strength {
+			wstart := s.OccurrenceStart(m)
+			if wstart >= g.n {
+				continue
+			}
+			wend := g.n
+			if s.Period > 0 && wstart+s.Period < g.n {
+				wend = wstart + s.Period
+			} else if wstart+4*s.Width+16 < g.n {
+				wend = wstart + 4*s.Width + 16
+			}
+			best := fitOneStrength(g, s, m, wstart, wend)
+			s.Strength[m] = best
+		}
+	}
+}
+
+// Stream maintains a Δ-SPOT single-sequence model over an append-only
+// series, refitting incrementally every RefitEvery appended ticks.
+type Stream struct {
+	opts       FitOptions
+	refitEvery int
+
+	seq        []float64
+	fitted     bool
+	result     GlobalFitResult
+	sinceRefit int
+}
+
+// NewStream returns a stream that refits after every refitEvery appended
+// ticks (default 26). The fitting options apply to every (re)fit.
+func NewStream(opts FitOptions, refitEvery int) *Stream {
+	if refitEvery <= 0 {
+		refitEvery = 26
+	}
+	return &Stream{opts: opts, refitEvery: refitEvery}
+}
+
+// Append adds observations; pass tensor.Missing for gaps. It refits (fully
+// the first time, incrementally afterwards) once enough ticks accumulated,
+// and reports whether a refit happened.
+func (s *Stream) Append(values ...float64) (refitted bool, err error) {
+	s.seq = append(s.seq, values...)
+	s.sinceRefit += len(values)
+	if tensor.ObservedCount(s.seq) < 8 {
+		return false, nil
+	}
+	if s.fitted && s.sinceRefit < s.refitEvery {
+		return false, nil
+	}
+	if !s.fitted {
+		s.result, err = FitGlobalSequence(s.seq, 0, s.opts)
+	} else {
+		s.result, err = ContinueGlobalSequence(s.seq, 0, s.result, s.opts)
+	}
+	if err != nil {
+		return false, err
+	}
+	s.fitted = true
+	s.sinceRefit = 0
+	return true, nil
+}
+
+// Len returns the number of ticks appended so far.
+func (s *Stream) Len() int { return len(s.seq) }
+
+// Ready reports whether a model has been fitted yet.
+func (s *Stream) Ready() bool { return s.fitted }
+
+// Model materialises the current fit as a single-keyword Model (nil when
+// not Ready).
+func (s *Stream) Model() *Model {
+	if !s.fitted {
+		return nil
+	}
+	return &Model{
+		Keywords:  []string{"stream"},
+		Locations: []string{"all"},
+		Ticks:     len(s.seq),
+		Global:    []KeywordParams{s.result.Params},
+		Shocks:    append([]Shock(nil), s.result.Shocks...),
+		Scale:     []float64{s.result.Scale},
+	}
+}
+
+// Forecast extrapolates h ticks past the stream head (nil when not Ready).
+func (s *Stream) Forecast(h int) []float64 {
+	m := s.Model()
+	if m == nil {
+		return nil
+	}
+	return m.ForecastGlobal(0, h)
+}
+
+// fitOneStrength is the shared windowed golden fit for one occurrence.
+func fitOneStrength(g *gfit, s *Shock, m, wstart, wend int) float64 {
+	obj := func(str float64) float64 {
+		save := s.Strength[m]
+		s.Strength[m] = str
+		sim := g.simulate()
+		s.Strength[m] = save
+		sse := 0.0
+		for t := wstart; t < wend; t++ {
+			if tensor.IsMissing(g.seq[t]) {
+				continue
+			}
+			d := g.seq[t] - sim[t]
+			sse += d * d
+		}
+		return sse
+	}
+	best := goldenStrength(obj)
+	if best < 1e-3 {
+		return 0
+	}
+	return best
+}

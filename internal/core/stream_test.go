@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"dspot/internal/stats"
+)
+
+// grammyLike synthesises an annual-spike series of length n.
+func grammyLike(n int, seed int64) []float64 {
+	occ := 0
+	if n > 6 {
+		occ = (n-1-6)/52 + 1
+	}
+	strengths := make([]float64, occ)
+	for i := range strengths {
+		strengths[i] = 9
+	}
+	shock := Shock{Keyword: 0, Period: 52, Start: 6, Width: 2, Strength: strengths}
+	return synthGlobal(truthBase, []Shock{shock}, n, 0.01, seed)
+}
+
+func TestContinueGlobalSequenceExtendsShocks(t *testing.T) {
+	full := grammyLike(460, 21)
+	prev, err := FitGlobalSequence(full[:300], 0, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev.Shocks) == 0 {
+		t.Fatal("prefix fit found no shocks")
+	}
+	cont, err := ContinueGlobalSequence(full, 0, prev, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Keywords: []string{"k"}, Ticks: 460,
+		Global: []KeywordParams{cont.Params}, Shocks: cont.Shocks}
+	fit := m.SimulateGlobal(0, 460)
+	if r := stats.RMSE(full, fit); r > 0.1*stats.Max(full) {
+		t.Fatalf("continued fit RMSE %.3f of peak %.3f", r, stats.Max(full))
+	}
+	// The cyclic shock must now cover the longer window.
+	found := false
+	for _, s := range cont.Shocks {
+		if s.Period > 0 && s.Occurrences(460) == len(s.Strength) && len(s.Strength) >= 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cyclic shock not extended: %+v", cont.Shocks)
+	}
+}
+
+func TestContinueGlobalSequenceComparableToFullRefit(t *testing.T) {
+	full := grammyLike(420, 22)
+	prev, err := FitGlobalSequence(full[:320], 0, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := ContinueGlobalSequence(full, 0, prev, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := FitGlobalSequence(full, 0, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := &Model{Keywords: []string{"k"}, Ticks: 420,
+		Global: []KeywordParams{cont.Params}, Shocks: cont.Shocks}
+	mf := &Model{Keywords: []string{"k"}, Ticks: 420,
+		Global: []KeywordParams{fresh.Params}, Shocks: fresh.Shocks}
+	rc := stats.RMSE(full, mc.SimulateGlobal(0, 420))
+	rf := stats.RMSE(full, mf.SimulateGlobal(0, 420))
+	if rc > 2*rf+0.05*stats.Max(full) {
+		t.Fatalf("incremental fit much worse than fresh: %.3f vs %.3f", rc, rf)
+	}
+}
+
+func TestContinueGlobalSequenceTooShort(t *testing.T) {
+	if _, err := ContinueGlobalSequence([]float64{1, 2}, 0, GlobalFitResult{}, FitOptions{}); err == nil {
+		t.Fatal("short sequence accepted")
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	full := grammyLike(400, 23)
+	s := NewStream(FitOptions{DisableGrowth: true}, 52)
+
+	if s.Ready() {
+		t.Fatal("stream ready before any data")
+	}
+	if s.Forecast(10) != nil || s.Model() != nil {
+		t.Fatal("unfitted stream should return nil model/forecast")
+	}
+
+	// First batch triggers the initial full fit.
+	refit, err := s.Append(full[:300]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refit || !s.Ready() {
+		t.Fatal("first batch should fit")
+	}
+	if s.Len() != 300 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+
+	// Appending fewer than refitEvery ticks does not refit.
+	refit, err = s.Append(full[300:310]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refit {
+		t.Fatal("refit too eager")
+	}
+
+	// Crossing the threshold refits incrementally.
+	refit, err = s.Append(full[310:370]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refit {
+		t.Fatal("refit did not trigger after refitEvery ticks")
+	}
+
+	m := s.Model()
+	if m == nil || m.Ticks != 370 {
+		t.Fatalf("model ticks = %v", m)
+	}
+	fc := s.Forecast(30)
+	if len(fc) != 30 {
+		t.Fatalf("forecast length %d", len(fc))
+	}
+	// Forecast must beat flat-mean on the remaining truth.
+	flat := make([]float64, 30)
+	mean := stats.Mean(full[:370])
+	for i := range flat {
+		flat[i] = mean
+	}
+	if stats.RMSE(full[370:400], fc) >= stats.RMSE(full[370:400], flat) {
+		t.Fatal("stream forecast no better than flat mean")
+	}
+}
+
+func TestStreamDefaultRefitEvery(t *testing.T) {
+	s := NewStream(FitOptions{}, 0)
+	if s.refitEvery != 26 {
+		t.Fatalf("default refitEvery = %d", s.refitEvery)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func validModel() *Model {
+	return &Model{
+		Keywords:  []string{"a", "b"},
+		Locations: []string{"US", "JP"},
+		Ticks:     100,
+		Global: []KeywordParams{
+			{N: 10, Beta: 0.5, Delta: 0.4, Gamma: 0.3, I0: 0.01, TEta: NoGrowth},
+			{N: 5, Beta: 0.6, Delta: 0.5, Gamma: 0.4, I0: 0.02, Eta0: 0.2, TEta: 40},
+		},
+		LocalN: [][]float64{{6, 4}, {3, 2}},
+		LocalR: [][]float64{{0, 0}, {0.1, 0.2}},
+		Shocks: []Shock{{Keyword: 0, Period: 52, Start: 10, Width: 2,
+			Strength: []float64{3, 4}, Local: [][]float64{{3, 0}, {4, 2}}}},
+	}
+}
+
+func TestModelValidateAccepts(t *testing.T) {
+	if err := validModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	// Local matrices are optional.
+	m := validModel()
+	m.LocalN, m.LocalR = nil, nil
+	m.Shocks[0].Local = nil
+	if err := m.Validate(); err != nil {
+		t.Fatalf("global-only model rejected: %v", err)
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"no keywords", func(m *Model) { m.Keywords = nil; m.Global = nil }},
+		{"zero ticks", func(m *Model) { m.Ticks = 0 }},
+		{"param count", func(m *Model) { m.Global = m.Global[:1] }},
+		{"NaN beta", func(m *Model) { m.Global[0].Beta = math.NaN() }},
+		{"negative N", func(m *Model) { m.Global[0].N = -1 }},
+		{"growth onset outside", func(m *Model) { m.Global[1].TEta = 500 }},
+		{"B_L rows", func(m *Model) { m.LocalN = m.LocalN[:1] }},
+		{"B_L cols", func(m *Model) { m.LocalN[0] = m.LocalN[0][:1] }},
+		{"negative local", func(m *Model) { m.LocalR[0][0] = -0.5 }},
+		{"dangling shock keyword", func(m *Model) { m.Shocks[0].Keyword = 9 }},
+		{"bad shock geometry", func(m *Model) { m.Shocks[0].Width = 0 }},
+		{"shock local shape", func(m *Model) { m.Shocks[0].Local = [][]float64{{1}} }},
+	}
+	for _, c := range cases {
+		m := validModel()
+		c.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFittedModelsValidate(t *testing.T) {
+	// Whatever the fitter produces must pass its own validation.
+	obs := synthGlobal(truthBase, []Shock{{Keyword: 0, Period: 52, Start: 20,
+		Width: 2, Strength: []float64{8, 8, 8}}}, 170, 0.01, 61)
+	res, err := FitGlobalSequence(obs, 0, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Keywords: []string{"k"}, Locations: []string{"all"}, Ticks: 170,
+		Global: []KeywordParams{res.Params}, Shocks: res.Shocks}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fitted model fails validation: %v", err)
+	}
+}

@@ -1,0 +1,471 @@
+// Package datagen synthesises the three datasets of the Δ-SPOT paper's
+// evaluation. The real datasets (GoogleTrends 2004–2015, a 7M-post Twitter
+// crawl, MemeTracker) are not redistributable, so each generator produces a
+// ground-truth-scripted equivalent: keyword worlds are rendered through the
+// same SIV dynamics family the paper models (base trends, population growth
+// effects, cyclic and one-shot external shocks, per-country populations from
+// the world registry) plus observation noise. Because the ground truth is
+// known, experiments can check *recovery correctness* in addition to fit
+// quality — something the paper could not do. See DESIGN.md §3.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dspot/internal/core"
+	"dspot/internal/tensor"
+	"dspot/internal/world"
+)
+
+// EventSpec is a scripted external shock in the generated world.
+type EventSpec struct {
+	Name        string  // label for documentation ("movie release", ...)
+	Period      int     // ticks between occurrences; 0 = one-shot
+	Start       int     // first occurrence tick
+	Width       int     // ticks per occurrence
+	Strength    float64 // ε₀ injected into the susceptibility profile
+	Occurrences int     // cap on occurrences (0 = unlimited within window)
+
+	// EnglishBias skews per-country participation by the registry's English
+	// affinity raised to this power (0 = uniform participation).
+	EnglishBias float64
+	// Skip lists country codes that do not participate at all (e.g., the
+	// low-connectivity outliers of Fig. 8).
+	Skip []string
+}
+
+// GrowthSpec is a scripted population growth effect.
+type GrowthSpec struct {
+	Start int     // onset tick t_η
+	Rate  float64 // η₀
+}
+
+// KeywordSpec scripts one keyword's ground-truth world.
+type KeywordSpec struct {
+	Name   string
+	Volume float64 // world-wide potential population (arbitrary units)
+
+	Beta, Delta, Gamma, I0 float64 // base SIV dynamics
+
+	Growth *GrowthSpec
+	Events []EventSpec
+
+	// EnglishBias skews the per-country population share (not just event
+	// participation): Harry Potter's audience concentrates in
+	// English-affine markets, Ebola interest is near-universal.
+	EnglishBias float64
+}
+
+// Truth bundles a generated tensor with the scripts that produced it.
+type Truth struct {
+	Tensor   *tensor.Tensor
+	Keywords []KeywordSpec
+	// Start/TickDays document the calendar mapping for presentation.
+	StartYear int
+	TickDays  int
+}
+
+// Config controls generation.
+type Config struct {
+	Locations int     // number of countries, capped at the registry size (default 232)
+	Ticks     int     // duration; 0 selects the dataset's natural length
+	Noise     float64 // observation noise relative to each cell's peak (default 0.03)
+	Seed      int64   // RNG seed (0 means seed 1; generation is deterministic per seed)
+}
+
+func (c Config) withDefaults(naturalTicks int) Config {
+	if c.Locations <= 0 || c.Locations > world.Count() {
+		c.Locations = world.Count()
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = naturalTicks
+	}
+	if c.Noise <= 0 {
+		c.Noise = 0.03
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// weekOf maps (year, month) to a weekly tick with tick 0 = January 2004.
+func weekOf(year, month int) int {
+	return (year-2004)*52 + (month-1)*52/12
+}
+
+// googleTrendsSpecs scripts the eight trending keywords of Fig. 5 (plus the
+// figure-specific keywords reused across the paper's experiments).
+func googleTrendsSpecs() []KeywordSpec {
+	return []KeywordSpec{
+		{
+			Name: "harry potter", Volume: 90,
+			Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.015, EnglishBias: 1.2,
+			Events: []EventSpec{
+				// Biennial July movie/book releases, 2004 through 2011 only
+				// (the franchise's publication era) — the green circles of
+				// Fig. 1(a).
+				{Name: "july releases", Period: 104, Start: weekOf(2005, 7), Width: 2,
+					Strength: 7, Occurrences: 4, EnglishBias: 1.0},
+				// November movie episodes — the purple circles.
+				{Name: "november episodes", Period: 104, Start: weekOf(2004, 11), Width: 2,
+					Strength: 4.5, Occurrences: 4, EnglishBias: 1.0},
+				// One non-cyclic May spike — the red circle.
+				{Name: "may spike", Period: 0, Start: weekOf(2004, 5), Width: 1,
+					Strength: 3.5, EnglishBias: 0.8},
+			},
+		},
+		{
+			Name: "barack obama", Volume: 110,
+			Beta: 0.48, Delta: 0.46, Gamma: 0.45, I0: 0.008, EnglishBias: 0.5,
+			Events: []EventSpec{
+				{Name: "2008 election", Period: 0, Start: weekOf(2008, 11), Width: 3,
+					Strength: 12, EnglishBias: 0.3},
+				{Name: "2009 inauguration", Period: 0, Start: weekOf(2009, 1), Width: 2,
+					Strength: 5, EnglishBias: 0.3},
+				{Name: "2012 election", Period: 0, Start: weekOf(2012, 11), Width: 2,
+					Strength: 6, EnglishBias: 0.3},
+			},
+		},
+		{
+			Name: "olympics", Volume: 100,
+			Beta: 0.52, Delta: 0.48, Gamma: 0.5, I0: 0.006, EnglishBias: 0.2,
+			Events: []EventSpec{
+				{Name: "summer games", Period: 208, Start: weekOf(2004, 8), Width: 3,
+					Strength: 10},
+				{Name: "winter games", Period: 208, Start: weekOf(2006, 2), Width: 2,
+					Strength: 5},
+				{Name: "london 2012", Period: 0, Start: weekOf(2012, 7), Width: 3,
+					Strength: 11},
+			},
+		},
+		{
+			Name: "amazon", Volume: 80,
+			Beta: 0.5014, Delta: 0.4675, Gamma: 0.5211, I0: 0.02, EnglishBias: 0.9,
+			// The paper's footnote *1 parameters: growth from tick 343.
+			Growth: &GrowthSpec{Start: 343, Rate: 0.1605},
+			Events: []EventSpec{
+				{Name: "holiday shopping", Period: 52, Start: weekOf(2004, 12) - 3, Width: 3,
+					Strength: 1.8, EnglishBias: 0.8},
+			},
+		},
+		{
+			Name: "facebook", Volume: 120,
+			Beta: 0.49, Delta: 0.47, Gamma: 0.5, I0: 0.004, EnglishBias: 0.4,
+			Growth: &GrowthSpec{Start: weekOf(2007, 6), Rate: 0.28},
+		},
+		{
+			Name: "netflix", Volume: 70,
+			Beta: 0.5, Delta: 0.46, Gamma: 0.48, I0: 0.003, EnglishBias: 1.0,
+			Growth: &GrowthSpec{Start: weekOf(2011, 7), Rate: 0.22},
+		},
+		{
+			Name: "grammy", Volume: 60,
+			Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.01, EnglishBias: 1.1,
+			Events: []EventSpec{
+				// Annual awards held every February (Fig. 11).
+				{Name: "grammy awards", Period: 52, Start: weekOf(2004, 2), Width: 2,
+					Strength: 9, EnglishBias: 0.7},
+			},
+		},
+		{
+			// β must exceed δ so a low endemic interest level survives the
+			// decade before the outbreak — otherwise the 2014 shock has no
+			// infectives left to amplify.
+			Name: "ebola", Volume: 75,
+			Beta: 0.53, Delta: 0.5, Gamma: 0.4, I0: 0.005, EnglishBias: 0,
+			Events: []EventSpec{
+				// The 2014 West-Africa outbreak burst (Fig. 8); the
+				// low-connectivity outliers of the paper do not react.
+				{Name: "2014 outbreak", Period: 0, Start: weekOf(2014, 8), Width: 6,
+					Strength: 14, Skip: []string{"LA", "NP", "CG"}},
+				{Name: "2014 us case", Period: 0, Start: weekOf(2014, 10), Width: 2,
+					Strength: 8, Skip: []string{"LA", "NP", "CG"}},
+			},
+		},
+	}
+}
+
+// GoogleTrendsTicks is the natural duration of the GoogleTrends-like
+// dataset: weekly ticks from January 2004 to January 2015.
+const GoogleTrendsTicks = 576
+
+// GoogleTrends generates the weekly (keyword, country, week) tensor.
+func GoogleTrends(cfg Config) *Truth {
+	cfg = cfg.withDefaults(GoogleTrendsTicks)
+	return generate(googleTrendsSpecs(), cfg, 2004, 7)
+}
+
+// GoogleTrendsKeyword generates a single keyword's world (all countries),
+// convenient for the single-keyword figures. It fails only for unknown
+// names.
+func GoogleTrendsKeyword(name string, cfg Config) (*Truth, error) {
+	for _, spec := range googleTrendsSpecs() {
+		if spec.Name == name {
+			cfg = cfg.withDefaults(GoogleTrendsTicks)
+			return generate([]KeywordSpec{spec}, cfg, 2004, 7), nil
+		}
+	}
+	return nil, fmt.Errorf("datagen: unknown GoogleTrends keyword %q", name)
+}
+
+// GoogleTrendsKeywordNames lists the scripted keywords.
+func GoogleTrendsKeywordNames() []string {
+	specs := googleTrendsSpecs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TwitterTicks is the natural duration of the Twitter-like dataset: daily
+// ticks for the paper's 8-month window (June 2011 – January 2012).
+const TwitterTicks = 245
+
+// twitterSpecs scripts the hashtags of Fig. 6 plus a bursty long tail.
+func twitterSpecs(extra int, seed int64) []KeywordSpec {
+	specs := []KeywordSpec{
+		{
+			Name: "#apple", Volume: 100,
+			Beta: 0.55, Delta: 0.5, Gamma: 0.45, I0: 0.02, EnglishBias: 0.6,
+			Events: []EventSpec{
+				// Product-launch spikes: iPhone 4S announcement (Oct 4),
+				// Steve Jobs' death (Oct 5), iTunes Match (Nov).
+				{Name: "wwdc", Period: 0, Start: 6, Width: 2, Strength: 6},
+				{Name: "iphone 4s", Period: 0, Start: 126, Width: 3, Strength: 13},
+				{Name: "november launch", Period: 0, Start: 165, Width: 2, Strength: 4},
+			},
+		},
+		{
+			Name: "#backtoschool", Volume: 40,
+			Beta: 0.5, Delta: 0.48, Gamma: 0.42, I0: 0.01, EnglishBias: 1.4,
+			Events: []EventSpec{
+				// Annual burst at the end of August; within the 8-month
+				// window a single occurrence of a yearly event (period 365).
+				{Name: "school season", Period: 365, Start: 85, Width: 10, Strength: 7,
+					EnglishBias: 1.0},
+			},
+		},
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x7177))
+	for i := 0; i < extra; i++ {
+		spec := KeywordSpec{
+			Name: fmt.Sprintf("#tag%03d", i), Volume: 5 + rng.Float64()*40,
+			Beta: 0.45 + rng.Float64()*0.15, Delta: 0.44 + rng.Float64()*0.1,
+			Gamma: 0.4 + rng.Float64()*0.2, I0: 0.002 + rng.Float64()*0.02,
+			EnglishBias: rng.Float64(),
+		}
+		bursts := 1 + rng.Intn(3)
+		for b := 0; b < bursts; b++ {
+			spec.Events = append(spec.Events, EventSpec{
+				Name: "burst", Period: 0, Start: rng.Intn(TwitterTicks - 10),
+				Width: 1 + rng.Intn(4), Strength: 2 + rng.Float64()*8,
+			})
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// Twitter generates the daily hashtag tensor: the two scripted hashtags of
+// Fig. 6 plus extraTags random bursty hashtags.
+func Twitter(extraTags int, cfg Config) *Truth {
+	cfg = cfg.withDefaults(TwitterTicks)
+	return generate(twitterSpecs(extraTags, cfg.Seed), cfg, 2011, 1)
+}
+
+// MemeTrackerTicks is the natural duration of the MemeTracker-like dataset:
+// daily ticks for August–October 2008.
+const MemeTrackerTicks = 92
+
+// memeSpecs scripts short-lived quoted phrases: single-peak rise and fall,
+// occasionally with an echo. Meme #3 ("yes we can yes we can") and #16 (the
+// Satriani statement) of Fig. 7 are the first two.
+func memeSpecs(extra int, seed int64) []KeywordSpec {
+	specs := []KeywordSpec{
+		{
+			Name: "yes we can yes we can", Volume: 80,
+			Beta: 0.6, Delta: 0.42, Gamma: 0.05, I0: 0.001, EnglishBias: 1.5,
+			Events: []EventSpec{
+				{Name: "debate echo", Period: 0, Start: 58, Width: 2, Strength: 5},
+				{Name: "election week", Period: 0, Start: 88, Width: 3, Strength: 9},
+			},
+		},
+		{
+			Name: "joe satriani viva la vida statement", Volume: 35,
+			Beta: 0.85, Delta: 0.55, Gamma: 0.01, I0: 0.0005, EnglishBias: 1.0,
+			Events: []EventSpec{
+				{Name: "story breaks", Period: 0, Start: 62, Width: 3, Strength: 18},
+			},
+		},
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x6d656d))
+	for i := 0; i < extra; i++ {
+		specs = append(specs, KeywordSpec{
+			Name: fmt.Sprintf("meme%03d", i), Volume: 3 + rng.Float64()*25,
+			Beta: 0.5 + rng.Float64()*0.5, Delta: 0.4 + rng.Float64()*0.25,
+			Gamma: rng.Float64() * 0.1, I0: 0.0005 + rng.Float64()*0.002,
+			EnglishBias: rng.Float64() * 1.5,
+			Events: []EventSpec{{
+				Name: "peak", Period: 0, Start: 5 + rng.Intn(MemeTrackerTicks-20),
+				Width: 1 + rng.Intn(5), Strength: 4 + rng.Float64()*16,
+			}},
+		})
+	}
+	return specs
+}
+
+// MemeTracker generates the daily phrase-mention tensor: the two scripted
+// memes of Fig. 7 plus extraMemes random single-peak phrases.
+func MemeTracker(extraMemes int, cfg Config) *Truth {
+	cfg = cfg.withDefaults(MemeTrackerTicks)
+	return generate(memeSpecs(extraMemes, cfg.Seed), cfg, 2008, 1)
+}
+
+// Custom renders caller-supplied keyword scripts with the weekly
+// GoogleTrends calendar — the hook for experiments that need a world the
+// stock scripts do not provide (e.g., a heavyweight non-participating
+// country for the local-structure ablation).
+func Custom(specs []KeywordSpec, cfg Config) *Truth {
+	cfg = cfg.withDefaults(GoogleTrendsTicks)
+	return generate(specs, cfg, 2004, 7)
+}
+
+// Scalability generates d synthetic keywords by cycling and perturbing the
+// GoogleTrends scripts — the workload for the Fig. 10 sweeps.
+func Scalability(d int, cfg Config) *Truth {
+	base := googleTrendsSpecs()
+	specs := make([]KeywordSpec, d)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1e))
+	for i := range specs {
+		s := base[i%len(base)]
+		s.Name = fmt.Sprintf("%s/%d", s.Name, i/len(base))
+		s.Volume *= 0.6 + rng.Float64()
+		specs[i] = s
+	}
+	cfg = cfg.withDefaults(GoogleTrendsTicks)
+	return generate(specs, cfg, 2004, 7)
+}
+
+// generate renders the scripted keyword worlds into a tensor.
+func generate(specs []KeywordSpec, cfg Config, startYear, tickDays int) *Truth {
+	countries := world.Countries()[:cfg.Locations]
+	codes := make([]string, len(countries))
+	for j, c := range countries {
+		codes[j] = c.Code
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	x := tensor.New(names, codes, cfg.Ticks)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for i, spec := range specs {
+		shares := countryShares(countries, spec.EnglishBias, rng)
+		for j, c := range countries {
+			params := core.KeywordParams{
+				N:    spec.Volume * shares[j],
+				Beta: spec.Beta, Delta: spec.Delta, Gamma: spec.Gamma,
+				I0: spec.I0, TEta: core.NoGrowth,
+			}
+			rate := -1.0
+			if spec.Growth != nil && spec.Growth.Start < cfg.Ticks {
+				params.TEta = spec.Growth.Start
+				params.Eta0 = spec.Growth.Rate
+				// Per-country growth-rate variation (R_L in the model).
+				rate = spec.Growth.Rate * (0.6 + 0.8*rng.Float64())
+			}
+			eps := epsilonForCountry(spec.Events, c, cfg.Ticks, rng)
+			sim := core.Simulate(&params, cfg.Ticks, eps, rate)
+			peak := 0.0
+			for _, v := range sim {
+				if v > peak {
+					peak = v
+				}
+			}
+			for t := 0; t < cfg.Ticks; t++ {
+				v := sim[t] + rng.NormFloat64()*cfg.Noise*peak
+				if v < 0 {
+					v = 0
+				}
+				x.Set(i, j, t, v)
+			}
+		}
+	}
+	return &Truth{Tensor: x, Keywords: specs, StartYear: startYear, TickDays: tickDays}
+}
+
+// countryShares distributes a keyword's volume across countries by registry
+// weight, skewed by English affinity and jittered deterministically.
+func countryShares(countries []world.Country, englishBias float64, rng *rand.Rand) []float64 {
+	shares := make([]float64, len(countries))
+	total := 0.0
+	for j, c := range countries {
+		w := c.Weight
+		if englishBias > 0 {
+			w *= math.Pow(math.Max(c.English, 0.02), englishBias)
+		}
+		w *= 0.7 + 0.6*rng.Float64() // idiosyncratic interest
+		shares[j] = w
+		total += w
+	}
+	for j := range shares {
+		shares[j] /= total
+	}
+	return shares
+}
+
+// epsilonForCountry builds the susceptibility profile ε(t) for one country
+// from the event scripts.
+func epsilonForCountry(events []EventSpec, c world.Country, n int, rng *rand.Rand) []float64 {
+	eps := make([]float64, n)
+	for t := range eps {
+		eps[t] = 1
+	}
+	for _, e := range events {
+		if skipCountry(e.Skip, c.Code) {
+			continue
+		}
+		mult := 1.0
+		if e.EnglishBias > 0 {
+			mult = math.Pow(math.Max(c.English, 0.02), e.EnglishBias)
+		}
+		mult *= 0.8 + 0.4*rng.Float64()
+		occ := 0
+		for start := e.Start; start < n; start += max(e.Period, 1) {
+			if e.Occurrences > 0 && occ >= e.Occurrences {
+				break
+			}
+			for t := start; t < start+e.Width && t < n; t++ {
+				if t >= 0 {
+					eps[t] += e.Strength * mult
+				}
+			}
+			occ++
+			if e.Period <= 0 {
+				break
+			}
+		}
+	}
+	return eps
+}
+
+func skipCountry(skip []string, code string) bool {
+	for _, s := range skip {
+		if s == code {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,260 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"dspot/internal/stats"
+	"dspot/internal/tensor"
+	"dspot/internal/world"
+)
+
+func TestGoogleTrendsShape(t *testing.T) {
+	truth := GoogleTrends(Config{Locations: 40, Ticks: 200, Seed: 7})
+	x := truth.Tensor
+	if x.D() != 8 {
+		t.Fatalf("d = %d, want 8 keywords", x.D())
+	}
+	if x.L() != 40 || x.N() != 200 {
+		t.Fatalf("dims (%d,%d), want (40,200)", x.L(), x.N())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if truth.StartYear != 2004 || truth.TickDays != 7 {
+		t.Fatalf("calendar mapping %d/%d", truth.StartYear, truth.TickDays)
+	}
+}
+
+func TestGoogleTrendsDefaults(t *testing.T) {
+	truth := GoogleTrends(Config{Seed: 1, Locations: 5, Ticks: 60})
+	if truth.Tensor.L() != 5 {
+		t.Fatal("locations override ignored")
+	}
+	full := GoogleTrends(Config{Seed: 1, Ticks: 30})
+	if full.Tensor.L() != world.Count() {
+		t.Fatalf("default locations %d, want %d", full.Tensor.L(), world.Count())
+	}
+}
+
+func TestGoogleTrendsDeterministic(t *testing.T) {
+	a := GoogleTrends(Config{Locations: 10, Ticks: 100, Seed: 42})
+	b := GoogleTrends(Config{Locations: 10, Ticks: 100, Seed: 42})
+	for i := 0; i < a.Tensor.D(); i++ {
+		for j := 0; j < a.Tensor.L(); j++ {
+			for tt := 0; tt < a.Tensor.N(); tt++ {
+				if a.Tensor.At(i, j, tt) != b.Tensor.At(i, j, tt) {
+					t.Fatalf("not deterministic at (%d,%d,%d)", i, j, tt)
+				}
+			}
+		}
+	}
+	c := GoogleTrends(Config{Locations: 10, Ticks: 100, Seed: 43})
+	diff := false
+	for tt := 0; tt < 100 && !diff; tt++ {
+		if a.Tensor.At(0, 0, tt) != c.Tensor.At(0, 0, tt) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestHarryPotterHasBiennialSpikes(t *testing.T) {
+	truth := GoogleTrends(Config{Locations: 60, Seed: 3})
+	x := truth.Tensor
+	i, err := x.KeywordIndex("harry potter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := x.Global(i)
+	// July releases are scripted biennially from mid-2005; the series must
+	// show strong spikes at ~tick 78 and ~tick 182.
+	base := stats.Quantile(g, 0.5)
+	for _, tick := range []int{weekOf(2005, 7), weekOf(2007, 7), weekOf(2009, 7)} {
+		window := g[tick : tick+4]
+		if stats.Max(window) < base*2 {
+			t.Fatalf("no July spike near tick %d: max %g base %g", tick, stats.Max(window), base)
+		}
+	}
+	// After the 2011 finale there are no further July spikes.
+	late := g[weekOf(2013, 6):weekOf(2013, 9)]
+	if stats.Max(late) > base*2 {
+		t.Fatalf("franchise should have ended: 2013 July max %g base %g", stats.Max(late), base)
+	}
+}
+
+func TestAmazonGrowthEffect(t *testing.T) {
+	truth := GoogleTrends(Config{Locations: 30, Seed: 5})
+	x := truth.Tensor
+	i, err := x.KeywordIndex("amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := x.Global(i)
+	before := stats.Mean(g[250:340])
+	after := stats.Mean(g[450:560])
+	if after < before*1.3 {
+		t.Fatalf("growth effect missing: before %g after %g", before, after)
+	}
+}
+
+func TestEbolaOutliersDoNotReact(t *testing.T) {
+	truth := GoogleTrends(Config{Seed: 2})
+	x := truth.Tensor
+	i, err := x.KeywordIndex("ebola")
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := weekOf(2014, 8)
+	for _, code := range []string{"LA", "NP", "CG"} {
+		j, err := x.LocationIndex(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := x.Local(i, j)
+		pre := stats.Mean(seq[:burst])
+		peak := stats.Max(seq[burst : burst+10])
+		if pre > 0 && peak > pre*4 {
+			t.Fatalf("outlier %s reacted to the burst: pre %g peak %g", code, pre, peak)
+		}
+	}
+	// The US must react strongly.
+	j, _ := x.LocationIndex("US")
+	seq := x.Local(i, j)
+	pre := stats.Mean(seq[:burst])
+	peak := stats.Max(seq[burst : burst+10])
+	if peak < pre*3 {
+		t.Fatalf("US did not react: pre %g peak %g", pre, peak)
+	}
+}
+
+func TestGoogleTrendsKeyword(t *testing.T) {
+	truth, err := GoogleTrendsKeyword("grammy", Config{Locations: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Tensor.D() != 1 || truth.Tensor.Keywords[0] != "grammy" {
+		t.Fatalf("keywords %v", truth.Tensor.Keywords)
+	}
+	if _, err := GoogleTrendsKeyword("nonexistent", Config{}); err == nil {
+		t.Fatal("unknown keyword accepted")
+	}
+	names := GoogleTrendsKeywordNames()
+	if len(names) != 8 {
+		t.Fatalf("%d scripted keywords, want 8", len(names))
+	}
+}
+
+func TestGrammyAnnualPeriodicity(t *testing.T) {
+	truth, err := GoogleTrendsKeyword("grammy", Config{Locations: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := truth.Tensor.Global(0)
+	r := stats.Autocorrelation(g, 52)
+	if r < 0.25 {
+		t.Fatalf("grammy annual autocorrelation %g too weak", r)
+	}
+}
+
+func TestTwitterShape(t *testing.T) {
+	truth := Twitter(8, Config{Locations: 15, Seed: 11})
+	x := truth.Tensor
+	if x.D() != 10 {
+		t.Fatalf("d = %d, want 2 scripted + 8 extra", x.D())
+	}
+	if x.N() != TwitterTicks {
+		t.Fatalf("n = %d, want %d", x.N(), TwitterTicks)
+	}
+	if _, err := x.KeywordIndex("#apple"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.KeywordIndex("#backtoschool"); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwitterAppleSpike(t *testing.T) {
+	truth := Twitter(0, Config{Locations: 25, Seed: 12})
+	x := truth.Tensor
+	i, _ := x.KeywordIndex("#apple")
+	g := x.Global(i)
+	base := stats.Quantile(g, 0.5)
+	peak := stats.Max(g[124:132]) // iPhone 4S window
+	if peak < base*2 {
+		t.Fatalf("#apple launch spike missing: peak %g base %g", peak, base)
+	}
+}
+
+func TestMemeTrackerShape(t *testing.T) {
+	truth := MemeTracker(5, Config{Locations: 10, Seed: 13})
+	x := truth.Tensor
+	if x.D() != 7 || x.N() != MemeTrackerTicks {
+		t.Fatalf("dims (%d, %d)", x.D(), x.N())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemeRisesAndFalls(t *testing.T) {
+	truth := MemeTracker(0, Config{Locations: 20, Seed: 14})
+	x := truth.Tensor
+	i, _ := x.KeywordIndex("joe satriani viva la vida statement")
+	g := x.Global(i)
+	peakVal, peakAt := tensor.MaxSeq(g)
+	if peakAt < 60 || peakAt > 75 {
+		t.Fatalf("satriani peak at %d, want early December window", peakAt)
+	}
+	if g[len(g)-1] > peakVal*0.5 {
+		t.Fatalf("meme did not decay: end %g peak %g", g[len(g)-1], peakVal)
+	}
+}
+
+func TestScalabilityDimensions(t *testing.T) {
+	truth := Scalability(13, Config{Locations: 12, Ticks: 80, Seed: 15})
+	if truth.Tensor.D() != 13 {
+		t.Fatalf("d = %d, want 13", truth.Tensor.D())
+	}
+	seen := map[string]bool{}
+	for _, k := range truth.Tensor.Keywords {
+		if seen[k] {
+			t.Fatalf("duplicate keyword name %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestWeekOf(t *testing.T) {
+	if weekOf(2004, 1) != 0 {
+		t.Fatalf("weekOf(2004,1) = %d", weekOf(2004, 1))
+	}
+	if weekOf(2005, 1) != 52 {
+		t.Fatalf("weekOf(2005,1) = %d", weekOf(2005, 1))
+	}
+	if w := weekOf(2008, 11); w < 247 || w > 255 {
+		t.Fatalf("weekOf(2008,11) = %d", w)
+	}
+}
+
+func TestNoiseScalesWithConfig(t *testing.T) {
+	quiet := GoogleTrends(Config{Locations: 5, Ticks: 150, Seed: 20, Noise: 0.001})
+	loud := GoogleTrends(Config{Locations: 5, Ticks: 150, Seed: 20, Noise: 0.2})
+	// Same ground truth, different noise: the loud tensor deviates more
+	// from its smoothed self.
+	gq := quiet.Tensor.Global(0)
+	gl := loud.Tensor.Global(0)
+	dq := stats.RMSE(gq, tensor.Smooth(gq, 2))
+	dl := stats.RMSE(gl, tensor.Smooth(gl, 2))
+	if dl < dq {
+		t.Fatalf("noise config ineffective: quiet %g loud %g", dq, dl)
+	}
+	if math.IsNaN(dq) || math.IsNaN(dl) {
+		t.Fatal("NaN in generated data")
+	}
+}

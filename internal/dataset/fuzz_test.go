@@ -1,0 +1,89 @@
+package dataset
+
+// Native fuzz targets for the two CSV parsers: whatever bytes arrive, the
+// parsers must return a structurally valid tensor or an error — never
+// panic, and never hand back a tensor that fails its own Validate.
+// Run with: go test -fuzz=FuzzReadCSV ./internal/dataset (seeds run in
+// normal `go test` mode).
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("keyword,location,tick,count\na,US,0,1\n")
+	f.Add("keyword,location,tick,count\na,US,0,\na,US,1,2.5\nb,JP,0,3\n")
+	f.Add("keyword,location,tick,count\n")
+	f.Add("keyword,location,tick,count\na,US,-1,1\n")
+	f.Add("keyword,location,tick,count\na,US,0,-3\n")
+	f.Add("keyword,location,tick,count\na,US,notanint,1\n")
+	f.Add("not,a,header\n")
+	f.Add("")
+	f.Add("keyword,location,tick,count\n\"quoted,keyword\",US,0,1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		x, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if x == nil {
+			t.Fatal("nil tensor without error")
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("parser produced invalid tensor: %v", err)
+		}
+		if x.D() < 1 || x.L() < 1 || x.N() < 1 {
+			t.Fatalf("degenerate dimensions (%d,%d,%d)", x.D(), x.L(), x.N())
+		}
+	})
+}
+
+func FuzzReadWideCSV(f *testing.F) {
+	f.Add("week,US,JP\n2004-01,3,4\n")
+	f.Add("week,US\nx,\n")
+	f.Add("week,US,US\nx,1,2\n")
+	f.Add("week\nx\n")
+	f.Add("")
+	f.Add("week,US\nx,1\ny\n")
+	f.Add("week,US\nx,-1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		x, err := ReadWideCSV(strings.NewReader(input), "kw")
+		if err != nil {
+			return
+		}
+		if x == nil {
+			t.Fatal("nil tensor without error")
+		}
+		if err := x.Validate(); err != nil {
+			t.Fatalf("parser produced invalid tensor: %v", err)
+		}
+		if x.D() != 1 {
+			t.Fatalf("wide parse should yield one keyword, got %d", x.D())
+		}
+	})
+}
+
+func FuzzReadModel(f *testing.F) {
+	f.Add(`{"keywords":["a"],"locations":["US"],"ticks":10,"global":[{"N":1,"TEta":-1}]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+	f.Add(`{"keywords":["a"],"locations":["US"],"ticks":10,"global":[{"N":1}],
+	       "shocks":[{"Keyword":0,"Period":5,"Start":1,"Width":2,"Strength":[1,2]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadModel(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("nil model without error")
+		}
+		if len(m.Global) != len(m.Keywords) {
+			t.Fatal("accepted model with keyword/param mismatch")
+		}
+		for _, s := range m.Shocks {
+			if s.Keyword < 0 || s.Keyword >= len(m.Keywords) {
+				t.Fatal("accepted dangling shock keyword")
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"dspot/internal/tensor"
+)
+
+// Wide CSV: the shape real trend exports come in — one file per keyword,
+// one row per time-tick, one column per location:
+//
+//	week,US,JP,GB
+//	2004-01-04,36,10,22
+//	2004-01-11,34,9,
+//
+// The first column is an opaque time label (kept only for ordering); empty
+// cells are missing observations.
+
+// ReadWideCSV parses a wide-format file into a single-keyword tensor. The
+// keyword name is supplied by the caller (wide files do not carry it).
+func ReadWideCSV(r io.Reader, keyword string) (*tensor.Tensor, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading wide header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: wide header needs a time column and at least one location")
+	}
+	locations := header[1:]
+	seen := map[string]bool{}
+	for _, loc := range locations {
+		if loc == "" {
+			return nil, fmt.Errorf("dataset: empty location column name")
+		}
+		if seen[loc] {
+			return nil, fmt.Errorf("dataset: duplicate location column %q", loc)
+		}
+		seen[loc] = true
+	}
+
+	var rows [][]float64
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, header has %d",
+				line, len(rec), len(header))
+		}
+		row := make([]float64, len(locations))
+		for c, raw := range rec[1:] {
+			if raw == "" {
+				row[c] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d, column %q: bad count %q",
+					line, locations[c], raw)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d, column %q: negative count %g",
+					line, locations[c], v)
+			}
+			row[c] = v
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: wide file has no data rows")
+	}
+
+	x := tensor.New([]string{keyword}, locations, len(rows))
+	for t, row := range rows {
+		for j, v := range row {
+			x.Set(0, j, t, v)
+		}
+	}
+	return x, nil
+}
+
+// WriteWideCSV writes keyword i of the tensor in wide format. Tick labels
+// are the integer tick indices.
+func WriteWideCSV(w io.Writer, x *tensor.Tensor, keyword int) error {
+	if keyword < 0 || keyword >= x.D() {
+		return fmt.Errorf("dataset: keyword index %d out of range", keyword)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"tick"}, x.Locations...)); err != nil {
+		return err
+	}
+	rec := make([]string, x.L()+1)
+	for t := 0; t < x.N(); t++ {
+		rec[0] = strconv.Itoa(t)
+		for j := 0; j < x.L(); j++ {
+			v := x.At(keyword, j, t)
+			if tensor.IsMissing(v) {
+				rec[j+1] = ""
+				continue
+			}
+			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MergeKeywordTensors stacks single-keyword tensors (e.g., from several
+// wide files) into one multi-keyword tensor. All inputs must share the
+// same location axis and duration.
+func MergeKeywordTensors(parts []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: nothing to merge")
+	}
+	base := parts[0]
+	var keywords []string
+	for _, p := range parts {
+		if p.L() != base.L() || p.N() != base.N() {
+			return nil, fmt.Errorf("dataset: merge shape mismatch: (%d,%d) vs (%d,%d)",
+				p.L(), p.N(), base.L(), base.N())
+		}
+		for j, loc := range p.Locations {
+			if loc != base.Locations[j] {
+				return nil, fmt.Errorf("dataset: merge location mismatch at %d: %q vs %q",
+					j, loc, base.Locations[j])
+			}
+		}
+		keywords = append(keywords, p.Keywords...)
+	}
+	seen := map[string]bool{}
+	for _, k := range keywords {
+		if seen[k] {
+			return nil, fmt.Errorf("dataset: duplicate keyword %q in merge", k)
+		}
+		seen[k] = true
+	}
+	out := tensor.New(keywords, base.Locations, base.N())
+	row := 0
+	for _, p := range parts {
+		for i := 0; i < p.D(); i++ {
+			copy(out.Local(row, 0), p.Local(i, 0))
+			for j := 0; j < p.L(); j++ {
+				copy(out.Local(row, j), p.Local(i, j))
+			}
+			row++
+		}
+	}
+	return out, nil
+}

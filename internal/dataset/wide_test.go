@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dspot/internal/tensor"
+)
+
+func TestReadWideCSV(t *testing.T) {
+	in := "week,US,JP,GB\n2004-01-04,36,10,22\n2004-01-11,34,9,\n"
+	x, err := ReadWideCSV(strings.NewReader(in), "olympics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.D() != 1 || x.Keywords[0] != "olympics" {
+		t.Fatalf("keywords %v", x.Keywords)
+	}
+	if x.L() != 3 || x.N() != 2 {
+		t.Fatalf("dims (%d,%d)", x.L(), x.N())
+	}
+	if x.At(0, 0, 0) != 36 || x.At(0, 1, 1) != 9 {
+		t.Fatal("values misplaced")
+	}
+	if !tensor.IsMissing(x.At(0, 2, 1)) {
+		t.Fatal("empty cell should be missing")
+	}
+}
+
+func TestReadWideCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"week\n",
+		"week,US,US\n2004,1,2\n",
+		"week,,JP\n2004,1,2\n",
+		"week,US\n2004,notanumber\n",
+		"week,US\n2004,-1\n",
+		"week,US,JP\n2004,1\n",
+		"week,US\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadWideCSV(strings.NewReader(c), "k"); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteWideCSVRoundTrip(t *testing.T) {
+	x := tensor.New([]string{"k"}, []string{"US", "JP"}, 3)
+	x.Set(0, 0, 0, 5)
+	x.Set(0, 1, 1, tensor.Missing)
+	x.Set(0, 1, 2, 7.5)
+	var buf bytes.Buffer
+	if err := WriteWideCSV(&buf, x, 0); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadWideCSV(&buf, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		for tt := 0; tt < 3; tt++ {
+			a, b := x.At(0, j, tt), y.At(0, j, tt)
+			if tensor.IsMissing(a) != tensor.IsMissing(b) {
+				t.Fatalf("missing mismatch at (%d,%d)", j, tt)
+			}
+			if !tensor.IsMissing(a) && a != b {
+				t.Fatalf("value mismatch at (%d,%d)", j, tt)
+			}
+		}
+	}
+}
+
+func TestWriteWideCSVBadKeyword(t *testing.T) {
+	x := tensor.New([]string{"k"}, []string{"US"}, 1)
+	if err := WriteWideCSV(&bytes.Buffer{}, x, 5); err == nil {
+		t.Fatal("bad keyword index accepted")
+	}
+}
+
+func TestMergeKeywordTensors(t *testing.T) {
+	a := tensor.New([]string{"k1"}, []string{"US", "JP"}, 2)
+	a.Set(0, 0, 0, 1)
+	b := tensor.New([]string{"k2"}, []string{"US", "JP"}, 2)
+	b.Set(0, 1, 1, 9)
+	merged, err := MergeKeywordTensors([]*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.D() != 2 {
+		t.Fatalf("merged d = %d", merged.D())
+	}
+	if merged.At(0, 0, 0) != 1 || merged.At(1, 1, 1) != 9 {
+		t.Fatal("merged values misplaced")
+	}
+}
+
+func TestMergeKeywordTensorsErrors(t *testing.T) {
+	if _, err := MergeKeywordTensors(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	a := tensor.New([]string{"k1"}, []string{"US"}, 2)
+	b := tensor.New([]string{"k2"}, []string{"US"}, 3)
+	if _, err := MergeKeywordTensors([]*tensor.Tensor{a, b}); err == nil {
+		t.Fatal("duration mismatch accepted")
+	}
+	c := tensor.New([]string{"k2"}, []string{"JP"}, 2)
+	if _, err := MergeKeywordTensors([]*tensor.Tensor{a, c}); err == nil {
+		t.Fatal("location mismatch accepted")
+	}
+	d := tensor.New([]string{"k1"}, []string{"US"}, 2)
+	if _, err := MergeKeywordTensors([]*tensor.Tensor{a, d}); err == nil {
+		t.Fatal("duplicate keyword accepted")
+	}
+}

@@ -1,0 +1,325 @@
+package experiments
+
+// Ablations of Δ-SPOT's design choices beyond the paper's own Fig. 4
+// (growth/shock ablation). DESIGN.md calls out three decisions the fitter
+// depends on; each gets a measurable study:
+//
+//   - the cyclic shock class (AblationCycles): restricted to one-shot
+//     shocks, the model needs many more parameters to cover a periodic
+//     series and loses the ability to forecast future occurrences;
+//   - the MDL acceptance gate (AblationMDL): accepting every candidate
+//     shock overfits — training error shrinks but held-out error grows;
+//   - multi-layer fitting (AblationLocal): fitting locals as scaled copies
+//     of the global curve (FUNNEL-style) misses area-specific structure.
+
+import (
+	"fmt"
+	"strings"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/funnel"
+	"dspot/internal/stats"
+)
+
+// AblationCyclesResult compares the full model against a cycles-disabled
+// variant on a strongly periodic series.
+type AblationCyclesResult struct {
+	FullShocks     int     // shocks discovered with the cyclic class
+	NoCycShocks    int     // shocks discovered without it
+	FullFitRMSE    float64 // training fit
+	NoCycFitRMSE   float64
+	FullFcstRMSE   float64 // forecast of the held-out tail
+	NoCycFcstRMSE  float64
+	FlatFcstRMSE   float64
+	FullpredEvents int // predicted future occurrences (no-cycles is always 0)
+}
+
+func (r AblationCyclesResult) String() string {
+	return fmt.Sprintf(
+		"Ablation: cyclic shock class (grammy, train/test split)\n"+
+			"  full model : %d shocks, fit RMSE %.3f, forecast RMSE %.3f, %d predicted events\n"+
+			"  no cycles  : %d shocks, fit RMSE %.3f, forecast RMSE %.3f, 0 predicted events\n"+
+			"  flat mean  : forecast RMSE %.3f\n",
+		r.FullShocks, r.FullFitRMSE, r.FullFcstRMSE, r.FullpredEvents,
+		r.NoCycShocks, r.NoCycFitRMSE, r.NoCycFcstRMSE, r.FlatFcstRMSE)
+}
+
+// AblationCycles runs the cyclic-class ablation on the Grammy series.
+func AblationCycles(cfg Config, trainTicks int) (AblationCyclesResult, error) {
+	gen := cfg.gen()
+	gen.Ticks = 0
+	truth, err := datagen.GoogleTrendsKeyword("grammy", gen)
+	if err != nil {
+		return AblationCyclesResult{}, err
+	}
+	obs := truth.Tensor.Global(0)
+	if trainTicks <= 0 || trainTicks >= len(obs)-52 {
+		trainTicks = 400
+	}
+	train, test := obs[:trainTicks], obs[trainTicks:]
+
+	res := AblationCyclesResult{FlatFcstRMSE: flatRMSE(train, test)}
+
+	fullOpts := core.FitOptions{Workers: cfg.Workers}
+	full, err := core.FitGlobalSequence(train, 0, fullOpts)
+	if err != nil {
+		return res, err
+	}
+	fm := &core.Model{Keywords: []string{"grammy"}, Ticks: trainTicks,
+		Global: []core.KeywordParams{full.Params}, Shocks: full.Shocks}
+	res.FullShocks = len(full.Shocks)
+	res.FullFitRMSE = stats.RMSE(train, fm.SimulateGlobal(0, trainTicks))
+	res.FullFcstRMSE = stats.RMSE(test, fm.ForecastGlobal(0, len(test)))
+	res.FullpredEvents = len(fm.PredictedEvents(0, len(test)))
+
+	nocOpts := core.FitOptions{Workers: cfg.Workers, DisableCycles: true}
+	noc, err := core.FitGlobalSequence(train, 0, nocOpts)
+	if err != nil {
+		return res, err
+	}
+	nm := &core.Model{Keywords: []string{"grammy"}, Ticks: trainTicks,
+		Global: []core.KeywordParams{noc.Params}, Shocks: noc.Shocks}
+	res.NoCycShocks = len(noc.Shocks)
+	res.NoCycFitRMSE = stats.RMSE(train, nm.SimulateGlobal(0, trainTicks))
+	res.NoCycFcstRMSE = stats.RMSE(test, nm.ForecastGlobal(0, len(test)))
+	return res, nil
+}
+
+// AblationMDLResult compares MDL-gated shock acceptance against accepting
+// every candidate, measured on a train/holdout split of a noisy series.
+type AblationMDLResult struct {
+	GatedShocks    int
+	UngatedShocks  int
+	GatedTrainFit  float64
+	UngatedTrain   float64
+	GatedHoldout   float64 // one-step-style holdout: fit on train, simulate through holdout window
+	UngatedHoldout float64
+}
+
+func (r AblationMDLResult) String() string {
+	return fmt.Sprintf(
+		"Ablation: MDL acceptance gate (noisy amazon series)\n"+
+			"  gated   : %d shocks, train RMSE %.3f, holdout RMSE %.3f\n"+
+			"  ungated : %d shocks, train RMSE %.3f, holdout RMSE %.3f\n",
+		r.GatedShocks, r.GatedTrainFit, r.GatedHoldout,
+		r.UngatedShocks, r.UngatedTrain, r.UngatedHoldout)
+}
+
+// AblationMDL runs the MDL-gate ablation: the ungated fitter is free to
+// spend up to MaxShocks shocks on noise.
+func AblationMDL(cfg Config) (AblationMDLResult, error) {
+	gen := cfg.gen()
+	gen.Ticks = 0
+	gen.Noise = 0.08 // noisy regime: plenty of spurious residual peaks
+	truth, err := datagen.GoogleTrendsKeyword("amazon", gen)
+	if err != nil {
+		return AblationMDLResult{}, err
+	}
+	obs := truth.Tensor.Global(0)
+	split := len(obs) * 7 / 10
+	train, holdout := obs[:split], obs[split:]
+
+	res := AblationMDLResult{}
+	fit := func(acceptAll bool) (int, float64, float64, error) {
+		opts := core.FitOptions{Workers: cfg.Workers, AcceptAllShocks: acceptAll,
+			DisableGrowth: true}
+		r, err := core.FitGlobalSequence(train, 0, opts)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		m := &core.Model{Keywords: []string{"amazon"}, Ticks: split,
+			Global: []core.KeywordParams{r.Params}, Shocks: r.Shocks}
+		trainRMSE := stats.RMSE(train, m.SimulateGlobal(0, split))
+		holdRMSE := stats.RMSE(holdout, m.ForecastGlobal(0, len(holdout)))
+		return len(r.Shocks), trainRMSE, holdRMSE, nil
+	}
+	var err2 error
+	if res.GatedShocks, res.GatedTrainFit, res.GatedHoldout, err2 = fit(false); err2 != nil {
+		return res, err2
+	}
+	if res.UngatedShocks, res.UngatedTrain, res.UngatedHoldout, err2 = fit(true); err2 != nil {
+		return res, err2
+	}
+	return res, nil
+}
+
+// AblationLocalResult compares Δ-SPOT's LocalFit against FUNNEL-style
+// scaled-copy locals on a world with area-specific shock participation.
+// The comparison is split: participants (countries that react to the
+// scripted burst) versus the scripted outliers, because the outlier series
+// are near-noise and a method can "win" there just by underfitting
+// globally.
+type AblationLocalResult struct {
+	DSPOTLocalRMSE    float64 // mean normalised local RMSE, all locations
+	ScaledCopyRMSE    float64
+	DSPOTPartRMSE     float64 // mean over burst participants only
+	ScaledPartRMSE    float64
+	DSPOTOutlierRMSE  float64 // mean over the scripted outliers
+	ScaledOutlierRMSE float64
+	OutlierDetected   bool // did LocalFit zero the outliers' participation?
+}
+
+func (r AblationLocalResult) String() string {
+	return fmt.Sprintf(
+		"Ablation: multi-layer LocalFit vs scaled-copy locals (ebola world)\n"+
+			"  Δ-SPOT LocalFit : local RMSE %.4f (participants %.4f, outliers %.4f; detected: %v)\n"+
+			"  scaled copies   : local RMSE %.4f (participants %.4f, outliers %.4f)\n",
+		r.DSPOTLocalRMSE, r.DSPOTPartRMSE, r.DSPOTOutlierRMSE, r.OutlierDetected,
+		r.ScaledCopyRMSE, r.ScaledPartRMSE, r.ScaledOutlierRMSE)
+}
+
+// ablationOutliers are the non-participating countries in the ablation
+// world: the paper's low-connectivity trio plus Japan — a heavyweight
+// outlier added so the RMSE comparison is measured on a series with real
+// signal, not noise (the scripted trio have tiny volumes).
+var ablationOutliers = []string{"JP", "LA", "NP", "CG"}
+
+// AblationLocal runs the local-structure ablation on an Ebola-like world
+// with one heavyweight non-participating country (Japan). A scaled copy of
+// the global curve is structurally wrong for an outlier — it must either
+// paint a burst onto a country that had none or under-scale its baseline —
+// whereas LocalFit can zero the per-event participation. On the
+// participants the locals are near-proportional copies by construction, so
+// least-squares scaling is the right model class there and that comparison
+// is reported but not asserted.
+func AblationLocal(cfg Config) (AblationLocalResult, error) {
+	spec := datagen.KeywordSpec{
+		Name: "outbreak", Volume: 75,
+		Beta: 0.53, Delta: 0.5, Gamma: 0.4, I0: 0.005,
+		Events: []datagen.EventSpec{
+			{Name: "burst", Period: 0, Start: 450, Width: 6, Strength: 14,
+				Skip: ablationOutliers},
+			{Name: "echo", Period: 0, Start: 458, Width: 2, Strength: 8,
+				Skip: ablationOutliers},
+		},
+	}
+	gen := cfg.gen()
+	gen.Locations = 0
+	gen.Ticks = 0
+	truth := datagen.Custom([]datagen.KeywordSpec{spec}, gen)
+	x := truth.Tensor
+	// Budgeted slice that keeps every outlier.
+	keep := []int{}
+	seen := map[int]bool{}
+	limit := cfg.Locations
+	if limit <= 0 || limit > x.L() {
+		limit = x.L()
+	}
+	for j := 0; j < limit; j++ {
+		keep = append(keep, j)
+		seen[j] = true
+	}
+	for _, code := range ablationOutliers {
+		if j, err := x.LocationIndex(code); err == nil && !seen[j] {
+			keep = append(keep, j)
+			seen[j] = true
+		}
+	}
+	x, err := x.SliceLocations(keep)
+	if err != nil {
+		return AblationLocalResult{}, err
+	}
+
+	m, err := core.Fit(x, core.FitOptions{Workers: cfg.Workers})
+	if err != nil {
+		return AblationLocalResult{}, err
+	}
+
+	obs := x.Global(0)
+	fGlobal, err := funnel.Fit(obs, funnel.Options{})
+	if err != nil {
+		return AblationLocalResult{}, err
+	}
+	locals := make([][]float64, x.L())
+	for j := range locals {
+		locals[j] = x.Local(0, j)
+	}
+	scales := funnel.FitLocal(fGlobal, locals)
+
+	res := AblationLocalResult{}
+	n := x.N()
+	isOutlier := map[string]bool{}
+	for _, code := range ablationOutliers {
+		isOutlier[code] = true
+	}
+	count, partCount, outCount := 0, 0, 0
+	for j := 0; j < x.L(); j++ {
+		peak := stats.Max(locals[j])
+		if peak <= 0 {
+			continue
+		}
+		ds := stats.RMSE(locals[j], m.SimulateLocal(0, j, n)) / peak
+		sc := stats.RMSE(locals[j], funnel.SimulateLocal(fGlobal, scales[j], n)) / peak
+		res.DSPOTLocalRMSE += ds
+		res.ScaledCopyRMSE += sc
+		count++
+		if isOutlier[x.Locations[j]] {
+			res.DSPOTOutlierRMSE += ds
+			res.ScaledOutlierRMSE += sc
+			outCount++
+		} else {
+			res.DSPOTPartRMSE += ds
+			res.ScaledPartRMSE += sc
+			partCount++
+		}
+	}
+	if count > 0 {
+		res.DSPOTLocalRMSE /= float64(count)
+		res.ScaledCopyRMSE /= float64(count)
+	}
+	if partCount > 0 {
+		res.DSPOTPartRMSE /= float64(partCount)
+		res.ScaledPartRMSE /= float64(partCount)
+	}
+	if outCount > 0 {
+		res.DSPOTOutlierRMSE /= float64(outCount)
+		res.ScaledOutlierRMSE /= float64(outCount)
+	}
+
+	// Outlier check: every scripted outlier's maximum participation must be
+	// (near) zero in the fitted shock tensor.
+	res.OutlierDetected = true
+	for _, code := range ablationOutliers {
+		j, err := x.LocationIndex(code)
+		if err != nil {
+			continue
+		}
+		level := 0.0
+		for _, s := range m.ShocksFor(0) {
+			if s.Local == nil {
+				continue
+			}
+			for _, row := range s.Local {
+				if row[j] > level {
+					level = row[j]
+				}
+			}
+		}
+		if level > 0.5 {
+			res.OutlierDetected = false
+		}
+	}
+	return res, nil
+}
+
+// Ablations runs all three studies and concatenates their reports.
+func Ablations(cfg Config) (string, error) {
+	var b strings.Builder
+	cyc, err := AblationCycles(cfg, 0)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(cyc.String())
+	mdl, err := AblationMDL(cfg)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(mdl.String())
+	loc, err := AblationLocal(cfg)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(loc.String())
+	return b.String(), nil
+}

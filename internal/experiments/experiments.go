@@ -1,0 +1,153 @@
+// Package experiments regenerates every figure of the Δ-SPOT paper's
+// evaluation (Figs. 1, 4–11) against the synthetic datasets, printing the
+// same rows/series the paper reports. Each figure is a pure function of a
+// Config, so results are deterministic and directly comparable across runs;
+// EXPERIMENTS.md records paper-vs-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/stats"
+	"dspot/internal/tensor"
+)
+
+// Config sizes an experiment run. Full() reproduces the paper's scale;
+// Small() is a fast configuration used by tests and smoke runs.
+type Config struct {
+	Locations int   // countries for tensor experiments
+	Ticks     int   // duration for GoogleTrends-like data (0 = natural)
+	Seed      int64 // generation seed
+	Workers   int   // fitting concurrency
+}
+
+// Full returns the paper-scale configuration: 232 countries, 576 weeks.
+func Full() Config { return Config{Locations: 232, Ticks: 0, Seed: 1, Workers: 8} }
+
+// Small returns a fast configuration for tests: fewer countries, 5 years.
+func Small() Config { return Config{Locations: 12, Ticks: 280, Seed: 1, Workers: 4} }
+
+func (c Config) gen() datagen.Config {
+	return datagen.Config{Locations: c.Locations, Ticks: c.Ticks, Seed: c.Seed}
+}
+
+func (c Config) fit() core.FitOptions {
+	return core.FitOptions{Workers: c.Workers}
+}
+
+// EventReport describes one detected external shock in presentation form.
+type EventReport struct {
+	Keyword      string
+	Period       int // ticks; 0 = non-cyclic
+	Start        int
+	Width        int
+	MeanStrength float64
+	StartDate    string // calendar form when the dataset has a mapping
+}
+
+// Cyclic reports whether the event recurs.
+func (e EventReport) Cyclic() bool { return e.Period > 0 }
+
+func (e EventReport) String() string {
+	kind := "one-shot"
+	if e.Cyclic() {
+		kind = fmt.Sprintf("every %d ticks", e.Period)
+	}
+	return fmt.Sprintf("%-14s start=%d (%s) width=%d strength=%.2f [%s]",
+		e.Keyword, e.Start, e.StartDate, e.Width, e.MeanStrength, kind)
+}
+
+// FitReport summarises one keyword's global fit.
+type FitReport struct {
+	Keyword   string
+	RMSE      float64
+	Peak      float64 // max of the observed sequence, for scale
+	NRMSE     float64 // RMSE / peak
+	HasGrowth bool
+	GrowthAt  int
+	Events    []EventReport
+}
+
+func (f FitReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s RMSE=%.3f (%.1f%% of peak %.1f)",
+		f.Keyword, f.RMSE, 100*f.NRMSE, f.Peak)
+	if f.HasGrowth {
+		fmt.Fprintf(&b, " growth@%d", f.GrowthAt)
+	}
+	fmt.Fprintf(&b, " events=%d", len(f.Events))
+	return b.String()
+}
+
+// tickDate renders a tick as YYYY-MM for a dataset with a calendar mapping.
+func tickDate(tick, startYear, tickDays int) string {
+	if tickDays <= 0 {
+		return fmt.Sprintf("t=%d", tick)
+	}
+	days := tick * tickDays
+	year := startYear + days/365
+	month := (days%365)/30 + 1
+	if month > 12 {
+		month = 12
+	}
+	return fmt.Sprintf("%04d-%02d", year, month)
+}
+
+// reportFor converts a fitted model's view of keyword i into a FitReport.
+func reportFor(m *core.Model, i int, obs []float64, truth *datagen.Truth) FitReport {
+	est := m.SimulateGlobal(i, m.Ticks)
+	peak := stats.Max(obs)
+	r := FitReport{
+		Keyword:   m.Keywords[i],
+		RMSE:      stats.RMSE(obs, est),
+		Peak:      peak,
+		HasGrowth: m.Global[i].HasGrowth(),
+		GrowthAt:  m.Global[i].TEta,
+	}
+	if peak > 0 {
+		r.NRMSE = r.RMSE / peak
+	}
+	for _, s := range m.ShocksFor(i) {
+		r.Events = append(r.Events, EventReport{
+			Keyword: m.Keywords[i], Period: s.Period, Start: s.Start,
+			Width: s.Width, MeanStrength: s.MeanStrength(),
+			StartDate: tickDate(s.Start, truth.StartYear, truth.TickDays),
+		})
+	}
+	sort.Slice(r.Events, func(a, b int) bool { return r.Events[a].Start < r.Events[b].Start })
+	return r
+}
+
+// timeIt measures wall-clock seconds of f.
+func timeIt(f func()) float64 {
+	t0 := time.Now()
+	f()
+	return time.Since(t0).Seconds()
+}
+
+// flatRMSE is the RMSE of predicting the training mean everywhere — the
+// strawman every method must beat.
+func flatRMSE(train, test []float64) float64 {
+	mean := stats.Mean(train)
+	flat := make([]float64, len(test))
+	for i := range flat {
+		flat[i] = mean
+	}
+	return stats.RMSE(test, flat)
+}
+
+// globalOf extracts keyword i's global sequence from a truth tensor.
+func globalOf(truth *datagen.Truth, name string) ([]float64, int, error) {
+	i, err := truth.Tensor.KeywordIndex(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return truth.Tensor.Global(i), i, nil
+}
+
+var _ = tensor.Missing // keep tensor import for helpers added below

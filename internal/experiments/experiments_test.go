@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTickDate(t *testing.T) {
+	if got := tickDate(0, 2004, 7); got != "2004-01" {
+		t.Fatalf("tickDate(0) = %q", got)
+	}
+	if got := tickDate(52, 2004, 7); got != "2004-12" && got != "2005-01" {
+		t.Fatalf("tickDate(52) = %q", got)
+	}
+	if got := tickDate(5, 2011, 0); got != "t=5" {
+		t.Fatalf("tickDate without mapping = %q", got)
+	}
+}
+
+func TestSmallAndFullConfigs(t *testing.T) {
+	s, f := Small(), Full()
+	if s.Locations >= f.Locations {
+		t.Fatal("Small should be smaller than Full")
+	}
+	if f.Locations != 232 {
+		t.Fatalf("Full locations = %d, want 232", f.Locations)
+	}
+}
+
+func TestFig1HarryPotter(t *testing.T) {
+	res, err := Fig1(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit.NRMSE > 0.15 {
+		t.Fatalf("Fig1 fit NRMSE %.3f too high", res.Fit.NRMSE)
+	}
+	if len(res.Fit.Events) == 0 {
+		t.Fatal("Fig1 detected no events")
+	}
+	// At least one detected event must be cyclic (the scripted releases).
+	cyclic := false
+	for _, e := range res.Fit.Events {
+		if e.Cyclic() {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatalf("no cyclic event among %v", res.Fit.Events)
+	}
+	if len(res.Reaction) == 0 {
+		t.Fatal("no reaction map")
+	}
+	if !strings.Contains(res.String(), "Fig 1") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestFig4Ablation(t *testing.T) {
+	res, err := Fig4(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full model must fit best, as in the paper's Fig. 4(d).
+	if !(res.RMSEBoth <= res.RMSENone) {
+		t.Fatalf("both=%.3f should beat none=%.3f", res.RMSEBoth, res.RMSENone)
+	}
+	if !(res.RMSEBoth <= res.RMSEGrowthOnly+1e-9 && res.RMSEBoth <= res.RMSEShockOnly+1e-9) {
+		t.Fatalf("both=%.3f should be best: growth=%.3f shock=%.3f",
+			res.RMSEBoth, res.RMSEGrowthOnly, res.RMSEShockOnly)
+	}
+	if !strings.Contains(res.String(), "ablation") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestFig5EightKeywords(t *testing.T) {
+	res, err := Fig5(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 8 {
+		t.Fatalf("%d reports, want 8", len(res.Reports))
+	}
+	for _, r := range res.Reports {
+		if r.NRMSE > 0.25 {
+			t.Fatalf("keyword %q fits poorly: NRMSE %.3f", r.Keyword, r.NRMSE)
+		}
+	}
+}
+
+func TestFig6Twitter(t *testing.T) {
+	res, err := Fig6(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("%d reports, want 2", len(res.Reports))
+	}
+	for _, r := range res.Reports {
+		if r.NRMSE > 0.25 {
+			t.Fatalf("hashtag %q fits poorly: NRMSE %.3f", r.Keyword, r.NRMSE)
+		}
+	}
+}
+
+func TestFig7Memes(t *testing.T) {
+	res, err := Fig7(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("%d reports, want 2", len(res.Reports))
+	}
+	for _, r := range res.Reports {
+		if r.NRMSE > 0.3 {
+			t.Fatalf("meme %q fits poorly: NRMSE %.3f", r.Keyword, r.NRMSE)
+		}
+	}
+}
+
+func TestFig8EbolaOutliers(t *testing.T) {
+	cfg := Small()
+	cfg.Locations = 30 // must include the scripted outliers LA/NP/CG
+	cfg.Ticks = 0      // need the 2014 burst, so use the natural duration
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Similar) == 0 {
+		t.Fatal("no similar countries found")
+	}
+	similar := strings.Join(res.Similar, " ")
+	if !strings.Contains(similar, "US") {
+		t.Fatalf("US missing from similar set: %s", similar)
+	}
+	outliers := strings.Join(res.Outliers, " ")
+	for _, code := range []string{"LA", "NP", "CG"} {
+		if !strings.Contains(outliers, code) {
+			t.Fatalf("scripted outlier %s not detected (outliers: %s; similar: %s)",
+				code, outliers, similar)
+		}
+	}
+}
+
+func TestFig9GlobalOrdering(t *testing.T) {
+	res, err := Fig9Global(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := res.Global["D-SPOT"]
+	if !ok {
+		t.Fatal("missing D-SPOT result")
+	}
+	for _, m := range []string{"SIRS", "SKIPS"} {
+		if v, ok := res.Global[m]; ok && ds > v {
+			t.Fatalf("D-SPOT (%.4f) should beat %s (%.4f)", ds, m, v)
+		}
+	}
+	if v, ok := res.Global["FUNNEL"]; ok && ds > v*1.1 {
+		t.Fatalf("D-SPOT (%.4f) should not lose clearly to FUNNEL (%.4f)", ds, v)
+	}
+}
+
+func TestFig10Linearity(t *testing.T) {
+	cfg := Small()
+	cfg.Ticks = 160
+	cfg.Locations = 8
+	sweeps := Fig10Sweeps{
+		Keywords:  []int{1, 2, 3},
+		Locations: []int{2, 4, 8},
+		Ticks:     []int{80, 120, 160},
+	}
+	res, err := Fig10(cfg, sweeps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByKeywords) != 3 || len(res.ByLocations) != 3 || len(res.ByTicks) != 3 {
+		t.Fatalf("sweep sizes wrong: %+v", res)
+	}
+	for _, pts := range [][]ScalePoint{res.ByKeywords, res.ByLocations, res.ByTicks} {
+		for _, p := range pts {
+			if p.Seconds <= 0 {
+				t.Fatalf("non-positive timing %+v", p)
+			}
+		}
+	}
+	// Coarse sanity rather than strict linearity (timing noise): the largest
+	// size must not be more than ~8x the per-unit cost of the smallest.
+	kd := res.ByKeywords
+	perUnitSmall := kd[0].Seconds / float64(kd[0].Size)
+	perUnitLarge := kd[len(kd)-1].Seconds / float64(kd[len(kd)-1].Size)
+	if perUnitLarge > perUnitSmall*8 {
+		t.Fatalf("keyword sweep superlinear: %.4f vs %.4f s/unit", perUnitSmall, perUnitLarge)
+	}
+}
+
+func TestLinearityR2(t *testing.T) {
+	perfect := []ScalePoint{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	if r2 := LinearityR2(perfect); r2 < 0.999 {
+		t.Fatalf("perfect line R² = %g", r2)
+	}
+	if r2 := LinearityR2(perfect[:2]); r2 != 1 {
+		t.Fatalf("degenerate sweep R² = %g", r2)
+	}
+	quad := []ScalePoint{{1, 1}, {2, 4}, {3, 9}, {4, 16}, {5, 25}, {6, 36}, {8, 64}, {10, 100}}
+	if r2 := LinearityR2(quad); r2 > 0.99 {
+		t.Fatalf("quadratic should not look perfectly linear: R² = %g", r2)
+	}
+}
+
+func TestFig11ForecastBeatsBaselines(t *testing.T) {
+	cfg := Small()
+	cfg.Ticks = 0 // full 576 weeks so there is a real forecast horizon
+	res, err := Fig11(cfg, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := res.RMSE["D-SPOT"]
+	if !ok {
+		t.Fatal("missing D-SPOT forecast")
+	}
+	if ds >= res.Flat {
+		t.Fatalf("D-SPOT (%.3f) does not beat flat-mean (%.3f)", ds, res.Flat)
+	}
+	// The paper's qualitative claim: AR and TBATS fail to forecast the
+	// future spikes; Δ-SPOT should beat every baseline.
+	for name, v := range res.RMSE {
+		if name == "D-SPOT" {
+			continue
+		}
+		if ds > v {
+			t.Fatalf("D-SPOT (%.3f) loses to %s (%.3f)", ds, name, v)
+		}
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no predicted future events")
+	}
+	if !strings.Contains(res.String(), "Grammy") {
+		t.Fatal("String() malformed")
+	}
+}

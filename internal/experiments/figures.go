@@ -1,0 +1,407 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/stats"
+)
+
+// CountryReaction is one row of a "world-wide reaction" map: the reaction
+// level of a country to a particular shock occurrence.
+type CountryReaction struct {
+	Code  string
+	Level float64
+}
+
+// Fig1Result reproduces Fig. 1: the "Harry Potter" global fit with its
+// detected cyclic/non-cyclic events, and the world-wide reaction to the
+// franchise-finale occurrence.
+type Fig1Result struct {
+	Fit      FitReport
+	Obs, Est []float64
+	Reaction []CountryReaction // sorted by descending level
+}
+
+func (r Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 1 — %s\n", r.Fit)
+	for _, e := range r.Fit.Events {
+		fmt.Fprintf(&b, "  event: %s\n", e)
+	}
+	top := r.Reaction
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	fmt.Fprintf(&b, "  top reacting countries:")
+	for _, c := range top {
+		fmt.Fprintf(&b, " %s=%.2f", c.Code, c.Level)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// Fig1 runs the Harry Potter experiment.
+func Fig1(cfg Config) (Fig1Result, error) {
+	truth, err := datagen.GoogleTrendsKeyword("harry potter", cfg.gen())
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	x := truth.Tensor
+	m, err := core.Fit(x, cfg.fit())
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	obs := x.Global(0)
+	res := Fig1Result{
+		Fit: reportFor(m, 0, obs, truth),
+		Obs: obs,
+		Est: m.SimulateGlobal(0, m.Ticks),
+	}
+	res.Reaction = reactionMap(m, x.Locations, lastStrongOccurrence(m))
+	return res, nil
+}
+
+// lastStrongOccurrence picks the (shock, occurrence) with the largest
+// global strength among the latest occurrences — e.g., the series finale.
+func lastStrongOccurrence(m *core.Model) [2]int {
+	best := [2]int{-1, -1}
+	bestVal := -1.0
+	for si, s := range m.Shocks {
+		for occ, v := range s.Strength {
+			if v > bestVal {
+				bestVal = v
+				best = [2]int{si, occ}
+			}
+		}
+	}
+	return best
+}
+
+// reactionMap extracts the per-country participation levels of one shock
+// occurrence, normalised to [0, 1].
+func reactionMap(m *core.Model, codes []string, pick [2]int) []CountryReaction {
+	si, occ := pick[0], pick[1]
+	if si < 0 || si >= len(m.Shocks) {
+		return nil
+	}
+	s := m.Shocks[si]
+	if s.Local == nil || occ >= len(s.Local) {
+		return nil
+	}
+	row := s.Local[occ]
+	max := 0.0
+	for _, v := range row {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]CountryReaction, 0, len(row))
+	for j, v := range row {
+		level := 0.0
+		if max > 0 {
+			level = v / max
+		}
+		out = append(out, CountryReaction{Code: codes[j], Level: level})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Level != out[b].Level {
+			return out[a].Level > out[b].Level
+		}
+		return out[a].Code < out[b].Code
+	})
+	return out
+}
+
+// Fig4Result reproduces Fig. 4: the "Amazon" ablation of growth and shock
+// effects. RMSE per variant; the full model must win and the recovered
+// growth onset should sit near the scripted tick (343 in the paper's
+// footnote for the real data; the generator scripts the same).
+type Fig4Result struct {
+	RMSENone       float64
+	RMSEGrowthOnly float64
+	RMSEShockOnly  float64
+	RMSEBoth       float64
+	GrowthAt       int // recovered onset in the full model (-1 if none)
+	Peak           float64
+}
+
+func (r Fig4Result) String() string {
+	return fmt.Sprintf(
+		"Fig 4 — Amazon ablation (peak %.1f)\n"+
+			"  (a) no growth, no shocks : RMSE=%.3f\n"+
+			"  (b) growth only          : RMSE=%.3f\n"+
+			"  (c) shocks only          : RMSE=%.3f\n"+
+			"  (d) growth + shocks      : RMSE=%.3f (growth onset t=%d)\n",
+		r.Peak, r.RMSENone, r.RMSEGrowthOnly, r.RMSEShockOnly, r.RMSEBoth, r.GrowthAt)
+}
+
+// Fig4 runs the ablation on the Amazon global sequence. The scripted growth
+// onset sits deep in the window (tick 343, per the paper's footnote), so the
+// experiment always uses the dataset's natural duration.
+func Fig4(cfg Config) (Fig4Result, error) {
+	gen := cfg.gen()
+	gen.Ticks = 0
+	truth, err := datagen.GoogleTrendsKeyword("amazon", gen)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	obs := truth.Tensor.Global(0)
+	n := len(obs)
+
+	variants := []struct {
+		name string
+		opts core.FitOptions
+	}{
+		{"none", core.FitOptions{DisableGrowth: true, DisableShocks: true}},
+		{"growth", core.FitOptions{DisableShocks: true}},
+		{"shock", core.FitOptions{DisableGrowth: true}},
+		{"both", core.FitOptions{}},
+	}
+	res := Fig4Result{Peak: stats.Max(obs)}
+	for _, v := range variants {
+		v.opts.Workers = cfg.Workers
+		fit, err := core.FitGlobalSequence(obs, 0, v.opts)
+		if err != nil {
+			return Fig4Result{}, fmt.Errorf("variant %s: %w", v.name, err)
+		}
+		m := &core.Model{Keywords: []string{"amazon"}, Ticks: n,
+			Global: []core.KeywordParams{fit.Params}, Shocks: fit.Shocks}
+		rmse := stats.RMSE(obs, m.SimulateGlobal(0, n))
+		switch v.name {
+		case "none":
+			res.RMSENone = rmse
+		case "growth":
+			res.RMSEGrowthOnly = rmse
+		case "shock":
+			res.RMSEShockOnly = rmse
+		case "both":
+			res.RMSEBoth = rmse
+			res.GrowthAt = fit.Params.TEta
+		}
+	}
+	return res, nil
+}
+
+// Fig5Result reproduces Fig. 5: global fits for the eight trending keywords.
+type Fig5Result struct {
+	Reports []FitReport
+}
+
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 5 — GoogleTrends global fits (8 keywords)")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, "  %s\n", rep)
+	}
+	return b.String()
+}
+
+// Fig5 fits all eight scripted keywords at the global level.
+func Fig5(cfg Config) (Fig5Result, error) {
+	truth := datagen.GoogleTrends(cfg.gen())
+	x := truth.Tensor
+	m, err := core.FitGlobal(x, cfg.fit())
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	var res Fig5Result
+	for i := range x.Keywords {
+		res.Reports = append(res.Reports, reportFor(m, i, x.Global(i), truth))
+	}
+	return res, nil
+}
+
+// Fig6Result reproduces Fig. 6: Twitter hashtag fits.
+type Fig6Result struct {
+	Reports []FitReport
+}
+
+func (r Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 6 — Twitter hashtag fits")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, "  %s\n", rep)
+	}
+	return b.String()
+}
+
+// Fig6 fits the two scripted hashtags (#apple, #backtoschool).
+func Fig6(cfg Config) (Fig6Result, error) {
+	truth := datagen.Twitter(0, datagen.Config{Locations: cfg.Locations, Seed: cfg.Seed})
+	x := truth.Tensor
+	opts := cfg.fit()
+	// Daily resolution: weekly calendar periods do not apply.
+	opts.CalendarPeriods = []int{7, 30, 365}
+	m, err := core.FitGlobal(x, opts)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	var res Fig6Result
+	for i := range x.Keywords {
+		res.Reports = append(res.Reports, reportFor(m, i, x.Global(i), truth))
+	}
+	return res, nil
+}
+
+// Fig7Result reproduces Fig. 7: MemeTracker phrase fits.
+type Fig7Result struct {
+	Reports []FitReport
+}
+
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 7 — MemeTracker meme fits")
+	for _, rep := range r.Reports {
+		fmt.Fprintf(&b, "  %s\n", rep)
+	}
+	return b.String()
+}
+
+// Fig7 fits the two scripted memes.
+func Fig7(cfg Config) (Fig7Result, error) {
+	truth := datagen.MemeTracker(0, datagen.Config{Locations: cfg.Locations, Seed: cfg.Seed})
+	x := truth.Tensor
+	opts := cfg.fit()
+	opts.CalendarPeriods = []int{7, 30}
+	m, err := core.FitGlobal(x, opts)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	var res Fig7Result
+	for i := range x.Keywords {
+		res.Reports = append(res.Reports, reportFor(m, i, x.Global(i), truth))
+	}
+	return res, nil
+}
+
+// Fig8Result reproduces Fig. 8: Ebola local analysis — countries behaving
+// like the global trend versus low-connectivity outliers, plus the reaction
+// map of the 2014 burst.
+type Fig8Result struct {
+	Fit       FitReport
+	Similar   []string // countries tracking the global burst
+	Outliers  []string // countries that did not react
+	Reaction  []CountryReaction
+	LocalRMSE map[string]float64 // per-country local fit RMSE / local peak
+}
+
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 — Ebola local analysis: %s\n", r.Fit)
+	fmt.Fprintf(&b, "  similar to global trend: %s\n", strings.Join(r.Similar, " "))
+	fmt.Fprintf(&b, "  outliers (no reaction) : %s\n", strings.Join(r.Outliers, " "))
+	return b.String()
+}
+
+// fig8Reference lists the countries the paper's Fig. 8 discusses by name:
+// the global-trend followers (AU, RU, GB, US, JP) and the low-connectivity
+// outliers (LA, NP, CG). The experiment always includes them, whatever the
+// configured location budget.
+var fig8Reference = []string{"AU", "RU", "GB", "US", "JP", "LA", "NP", "CG"}
+
+// Fig8 runs the Ebola local experiment.
+func Fig8(cfg Config) (Fig8Result, error) {
+	// Generate at full registry width, then slice to the configured budget
+	// plus the paper's reference countries — a pure top-by-weight slice
+	// would drop the scripted outliers.
+	gen := cfg.gen()
+	gen.Locations = 0
+	gen.Ticks = 0 // the scripted 2014 burst needs the natural duration
+	truth, err := datagen.GoogleTrendsKeyword("ebola", gen)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	x := truth.Tensor
+	keep := make([]int, 0, cfg.Locations+len(fig8Reference))
+	seen := map[int]bool{}
+	for j := 0; j < cfg.Locations && j < x.L(); j++ {
+		keep = append(keep, j)
+		seen[j] = true
+	}
+	for _, code := range fig8Reference {
+		if j, err := x.LocationIndex(code); err == nil && !seen[j] {
+			keep = append(keep, j)
+			seen[j] = true
+		}
+	}
+	x, err = x.SliceLocations(keep)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+
+	m, err := core.Fit(x, cfg.fit())
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	res := Fig8Result{
+		Fit:       reportFor(m, 0, x.Global(0), truth),
+		LocalRMSE: map[string]float64{},
+	}
+	res.Reaction = reactionMapAll(m, x.Locations, 0)
+
+	// Classify: a country is "similar" when it participates in the keyword's
+	// shocks at a noticeable level; an outlier participates at ~zero despite
+	// having observations.
+	for _, cr := range res.Reaction {
+		j, err := x.LocationIndex(cr.Code)
+		if err != nil {
+			continue
+		}
+		est := m.SimulateLocal(0, j, m.Ticks)
+		obs := x.Local(0, j)
+		peak := stats.Max(obs)
+		if peak > 0 {
+			res.LocalRMSE[cr.Code] = stats.RMSE(obs, est) / peak
+		}
+		if cr.Level > 0.1 {
+			res.Similar = append(res.Similar, cr.Code)
+		} else if stats.Max(obs) > 0 {
+			res.Outliers = append(res.Outliers, cr.Code)
+		}
+	}
+	return res, nil
+}
+
+// reactionMapAll aggregates each country's participation over every shock
+// occurrence of the keyword (max local strength), normalised to [0, 1].
+// More robust than a single-occurrence map when strengths saturate.
+func reactionMapAll(m *core.Model, codes []string, keyword int) []CountryReaction {
+	levels := make([]float64, len(codes))
+	for _, s := range m.Shocks {
+		if s.Keyword != keyword || s.Local == nil {
+			continue
+		}
+		for _, row := range s.Local {
+			for j, v := range row {
+				if j < len(levels) && v > levels[j] {
+					levels[j] = v
+				}
+			}
+		}
+	}
+	max := 0.0
+	for _, v := range levels {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]CountryReaction, 0, len(codes))
+	for j, code := range codes {
+		level := 0.0
+		if max > 0 {
+			level = levels[j] / max
+		}
+		out = append(out, CountryReaction{Code: code, Level: level})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Level != out[b].Level {
+			return out[a].Level > out[b].Level
+		}
+		return out[a].Code < out[b].Code
+	})
+	return out
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dspot/internal/arima"
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/stats"
+	"dspot/internal/tbats"
+)
+
+// Fig11Result reproduces Fig. 11: long-range forecasting of the "Grammy"
+// series. The model trains on the first TrainTicks ticks and predicts the
+// remainder; Δ-SPOT is compared against AR with r ∈ {8, 26, 50} and a
+// TBATS-style forecaster. RMSE is over the forecast horizon only; Flat is
+// the predict-the-training-mean strawman.
+type Fig11Result struct {
+	TrainTicks int
+	Horizon    int
+	RMSE       map[string]float64 // method → forecast RMSE
+	Flat       float64
+	Events     []core.PredictedEvent // Δ-SPOT's predicted future occurrences
+	Obs        []float64             // full observed series
+	Forecast   []float64             // Δ-SPOT forecast (aligned to horizon)
+}
+
+func (r Fig11Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 11 — Grammy forecasting (train %d, horizon %d)\n",
+		r.TrainTicks, r.Horizon)
+	fmt.Fprintf(&b, "  flat-mean strawman: RMSE=%.3f\n", r.Flat)
+	for _, m := range []string{"D-SPOT", "AR(8)", "AR(26)", "AR(50)", "TBATS"} {
+		if v, ok := r.RMSE[m]; ok {
+			fmt.Fprintf(&b, "  %-8s RMSE=%.3f\n", m, v)
+		}
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "  predicted event: t=%d width=%d strength=%.2f (every %d)\n",
+			e.Start, e.Width, e.Strength, e.Period)
+	}
+	return b.String()
+}
+
+// Fig11 runs the forecasting comparison. trainTicks <= 0 selects the
+// paper's 400 ticks (clamped to 70%% of the series when shorter).
+func Fig11(cfg Config, trainTicks int) (Fig11Result, error) {
+	gen := cfg.gen()
+	gen.Ticks = 0 // forecasting needs a real horizon past the training cut
+	truth, err := datagen.GoogleTrendsKeyword("grammy", gen)
+	if err != nil {
+		return Fig11Result{}, err
+	}
+	obs := truth.Tensor.Global(0)
+	n := len(obs)
+	if trainTicks <= 0 {
+		trainTicks = 400
+	}
+	if trainTicks >= n-52 {
+		trainTicks = n * 7 / 10
+	}
+	train, test := obs[:trainTicks], obs[trainTicks:]
+	h := len(test)
+
+	res := Fig11Result{
+		TrainTicks: trainTicks, Horizon: h,
+		RMSE: map[string]float64{},
+		Flat: flatRMSE(train, test),
+		Obs:  obs,
+	}
+
+	// Δ-SPOT: fit the training prefix, extrapolate cyclic shocks.
+	fit, err := core.FitGlobalSequence(train, 0, core.FitOptions{Workers: cfg.Workers})
+	if err != nil {
+		return res, err
+	}
+	m := &core.Model{Keywords: []string{"grammy"}, Locations: []string{"WW"},
+		Ticks: trainTicks, Global: []core.KeywordParams{fit.Params}, Shocks: fit.Shocks}
+	res.Forecast = m.ForecastGlobal(0, h)
+	res.RMSE["D-SPOT"] = stats.RMSE(test, res.Forecast)
+	res.Events = m.PredictedEvents(0, h)
+
+	// AR baselines with the paper's regression orders.
+	for _, order := range []int{8, 26, 50} {
+		name := fmt.Sprintf("AR(%d)", order)
+		ar, err := arima.FitAR(train, order)
+		if err != nil {
+			continue
+		}
+		res.RMSE[name] = stats.RMSE(test, ar.Forecast(h))
+	}
+
+	// TBATS baseline.
+	if tb, err := tbats.Fit(train); err == nil {
+		res.RMSE["TBATS"] = stats.RMSE(test, tb.Forecast(h))
+	}
+	return res, nil
+}

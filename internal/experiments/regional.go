@@ -1,0 +1,108 @@
+package experiments
+
+// Regional rollups: the paper renders world maps (Figs. 1b, 8b); a regional
+// summary is the tabular equivalent. The tensor is aggregated into the
+// seven world regions, Δ-SPOT is fitted on the regional axis, and the
+// per-region event participation becomes a compact reaction table.
+
+import (
+	"fmt"
+	"strings"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/stats"
+	"dspot/internal/world"
+)
+
+// RegionReaction is one region's row.
+type RegionReaction struct {
+	Region world.Region
+	Level  float64 // normalised participation in the keyword's events
+	NRMSE  float64 // regional fit quality
+}
+
+// RegionalResult is the rollup for one keyword.
+type RegionalResult struct {
+	Keyword   string
+	Reactions []RegionReaction // in Regions() display order
+}
+
+func (r RegionalResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Regional reaction — %s\n", r.Keyword)
+	for _, row := range r.Reactions {
+		bar := strings.Repeat("#", int(row.Level*30+0.5))
+		fmt.Fprintf(&b, "  %-14s %5.2f %s\n", row.Region, row.Level, bar)
+	}
+	return b.String()
+}
+
+// Regional aggregates the keyword's world into regions and reports each
+// region's participation in the detected events.
+func Regional(cfg Config, keyword string) (RegionalResult, error) {
+	gen := cfg.gen()
+	gen.Locations = 0 // full registry, so regions are fully populated
+	gen.Ticks = 0
+	truth, err := datagen.GoogleTrendsKeyword(keyword, gen)
+	if err != nil {
+		return RegionalResult{}, err
+	}
+	x := truth.Tensor
+
+	groups := world.CodesByRegion()
+	names := make([]string, 0, len(groups))
+	members := make([][]string, 0, len(groups))
+	for _, region := range world.Regions() {
+		names = append(names, string(region))
+		members = append(members, groups[region])
+	}
+	rolled, err := x.AggregateLocations(names, members)
+	if err != nil {
+		return RegionalResult{}, err
+	}
+
+	m, err := core.Fit(rolled, cfg.fit())
+	if err != nil {
+		return RegionalResult{}, err
+	}
+
+	levels := make([]float64, rolled.L())
+	for _, s := range m.ShocksFor(0) {
+		if s.Local == nil {
+			continue
+		}
+		for _, row := range s.Local {
+			for j, v := range row {
+				if v > levels[j] {
+					levels[j] = v
+				}
+			}
+		}
+	}
+	max := 0.0
+	for _, v := range levels {
+		if v > max {
+			max = v
+		}
+	}
+
+	res := RegionalResult{Keyword: keyword}
+	n := rolled.N()
+	for j, region := range world.Regions() {
+		obs := rolled.Local(0, j)
+		peak := stats.Max(obs)
+		nrmse := 0.0
+		if peak > 0 {
+			nrmse = stats.RMSE(obs, m.SimulateLocal(0, j, n)) / peak
+		}
+		level := 0.0
+		if max > 0 {
+			level = levels[j] / max
+		}
+		res.Reactions = append(res.Reactions, RegionReaction{
+			Region: region, Level: level, NRMSE: nrmse,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dspot/internal/world"
+)
+
+func TestRegionalHarryPotter(t *testing.T) {
+	cfg := Small()
+	res, err := Regional(cfg, "harry potter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reactions) != len(world.Regions()) {
+		t.Fatalf("%d regions, want %d", len(res.Reactions), len(world.Regions()))
+	}
+	byRegion := map[world.Region]RegionReaction{}
+	for _, r := range res.Reactions {
+		byRegion[r.Region] = r
+	}
+	// The English-affine regions must react at the top level.
+	na := byRegion[world.NorthAmerica]
+	oc := byRegion[world.Oceania]
+	if na.Level < 0.5 && oc.Level < 0.5 {
+		t.Fatalf("English-affine regions under-react: NA %.2f, Oceania %.2f",
+			na.Level, oc.Level)
+	}
+	// Regional fits must be sane.
+	for _, r := range res.Reactions {
+		if r.NRMSE > 0.35 {
+			t.Fatalf("region %s fit NRMSE %.3f", r.Region, r.NRMSE)
+		}
+		if r.Level < 0 || r.Level > 1 {
+			t.Fatalf("region %s level %g out of range", r.Region, r.Level)
+		}
+	}
+	if !strings.Contains(res.String(), "Regional reaction") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestRegionalUnknownKeyword(t *testing.T) {
+	if _, err := Regional(Small(), "nope"); err == nil {
+		t.Fatal("unknown keyword accepted")
+	}
+}

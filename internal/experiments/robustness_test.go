@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+)
+
+func TestRobustnessCleanDataRecovers(t *testing.T) {
+	cfg := Small()
+	res, err := Robustness(cfg, []float64{0}, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Missing) != 1 || len(res.Noise) != 1 {
+		t.Fatalf("sweep sizes %d/%d", len(res.Missing), len(res.Noise))
+	}
+	clean := res.Missing[0].Score
+	if !clean.PeriodFound {
+		t.Fatal("annual period not recovered on clean data")
+	}
+	if clean.PhaseError > 4 {
+		t.Fatalf("phase error %d on clean data", clean.PhaseError)
+	}
+	if clean.NRMSE > 0.1 {
+		t.Fatalf("clean NRMSE %.3f", clean.NRMSE)
+	}
+	if !strings.Contains(res.String(), "Robustness") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestRobustnessDegradesGracefullyWithMissing(t *testing.T) {
+	cfg := Small()
+	res, err := Robustness(cfg, []float64{0, 0.3}, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30% missing should still recover the annual cycle.
+	if !res.Missing[1].Score.PeriodFound {
+		t.Fatal("annual period lost at 30% missing data")
+	}
+}
+
+func TestRobustnessNoiseSweepMonotonicity(t *testing.T) {
+	cfg := Small()
+	res, err := Robustness(cfg, []float64{0}, []float64{0.01, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, loud := res.Noise[0].Score, res.Noise[1].Score
+	// Fit quality degrades as noise grows, but never catastrophically
+	// relative to the noise floor itself.
+	if loud.NRMSE < quiet.NRMSE {
+		t.Fatalf("noisier data fitted better than quiet: %.3f vs %.3f",
+			loud.NRMSE, quiet.NRMSE)
+	}
+	if !quiet.PeriodFound {
+		t.Fatal("annual period not recovered at low noise")
+	}
+}
+
+func TestScoreRecoveryNoScriptedStructure(t *testing.T) {
+	spec := datagen.KeywordSpec{Name: "flat"}
+	params := core.KeywordParams{N: 1, TEta: core.NoGrowth}
+	obs := make([]float64, 50)
+	score := scoreRecovery(spec, params, nil, obs, 50)
+	if !score.PeriodFound || !score.GrowthFound {
+		t.Fatal("vacuous recovery should pass")
+	}
+	if score.PhaseError != -1 || score.GrowthError != -1 {
+		t.Fatal("inapplicable errors should be -1")
+	}
+}
+
+func TestScoreRecoveryGrowth(t *testing.T) {
+	spec := datagen.KeywordSpec{
+		Name:   "g",
+		Growth: &datagen.GrowthSpec{Start: 100, Rate: 0.3},
+	}
+	params := core.KeywordParams{N: 1, TEta: 110, Eta0: 0.25}
+	obs := make([]float64, 200)
+	score := scoreRecovery(spec, params, nil, obs, 200)
+	if !score.GrowthFound || score.GrowthError != 10 {
+		t.Fatalf("growth score %+v", score)
+	}
+	// Missing growth.
+	params = core.KeywordParams{N: 1, TEta: core.NoGrowth}
+	score = scoreRecovery(spec, params, nil, obs, 200)
+	if score.GrowthFound {
+		t.Fatal("missing growth should not score as found")
+	}
+}
+
+func TestScoreRecoveryPhaseWraps(t *testing.T) {
+	spec := datagen.KeywordSpec{
+		Name: "p",
+		Events: []datagen.EventSpec{
+			{Period: 52, Start: 2, Width: 2, Strength: 5},
+		},
+	}
+	shocks := []core.Shock{{Keyword: 0, Period: 52, Start: 52, Width: 2,
+		Strength: []float64{5, 5}}}
+	params := core.KeywordParams{N: 1, TEta: core.NoGrowth}
+	obs := make([]float64, 200)
+	score := scoreRecovery(spec, params, shocks, obs, 200)
+	if !score.PeriodFound {
+		t.Fatal("period should be found")
+	}
+	// Phase 0 vs scripted phase 2 → error 2 (not 50).
+	if score.PhaseError != 2 {
+		t.Fatalf("wrapped phase error = %d, want 2", score.PhaseError)
+	}
+}

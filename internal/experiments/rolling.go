@@ -1,0 +1,131 @@
+package experiments
+
+// Rolling-origin forecast evaluation: the time-series analogue of
+// cross-validation. Each method trains on a growing prefix and forecasts a
+// fixed horizon; errors are averaged over origins and keywords. This
+// extends the paper's single-split Fig. 11 into a statistically steadier
+// comparison over every scripted keyword.
+
+import (
+	"fmt"
+	"strings"
+
+	"dspot/internal/arima"
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/stats"
+	"dspot/internal/tbats"
+)
+
+// RollingConfig shapes the evaluation.
+type RollingConfig struct {
+	FirstOrigin int // first training-prefix length (default 60% of series)
+	Horizon     int // forecast horizon per origin (default 52)
+	Step        int // origin increment (default = Horizon)
+}
+
+func (c RollingConfig) withDefaults(n int) RollingConfig {
+	if c.Horizon <= 0 {
+		c.Horizon = 52
+	}
+	if c.FirstOrigin <= 0 {
+		c.FirstOrigin = n * 6 / 10
+	}
+	if c.Step <= 0 {
+		c.Step = c.Horizon
+	}
+	return c
+}
+
+// RollingResult aggregates forecast RMSE per method, normalised per
+// (keyword, origin) by the training peak so keywords contribute comparably.
+type RollingResult struct {
+	Origins int
+	Horizon int
+	RMSE    map[string]float64 // method → mean normalised forecast RMSE
+	Count   map[string]int     // method → evaluations aggregated
+}
+
+func (r RollingResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rolling-origin forecasting (%d origins, horizon %d; mean RMSE/peak)\n",
+		r.Origins, r.Horizon)
+	for _, m := range []string{"D-SPOT", "AR(8)", "AR(26)", "AR(50)", "AR(auto)", "TBATS", "flat"} {
+		if v, ok := r.RMSE[m]; ok {
+			fmt.Fprintf(&b, "  %-9s %.4f  (n=%d)\n", m, v, r.Count[m])
+		}
+	}
+	return b.String()
+}
+
+// Rolling runs the evaluation over the given keywords (nil = a bursty
+// trio: harry potter, grammy, olympics — the series where cyclic structure
+// matters for forecasting).
+func Rolling(cfg Config, rc RollingConfig, keywords []string) (RollingResult, error) {
+	if keywords == nil {
+		keywords = []string{"harry potter", "grammy", "olympics"}
+	}
+	res := RollingResult{RMSE: map[string]float64{}, Count: map[string]int{}}
+	add := func(method string, rmse, peak float64) {
+		if peak <= 0 {
+			return
+		}
+		res.RMSE[method] += rmse / peak
+		res.Count[method]++
+	}
+
+	for _, kw := range keywords {
+		gen := cfg.gen()
+		gen.Ticks = 0 // rolling needs the full timeline
+		truth, err := datagen.GoogleTrendsKeyword(kw, gen)
+		if err != nil {
+			return res, err
+		}
+		obs := truth.Tensor.Global(0)
+		n := len(obs)
+		kc := rc.withDefaults(n)
+		if res.Horizon == 0 {
+			res.Horizon = kc.Horizon
+		}
+
+		origins := 0
+		for origin := kc.FirstOrigin; origin+kc.Horizon <= n; origin += kc.Step {
+			origins++
+			train, test := obs[:origin], obs[origin:origin+kc.Horizon]
+			peak := stats.Max(train)
+
+			// Δ-SPOT.
+			if fit, err := core.FitGlobalSequence(train, 0,
+				core.FitOptions{Workers: cfg.Workers}); err == nil {
+				m := &core.Model{Keywords: []string{kw}, Ticks: origin,
+					Global: []core.KeywordParams{fit.Params}, Shocks: fit.Shocks}
+				add("D-SPOT", stats.RMSE(test, m.ForecastGlobal(0, kc.Horizon)), peak)
+			}
+			// AR family.
+			for _, order := range []int{8, 26, 50} {
+				if ar, err := arima.FitAR(train, order); err == nil {
+					add(fmt.Sprintf("AR(%d)", order),
+						stats.RMSE(test, ar.Forecast(kc.Horizon)), peak)
+				}
+			}
+			if ar, _, err := arima.SelectOrder(train, 60); err == nil {
+				add("AR(auto)", stats.RMSE(test, ar.Forecast(kc.Horizon)), peak)
+			}
+			// TBATS.
+			if tb, err := tbats.Fit(train); err == nil {
+				add("TBATS", stats.RMSE(test, tb.Forecast(kc.Horizon)), peak)
+			}
+			// Flat strawman.
+			add("flat", flatRMSE(train, test), peak)
+		}
+		if origins > res.Origins {
+			res.Origins = origins
+		}
+	}
+	for method, total := range res.RMSE {
+		if res.Count[method] > 0 {
+			res.RMSE[method] = total / float64(res.Count[method])
+		}
+	}
+	return res, nil
+}

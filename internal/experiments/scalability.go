@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+)
+
+// ScalePoint is one measurement of a scalability sweep.
+type ScalePoint struct {
+	Size    int     // the varied dimension (d, l, or n)
+	Seconds float64 // wall-clock fitting time
+}
+
+// Fig10Result reproduces Fig. 10: wall-clock fitting cost versus each
+// dimension of the input tensor. Lemma 1 says Δ-SPOT is O(d·l·n); the
+// sweeps should be near-linear, which LinearityR2 quantifies as the R² of
+// a least-squares line through the points.
+type Fig10Result struct {
+	ByKeywords  []ScalePoint // (a) varying d
+	ByLocations []ScalePoint // (b) varying l
+	ByTicks     []ScalePoint // (c) varying n
+}
+
+func (r Fig10Result) String() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig 10 — scalability (wall-clock seconds)")
+	panel := func(name string, pts []ScalePoint) {
+		fmt.Fprintf(&b, "  %s:", name)
+		for _, p := range pts {
+			fmt.Fprintf(&b, " (%d, %.3fs)", p.Size, p.Seconds)
+		}
+		fmt.Fprintf(&b, "  R²(linear)=%.3f\n", LinearityR2(pts))
+	}
+	panel("(a) keywords d ", r.ByKeywords)
+	panel("(b) locations l", r.ByLocations)
+	panel("(c) duration n ", r.ByTicks)
+	return b.String()
+}
+
+// LinearityR2 returns the coefficient of determination of the best
+// least-squares line through the (Size, Seconds) points; 1.0 is perfectly
+// linear. Degenerate sweeps (fewer than 3 points) return 1.
+func LinearityR2(pts []ScalePoint) float64 {
+	if len(pts) < 3 {
+		return 1
+	}
+	n := float64(len(pts))
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x, y := float64(p.Size), p.Seconds
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 1
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	var ssRes, ssTot float64
+	meanY := sy / n
+	for _, p := range pts {
+		pred := slope*float64(p.Size) + intercept
+		ssRes += (p.Seconds - pred) * (p.Seconds - pred)
+		ssTot += (p.Seconds - meanY) * (p.Seconds - meanY)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Fig10Sweeps configures which sizes the three sweeps visit. The zero value
+// picks paper-like sizes scaled to the config.
+type Fig10Sweeps struct {
+	Keywords  []int
+	Locations []int
+	Ticks     []int
+}
+
+func (s Fig10Sweeps) withDefaults(cfg Config) Fig10Sweeps {
+	if s.Keywords == nil {
+		s.Keywords = []int{1, 2, 4, 6, 8}
+	}
+	if s.Locations == nil {
+		l := cfg.Locations
+		s.Locations = []int{l / 8, l / 4, l / 2, 3 * l / 4, l}
+		for i := range s.Locations {
+			if s.Locations[i] < 1 {
+				s.Locations[i] = 1
+			}
+		}
+	}
+	if s.Ticks == nil {
+		n := cfg.Ticks
+		if n <= 0 {
+			n = datagen.GoogleTrendsTicks
+		}
+		s.Ticks = []int{n / 8, n / 4, n / 2, 3 * n / 4, n}
+		for i := range s.Ticks {
+			if s.Ticks[i] < 40 {
+				s.Ticks[i] = 40
+			}
+		}
+	}
+	return s
+}
+
+// Fig10 measures the three sweeps. Workers is forced to 1 so the
+// measurement reflects algorithmic cost rather than parallel speedup.
+func Fig10(cfg Config, sweeps Fig10Sweeps) (Fig10Result, error) {
+	sweeps = sweeps.withDefaults(cfg)
+	serial := cfg
+	serial.Workers = 1
+
+	var res Fig10Result
+	for _, d := range sweeps.Keywords {
+		truth := datagen.Scalability(d, serial.gen())
+		secs := timeIt(func() {
+			if _, err := core.FitGlobal(truth.Tensor, serial.fit()); err != nil {
+				panic(err) // generated data is always fittable
+			}
+		})
+		res.ByKeywords = append(res.ByKeywords, ScalePoint{d, secs})
+	}
+	for _, l := range sweeps.Locations {
+		gen := serial.gen()
+		gen.Locations = l
+		truth := datagen.Scalability(2, gen)
+		// Local fitting dominates the l sweep, as in the paper's Lemma 1.
+		m, err := core.FitGlobal(truth.Tensor, serial.fit())
+		if err != nil {
+			return res, err
+		}
+		secs := timeIt(func() {
+			if err := core.FitLocal(truth.Tensor, m, serial.fit()); err != nil {
+				panic(err)
+			}
+		})
+		res.ByLocations = append(res.ByLocations, ScalePoint{l, secs})
+	}
+	for _, n := range sweeps.Ticks {
+		gen := serial.gen()
+		gen.Ticks = n
+		truth := datagen.Scalability(2, gen)
+		secs := timeIt(func() {
+			if _, err := core.FitGlobal(truth.Tensor, serial.fit()); err != nil {
+				panic(err)
+			}
+		})
+		res.ByTicks = append(res.ByTicks, ScalePoint{n, secs})
+	}
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTailScaleWideFit(t *testing.T) {
+	cfg := Small()
+	cfg.Locations = 6
+	res, err := TailScale(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequences != 10 { // 2 scripted + 8 extra
+		t.Fatalf("sequences = %d, want 10", res.Sequences)
+	}
+	if res.MeanNRMSE > 0.25 {
+		t.Fatalf("tail mean NRMSE %.3f too high", res.MeanNRMSE)
+	}
+	if res.WorstNRMSE > 0.8 {
+		t.Fatalf("worst tail NRMSE %.3f too high", res.WorstNRMSE)
+	}
+	if res.PerSequence <= 0 || res.TotalSeconds <= 0 {
+		t.Fatal("throughput not measured")
+	}
+	if !strings.Contains(res.String(), "Tail-scale") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestTailScaleDefaultTags(t *testing.T) {
+	// The default tail size is applied for extraTags <= 0; fitting 50
+	// sequences is too slow for the unit suite, so only the tensor shape is
+	// checked here (TestTailScaleWideFit covers the fitting path).
+	truth := datagenTwitterShape(0)
+	if truth != 50 {
+		t.Fatalf("default tail = %d sequences, want 50", truth)
+	}
+}

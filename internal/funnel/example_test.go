@@ -1,0 +1,28 @@
+package funnel_test
+
+import (
+	"fmt"
+
+	"dspot/internal/funnel"
+)
+
+// Fit the FUNNEL baseline to a series with one external shock.
+func ExampleFit() {
+	truth := funnel.Params{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.02}
+	truth.Shocks = []funnel.Shock{{Start: 100, Width: 2, Strength: 0.5}}
+	obs := truth.Simulate(200)
+
+	fitted, err := funnel.Fit(obs, funnel.Options{})
+	if err != nil {
+		panic(err)
+	}
+	near := false
+	for _, s := range fitted.Shocks {
+		if s.Start >= 96 && s.Start <= 104 {
+			near = true
+		}
+	}
+	fmt.Println("shock detected near tick 100:", near)
+	// Output:
+	// shock detected near tick 100: true
+}

@@ -1,0 +1,203 @@
+package funnel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dspot/internal/stats"
+)
+
+var truthBase = Params{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.02}
+
+func synth(p Params, n int, noise float64, seed int64) []float64 {
+	out := p.Simulate(n)
+	peak := stats.Max(out)
+	if peak <= 0 {
+		peak = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range out {
+		out[i] += rng.NormFloat64() * noise * peak
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+func TestSimulateBounded(t *testing.T) {
+	p := truthBase
+	p.Shocks = []Shock{{Start: 50, Width: 2, Strength: 0.5}}
+	for _, v := range p.Simulate(200) {
+		if v < 0 || v > p.N+1e-9 || math.IsNaN(v) {
+			t.Fatalf("out of range: %g", v)
+		}
+	}
+}
+
+func TestShockInjectsSpike(t *testing.T) {
+	base := truthBase.Simulate(150)
+	p := truthBase
+	p.Shocks = []Shock{{Start: 70, Width: 2, Strength: 0.4}}
+	shocked := p.Simulate(150)
+	for t1 := 0; t1 < 70; t1++ {
+		if math.Abs(shocked[t1]-base[t1]) > 1e-9 {
+			t.Fatalf("pre-shock divergence at %d", t1)
+		}
+	}
+	if shocked[72] <= base[72]*1.3 {
+		t.Fatalf("no spike: %g vs %g", shocked[72], base[72])
+	}
+}
+
+func TestSeasonalBetaOscillates(t *testing.T) {
+	p := truthBase
+	p.Period, p.Amp = 52, 0.5
+	out := p.Simulate(520)
+	tail := out[260:]
+	if stats.Std(tail) < stats.Mean(tail)*0.02 {
+		t.Fatalf("seasonal model flat: std %g mean %g", stats.Std(tail), stats.Mean(tail))
+	}
+	if r := stats.Autocorrelation(tail, 52); r < 0.3 {
+		t.Fatalf("seasonal ACF %g too weak", r)
+	}
+}
+
+func TestBetaNonNegative(t *testing.T) {
+	p := Params{Beta: 1, Period: 10, Amp: 3}
+	for tt := 0; tt < 20; tt++ {
+		if p.beta(tt) < 0 {
+			t.Fatal("negative beta")
+		}
+	}
+}
+
+func TestFitRecoversBase(t *testing.T) {
+	obs := synth(truthBase, 200, 0.01, 1)
+	p, err := Fit(obs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := stats.RMSE(obs, p.Simulate(200)); r > 0.06*stats.Max(obs) {
+		t.Fatalf("base fit RMSE %g of peak %g", r, stats.Max(obs))
+	}
+}
+
+func TestFitDetectsOneShotShock(t *testing.T) {
+	truth := truthBase
+	truth.Shocks = []Shock{{Start: 100, Width: 2, Strength: 0.5}}
+	obs := synth(truth, 200, 0.01, 2)
+	p, err := Fit(obs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Shocks) == 0 {
+		t.Fatal("shock not detected")
+	}
+	found := false
+	for _, s := range p.Shocks {
+		if s.Start >= 96 && s.Start <= 104 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shock near tick 100: %+v", p.Shocks)
+	}
+	if r := stats.RMSE(obs, p.Simulate(200)); r > 0.08*stats.Max(obs) {
+		t.Fatalf("shock fit RMSE %g", r)
+	}
+}
+
+func TestFitCannotModelCyclicAsCyclic(t *testing.T) {
+	// FUNNEL has no cyclic shock class: a cyclic bursty series costs it
+	// several independent shocks (or a worse fit) — this is the qualitative
+	// gap Fig. 9 reports. Here we just verify it still fits reasonably by
+	// spending one-shot shocks.
+	truth := truthBase
+	for k := 0; k < 4; k++ {
+		truth.Shocks = append(truth.Shocks, Shock{Start: 20 + 52*k, Width: 2, Strength: 0.5})
+	}
+	obs := synth(truth, 220, 0.01, 3)
+	p, err := Fit(obs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Shocks {
+		if s.Width <= 0 || s.Strength < 0 {
+			t.Fatalf("malformed shock %+v", s)
+		}
+	}
+	if r := stats.RMSE(obs, p.Simulate(220)); r > stats.Std(obs) {
+		t.Fatalf("cyclic-series fit no better than mean: %g vs %g", r, stats.Std(obs))
+	}
+}
+
+func TestFitTooShort(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}, Options{}); err == nil {
+		t.Fatal("short sequence accepted")
+	}
+}
+
+func TestFitLocalScales(t *testing.T) {
+	global := truthBase
+	shape := global.Simulate(100)
+	locals := [][]float64{
+		scaleSeq(shape, 0.6),
+		scaleSeq(shape, 0.3),
+		scaleSeq(shape, 0.1),
+	}
+	scales := FitLocal(global, locals)
+	want := []float64{0.6, 0.3, 0.1}
+	for j := range want {
+		if math.Abs(scales[j]-want[j]) > 1e-9 {
+			t.Fatalf("scale %d = %g, want %g", j, scales[j], want[j])
+		}
+	}
+	local := SimulateLocal(global, 0.3, 100)
+	if r := stats.RMSE(locals[1], local); r > 1e-9 {
+		t.Fatalf("SimulateLocal RMSE %g", r)
+	}
+}
+
+func TestFitLocalEmpty(t *testing.T) {
+	if out := FitLocal(truthBase, nil); len(out) != 0 {
+		t.Fatal("expected empty result")
+	}
+}
+
+func scaleSeq(s []float64, f float64) []float64 {
+	out := make([]float64, len(s))
+	for i := range s {
+		out[i] = s[i] * f
+	}
+	return out
+}
+
+// Property: simulation bounded and deterministic under random parameters.
+func TestSimulateQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			N: rng.Float64() * 500, Beta: rng.Float64() * 3,
+			Delta: rng.Float64() * 2, Gamma: rng.Float64() * 2,
+			I0: rng.Float64(), Period: rng.Intn(60),
+			Amp: rng.Float64(), Phase: rng.Float64()*2*math.Pi - math.Pi,
+		}
+		if rng.Float64() < 0.5 {
+			p.Shocks = []Shock{{Start: rng.Intn(80), Width: 1 + rng.Intn(4),
+				Strength: rng.Float64()}}
+		}
+		a, b := p.Simulate(100), p.Simulate(100)
+		for i := range a {
+			if a[i] != b[i] || a[i] < 0 || a[i] > p.N+1e-9 || math.IsNaN(a[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package lm_test
+
+import (
+	"fmt"
+	"math"
+
+	"dspot/internal/lm"
+)
+
+// Fit an exponential decay y = a·exp(-b·t) to noiseless observations.
+func ExampleFit() {
+	obs := make([]float64, 30)
+	for t := range obs {
+		obs[t] = 2.0 * math.Exp(-0.5*float64(t)*0.2)
+	}
+	resid := func(p []float64) []float64 {
+		r := make([]float64, len(obs))
+		for t := range r {
+			r[t] = p[0]*math.Exp(-p[1]*float64(t)*0.2) - obs[t]
+		}
+		return r
+	}
+	res, err := lm.Fit(resid, []float64{1, 0.1}, lm.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("a=%.3f b=%.3f converged=%v\n", res.Params[0], res.Params[1], res.Converged)
+	// Output:
+	// a=2.000 b=0.500 converged=true
+}
+
+// Bounded one-dimensional fitting via the convenience wrapper.
+func ExampleFit1D() {
+	// Solve x² = 2 for x in [0, 2].
+	x, _, err := lm.Fit1D(func(x float64) []float64 {
+		return []float64{x*x - 2}
+	}, 1, 0, 2, lm.Options{MaxIter: 200})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("x=%.4f\n", x)
+	// Output:
+	// x=1.4142
+}

@@ -1,0 +1,241 @@
+// Package lm implements the Levenberg–Marquardt algorithm for non-linear
+// least squares, the optimiser named by the Δ-SPOT paper (its reference [4],
+// Levenberg 1944). It is written for the shape of problem the fitters
+// produce: a handful of bounded parameters, residual vectors of a few
+// hundred to a few thousand entries, and objective functions that are full
+// SIV simulations (so Jacobians come from forward finite differences).
+package lm
+
+import (
+	"errors"
+	"math"
+)
+
+// ResidualFunc evaluates the residual vector r(p) for parameters p. The
+// returned slice must have constant length across calls; NaN entries are
+// treated as missing observations and contribute zero to the objective and
+// Jacobian.
+type ResidualFunc func(p []float64) []float64
+
+// Options configures a Fit run. The zero value selects sensible defaults.
+type Options struct {
+	MaxIter   int       // maximum outer iterations (default 100)
+	Tol       float64   // relative SSE improvement tolerance (default 1e-8)
+	Lambda0   float64   // initial damping factor (default 1e-3)
+	LambdaUp  float64   // damping multiplier on rejection (default 10)
+	LambdaDn  float64   // damping divisor on acceptance (default 10)
+	Lower     []float64 // optional per-parameter lower bounds
+	Upper     []float64 // optional per-parameter upper bounds
+	FDStep    float64   // relative finite-difference step (default 1e-6)
+	MaxLambda float64   // damping ceiling before giving up (default 1e10)
+}
+
+// Result reports the outcome of a Fit run.
+type Result struct {
+	Params     []float64 // best parameters found
+	SSE        float64   // sum of squared residuals at Params
+	Iterations int       // outer iterations performed
+	Converged  bool      // true if the tolerance was reached
+}
+
+func (o *Options) fill(dim int) error {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.Lambda0 <= 0 {
+		o.Lambda0 = 1e-3
+	}
+	if o.LambdaUp <= 1 {
+		o.LambdaUp = 10
+	}
+	if o.LambdaDn <= 1 {
+		o.LambdaDn = 10
+	}
+	if o.FDStep <= 0 {
+		o.FDStep = 1e-6
+	}
+	if o.MaxLambda <= 0 {
+		o.MaxLambda = 1e10
+	}
+	if o.Lower != nil && len(o.Lower) != dim {
+		return errors.New("lm: Lower bound length mismatch")
+	}
+	if o.Upper != nil && len(o.Upper) != dim {
+		return errors.New("lm: Upper bound length mismatch")
+	}
+	return nil
+}
+
+func sse(r []float64) float64 {
+	s := 0.0
+	for _, v := range r {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += v * v
+	}
+	return s
+}
+
+func (o *Options) clamp(p []float64) {
+	for i := range p {
+		if o.Lower != nil && p[i] < o.Lower[i] {
+			p[i] = o.Lower[i]
+		}
+		if o.Upper != nil && p[i] > o.Upper[i] {
+			p[i] = o.Upper[i]
+		}
+	}
+}
+
+// Fit minimises ‖r(p)‖² starting from p0. p0 is not modified. Bounds, when
+// provided, are enforced by projection after each accepted step and during
+// Jacobian evaluation.
+func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
+	dim := len(p0)
+	if dim == 0 {
+		return Result{}, errors.New("lm: empty parameter vector")
+	}
+	if err := opts.fill(dim); err != nil {
+		return Result{}, err
+	}
+
+	p := append([]float64(nil), p0...)
+	opts.clamp(p)
+	r := f(p)
+	m := len(r)
+	if m == 0 {
+		return Result{}, errors.New("lm: empty residual vector")
+	}
+	cur := sse(r)
+
+	lambda := opts.Lambda0
+	jac := make([]float64, m*dim) // row-major m×dim
+	jtj := make([]float64, dim*dim)
+	jtr := make([]float64, dim)
+	pTrial := make([]float64, dim)
+
+	res := Result{Params: append([]float64(nil), p...), SSE: cur}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+
+		// Forward-difference Jacobian of the residuals.
+		for j := 0; j < dim; j++ {
+			h := opts.FDStep * math.Abs(p[j])
+			if h == 0 {
+				h = opts.FDStep
+			}
+			// Step inside the bounds if a bound is active.
+			pj := p[j] + h
+			if opts.Upper != nil && pj > opts.Upper[j] {
+				pj = p[j] - h
+				h = -h
+			}
+			saved := p[j]
+			p[j] = pj
+			rj := f(p)
+			p[j] = saved
+			if len(rj) != m {
+				return res, errors.New("lm: residual length changed between calls")
+			}
+			inv := 1 / h
+			for i := 0; i < m; i++ {
+				ri, rji := r[i], rj[i]
+				if math.IsNaN(ri) || math.IsNaN(rji) {
+					jac[i*dim+j] = 0
+					continue
+				}
+				jac[i*dim+j] = (rji - ri) * inv
+			}
+		}
+
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr.
+		for a := range jtj {
+			jtj[a] = 0
+		}
+		for a := range jtr {
+			jtr[a] = 0
+		}
+		for i := 0; i < m; i++ {
+			ri := r[i]
+			if math.IsNaN(ri) {
+				continue
+			}
+			row := jac[i*dim : (i+1)*dim]
+			for a := 0; a < dim; a++ {
+				jtr[a] += row[a] * ri
+				for b := a; b < dim; b++ {
+					jtj[a*dim+b] += row[a] * row[b]
+				}
+			}
+		}
+		for a := 0; a < dim; a++ { // mirror upper triangle
+			for b := 0; b < a; b++ {
+				jtj[a*dim+b] = jtj[b*dim+a]
+			}
+		}
+
+		improved := false
+		for lambda <= opts.MaxLambda {
+			damped := append([]float64(nil), jtj...)
+			for a := 0; a < dim; a++ {
+				d := jtj[a*dim+a]
+				if d == 0 {
+					d = 1e-12
+				}
+				damped[a*dim+a] = d * (1 + lambda)
+			}
+			delta, err := solveSPD(damped, jtr, dim)
+			if err != nil {
+				lambda *= opts.LambdaUp
+				continue
+			}
+			for a := 0; a < dim; a++ {
+				pTrial[a] = p[a] - delta[a]
+			}
+			opts.clamp(pTrial)
+			rTrial := f(pTrial)
+			trial := sse(rTrial)
+			if trial < cur && !math.IsNaN(trial) {
+				rel := (cur - trial) / math.Max(cur, 1e-300)
+				copy(p, pTrial)
+				r = rTrial
+				cur = trial
+				lambda /= opts.LambdaDn
+				if lambda < 1e-12 {
+					lambda = 1e-12
+				}
+				improved = true
+				if rel < opts.Tol {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= opts.LambdaUp
+		}
+		if !improved {
+			res.Converged = true // stuck at a (possibly bounded) minimum
+			break
+		}
+		if res.Converged {
+			break
+		}
+	}
+	res.Params = append(res.Params[:0], p...)
+	res.SSE = cur
+	return res, nil
+}
+
+// Fit1D is a convenience wrapper fitting a single bounded parameter.
+func Fit1D(f func(x float64) []float64, x0, lo, hi float64, opts Options) (float64, float64, error) {
+	opts.Lower = []float64{lo}
+	opts.Upper = []float64{hi}
+	res, err := Fit(func(p []float64) []float64 { return f(p[0]) }, []float64{x0}, opts)
+	if err != nil {
+		return x0, math.Inf(1), err
+	}
+	return res.Params[0], res.SSE, nil
+}

@@ -1,0 +1,24 @@
+package mdl_test
+
+import (
+	"fmt"
+
+	"dspot/internal/mdl"
+)
+
+// Universal integer code lengths grow slowly.
+func ExampleLogStar() {
+	fmt.Printf("%.1f %.1f %.1f\n",
+		mdl.LogStar(1), mdl.LogStar(16), mdl.LogStar(1024))
+	// Output:
+	// 1.5 8.5 17.4
+}
+
+// Smaller residuals cost fewer bits under the Gaussian code.
+func ExampleGaussianCost() {
+	tight := []float64{0.1, -0.1, 0.05, -0.05}
+	loose := []float64{10, -10, 5, -5}
+	fmt.Println(mdl.GaussianCost(tight) < mdl.GaussianCost(loose))
+	// Output:
+	// true
+}

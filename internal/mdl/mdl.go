@@ -1,0 +1,140 @@
+// Package mdl implements the minimum-description-length coding scheme that
+// Δ-SPOT uses for model selection. The total cost of a model F on data X is
+//
+//	Cost_T(X; F) = log*(d) + log*(l) + log*(n)
+//	             + Cost_M(B_G) + Cost_M(B_L) + Cost_M(R_G) + Cost_M(R_L)
+//	             + Cost_M(S) + Cost_C(X | F)
+//
+// where Cost_M terms are parameter description costs (universal integer codes
+// plus a fixed floating-point cost) and Cost_C is the Gaussian coding cost of
+// the residuals. The fitter accepts a refinement (an extra shock, a growth
+// term, a local participation entry) only when it lowers Cost_T — this is
+// what makes Δ-SPOT parameter-free.
+package mdl
+
+import "math"
+
+// FloatCost is the description cost of one floating-point parameter in bits.
+// The paper uses 4×8 bits (footnote *3).
+const FloatCost = 32.0
+
+// LogStar returns the universal code length log*(n) for a positive integer:
+// log*(n) = log2(c0) + log2(n) + log2 log2(n) + ... over the positive terms,
+// with the customary constant c0 ≈ 2.865064.
+func LogStar(n int) float64 {
+	if n <= 0 {
+		// Encoding "zero or absent" still takes the constant term; callers
+		// pass n >= 1 in normal operation.
+		return math.Log2(2.865064)
+	}
+	cost := math.Log2(2.865064)
+	v := float64(n)
+	for {
+		v = math.Log2(v)
+		if v <= 0 {
+			break
+		}
+		cost += v
+	}
+	return cost
+}
+
+// IntCost returns log2(n) bits for indexing one of n alternatives (at least
+// one bit, so that degenerate axes still cost something).
+func IntCost(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}
+
+// FloatsCost returns the cost of k floating-point parameters.
+func FloatsCost(k int) float64 { return FloatCost * float64(k) }
+
+// GaussianCost returns the coding cost of residuals under a Gaussian with
+// the residuals' own mean and variance:
+//
+//	Cost_C = Σ_t log2 p^{-1}_{Gauss(μ,σ²)}(e_t)
+//
+// NaN residuals (missing observations) are skipped. A tiny variance floor
+// keeps the cost finite for perfect fits; the floor also charges long
+// sequences more than short ones, preserving MDL monotonicity.
+func GaussianCost(residuals []float64) float64 {
+	var sum, sumsq float64
+	cnt := 0
+	for _, e := range residuals {
+		if math.IsNaN(e) {
+			continue
+		}
+		sum += e
+		sumsq += e * e
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	mu := sum / float64(cnt)
+	sigma2 := sumsq/float64(cnt) - mu*mu
+	const floor = 1e-6
+	if sigma2 < floor {
+		sigma2 = floor
+	}
+	// Σ log2(1/p(e)) = n/2·log2(2πσ²) + Σ (e-μ)²/(2σ² ln2)
+	cost := 0.5 * float64(cnt) * math.Log2(2*math.Pi*sigma2)
+	inv := 1 / (2 * sigma2 * math.Ln2)
+	for _, e := range residuals {
+		if math.IsNaN(e) {
+			continue
+		}
+		d := e - mu
+		cost += d * d * inv
+	}
+	// The decoder additionally needs μ and σ².
+	return cost + FloatsCost(2)
+}
+
+// GaussianCostFixed is GaussianCost with a caller-supplied (μ, σ²); used when
+// several residual blocks must share one noise model (e.g., local sequences
+// coded against the global noise estimate).
+func GaussianCostFixed(residuals []float64, mu, sigma2 float64) float64 {
+	const floor = 1e-6
+	if sigma2 < floor {
+		sigma2 = floor
+	}
+	cnt := 0
+	cost := 0.0
+	inv := 1 / (2 * sigma2 * math.Ln2)
+	for _, e := range residuals {
+		if math.IsNaN(e) {
+			continue
+		}
+		d := e - mu
+		cost += d * d * inv
+		cnt++
+	}
+	return cost + 0.5*float64(cnt)*math.Log2(2*math.Pi*sigma2)
+}
+
+// ResidualNoise estimates the (μ, σ²) of residuals, applying the same
+// variance floor as GaussianCost so the two agree.
+func ResidualNoise(residuals []float64) (mu, sigma2 float64) {
+	var sum, sumsq float64
+	cnt := 0
+	for _, e := range residuals {
+		if math.IsNaN(e) {
+			continue
+		}
+		sum += e
+		sumsq += e * e
+		cnt++
+	}
+	if cnt == 0 {
+		return 0, 1e-6
+	}
+	mu = sum / float64(cnt)
+	sigma2 = sumsq/float64(cnt) - mu*mu
+	if sigma2 < 1e-6 {
+		sigma2 = 1e-6
+	}
+	return mu, sigma2
+}

@@ -1,0 +1,134 @@
+package mdl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogStarKnownValues(t *testing.T) {
+	// log*(1) = log2(c0) since log2(1)=0 terminates immediately.
+	c0 := math.Log2(2.865064)
+	if got := LogStar(1); math.Abs(got-c0) > 1e-12 {
+		t.Fatalf("LogStar(1) = %g, want %g", got, c0)
+	}
+	// log*(16) = c0 + 4 + 2 + 1 = c0 + 7.
+	if got := LogStar(16); math.Abs(got-(c0+7)) > 1e-12 {
+		t.Fatalf("LogStar(16) = %g, want %g", got, c0+7)
+	}
+	if got := LogStar(0); math.Abs(got-c0) > 1e-12 {
+		t.Fatalf("LogStar(0) = %g, want constant %g", got, c0)
+	}
+}
+
+func TestLogStarMonotoneQuick(t *testing.T) {
+	f := func(a uint16) bool {
+		n := int(a) + 1
+		return LogStar(n+1) >= LogStar(n) && LogStar(n) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntCost(t *testing.T) {
+	if got := IntCost(8); got != 3 {
+		t.Fatalf("IntCost(8) = %g, want 3", got)
+	}
+	if got := IntCost(1); got != 1 {
+		t.Fatalf("IntCost(1) = %g, want 1 (floor)", got)
+	}
+	if got := IntCost(0); got != 1 {
+		t.Fatalf("IntCost(0) = %g, want 1 (floor)", got)
+	}
+}
+
+func TestFloatsCost(t *testing.T) {
+	if got := FloatsCost(3); got != 96 {
+		t.Fatalf("FloatsCost(3) = %g, want 96", got)
+	}
+}
+
+func TestGaussianCostEmpty(t *testing.T) {
+	if got := GaussianCost(nil); got != 0 {
+		t.Fatalf("GaussianCost(nil) = %g, want 0", got)
+	}
+	if got := GaussianCost([]float64{math.NaN()}); got != 0 {
+		t.Fatalf("GaussianCost(all NaN) = %g, want 0", got)
+	}
+}
+
+func TestGaussianCostPrefersSmallResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := make([]float64, 200)
+	big := make([]float64, 200)
+	for i := range small {
+		small[i] = rng.NormFloat64() * 0.1
+		big[i] = rng.NormFloat64() * 10
+	}
+	if GaussianCost(small) >= GaussianCost(big) {
+		t.Fatal("smaller residuals should cost fewer bits")
+	}
+}
+
+func TestGaussianCostSkipsNaN(t *testing.T) {
+	clean := []float64{1, -1, 2, -2}
+	withNaN := []float64{1, math.NaN(), -1, 2, math.NaN(), -2}
+	if math.Abs(GaussianCost(clean)-GaussianCost(withNaN)) > 1e-9 {
+		t.Fatal("NaN entries should be skipped")
+	}
+}
+
+func TestGaussianCostFixedMatchesSelfEstimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	res := make([]float64, 300)
+	for i := range res {
+		res[i] = rng.NormFloat64() * 3
+	}
+	mu, sigma2 := ResidualNoise(res)
+	// GaussianCost = GaussianCostFixed at the ML estimate + 2 float costs.
+	got := GaussianCostFixed(res, mu, sigma2) + FloatsCost(2)
+	want := GaussianCost(res)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("fixed-vs-self mismatch: %g vs %g", got, want)
+	}
+}
+
+func TestResidualNoiseFloor(t *testing.T) {
+	_, sigma2 := ResidualNoise([]float64{5, 5, 5})
+	if sigma2 != 1e-6 {
+		t.Fatalf("variance floor = %g, want 1e-6", sigma2)
+	}
+	mu, sigma2 := ResidualNoise(nil)
+	if mu != 0 || sigma2 != 1e-6 {
+		t.Fatalf("empty noise = (%g,%g)", mu, sigma2)
+	}
+}
+
+// Property: Gaussian cost is finite and the ML-estimate cost is minimal over
+// perturbed variance choices.
+func TestGaussianCostMLOptimalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		res := make([]float64, n)
+		for i := range res {
+			res[i] = rng.NormFloat64() * (0.5 + rng.Float64()*5)
+		}
+		mu, sigma2 := ResidualNoise(res)
+		best := GaussianCostFixed(res, mu, sigma2)
+		if math.IsInf(best, 0) || math.IsNaN(best) {
+			return false
+		}
+		for _, f := range []float64{0.5, 2.0} {
+			if GaussianCostFixed(res, mu, sigma2*f) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

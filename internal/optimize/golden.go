@@ -1,0 +1,110 @@
+// Package optimize provides the derivative-free optimisers used throughout
+// the fitting pipeline: golden-section search for 1-D bounded minimisation,
+// exhaustive/refining grid search for discrete parameters (shock start
+// times, periods, growth onset), and Nelder–Mead simplex descent for small
+// dense parameter vectors where Levenberg–Marquardt is not applicable (e.g.
+// TBATS smoothing constants).
+package optimize
+
+import "math"
+
+const invPhi = 0.6180339887498949 // 1/φ
+
+// Golden minimises f over [lo, hi] with golden-section search, returning the
+// minimising x and f(x). tol is the absolute interval tolerance; maxIter
+// bounds the number of shrink steps (each shrinks the interval by 1/φ).
+func Golden(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for i := 0; i < maxIter && (b-a) > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	fx = f(x)
+	// Return the best point actually evaluated, not just the midpoint.
+	if fc < fx {
+		x, fx = c, fc
+	}
+	if fd < fx {
+		x, fx = d, fd
+	}
+	return x, fx
+}
+
+// GridMin evaluates f at each candidate and returns the argmin and minimum.
+// Ties resolve to the earliest candidate, making searches deterministic. It
+// returns (0, +Inf) for an empty candidate set.
+func GridMin(f func(int) float64, candidates []int) (best int, fbest float64) {
+	fbest = math.Inf(1)
+	for _, c := range candidates {
+		if v := f(c); v < fbest {
+			best, fbest = c, v
+		}
+	}
+	return best, fbest
+}
+
+// GridMinFloat is GridMin over float64 candidates.
+func GridMinFloat(f func(float64) float64, candidates []float64) (best, fbest float64) {
+	fbest = math.Inf(1)
+	for _, c := range candidates {
+		if v := f(c); v < fbest {
+			best, fbest = c, v
+		}
+	}
+	return best, fbest
+}
+
+// RefiningGrid minimises f over the integer range [lo, hi] by a coarse pass
+// of at most width points followed by an exact scan of the winning
+// neighbourhood. It is exact when hi-lo+1 <= width and otherwise trades a
+// small risk of missing a narrow optimum for O(width + stride) evaluations.
+func RefiningGrid(f func(int) float64, lo, hi, width int) (best int, fbest float64) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if width < 2 {
+		width = 2
+	}
+	span := hi - lo + 1
+	stride := span / width
+	if stride < 1 {
+		stride = 1
+	}
+	var coarse []int
+	for c := lo; c <= hi; c += stride {
+		coarse = append(coarse, c)
+	}
+	if coarse[len(coarse)-1] != hi {
+		coarse = append(coarse, hi)
+	}
+	center, _ := GridMin(f, coarse)
+	flo, fhi := center-stride, center+stride
+	if flo < lo {
+		flo = lo
+	}
+	if fhi > hi {
+		fhi = hi
+	}
+	var fine []int
+	for c := flo; c <= fhi; c++ {
+		fine = append(fine, c)
+	}
+	return GridMin(f, fine)
+}

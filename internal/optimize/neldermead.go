@@ -1,0 +1,126 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions configures the simplex search.
+type NelderMeadOptions struct {
+	MaxIter int     // maximum iterations (default 400·dim)
+	Tol     float64 // convergence tolerance on simplex f-spread (default 1e-8)
+	Step    float64 // initial simplex edge relative to |x0| (default 0.1)
+}
+
+// NelderMead minimises f starting from x0 using the Nelder–Mead simplex
+// method with the standard (1, 2, 0.5, 0.5) reflection/expansion/contraction/
+// shrink coefficients. It returns the best point found and its value. The
+// input slice is not modified.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64) {
+	dim := len(x0)
+	if dim == 0 {
+		return nil, f(nil)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 400 * dim
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	if opts.Step <= 0 {
+		opts.Step = 0.1
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, dim+1)
+	base := append([]float64(nil), x0...)
+	simplex[0] = vertex{base, f(base)}
+	for i := 0; i < dim; i++ {
+		x := append([]float64(nil), x0...)
+		h := opts.Step * math.Abs(x[i])
+		if h == 0 {
+			h = opts.Step
+		}
+		x[i] += h
+		simplex[i+1] = vertex{x, f(x)}
+	}
+	order := func() { sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f }) }
+	order()
+
+	centroid := make([]float64, dim)
+	point := func(coef float64) ([]float64, float64) {
+		// x = centroid + coef·(centroid - worst)
+		x := make([]float64, dim)
+		worst := simplex[dim].x
+		for i := range x {
+			x[i] = centroid[i] + coef*(centroid[i]-worst[i])
+		}
+		return x, f(x)
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		if math.Abs(simplex[dim].f-simplex[0].f) < opts.Tol {
+			break
+		}
+		for i := range centroid {
+			centroid[i] = 0
+		}
+		for v := 0; v < dim; v++ { // exclude worst
+			for i := range centroid {
+				centroid[i] += simplex[v].x[i]
+			}
+		}
+		for i := range centroid {
+			centroid[i] /= float64(dim)
+		}
+
+		xr, fr := point(1) // reflection
+		switch {
+		case fr < simplex[0].f:
+			if xe, fe := point(2); fe < fr { // expansion
+				simplex[dim] = vertex{xe, fe}
+			} else {
+				simplex[dim] = vertex{xr, fr}
+			}
+		case fr < simplex[dim-1].f:
+			simplex[dim] = vertex{xr, fr}
+		default:
+			xc, fc := point(-0.5) // inside contraction toward centroid
+			if fr < simplex[dim].f {
+				xc2 := make([]float64, dim)
+				for i := range xc2 { // outside contraction
+					xc2[i] = centroid[i] + 0.5*(xr[i]-centroid[i])
+				}
+				if fc2 := f(xc2); fc2 < fc {
+					xc, fc = xc2, fc2
+				}
+			}
+			if fc < simplex[dim].f {
+				simplex[dim] = vertex{xc, fc}
+			} else { // shrink toward best
+				for v := 1; v <= dim; v++ {
+					for i := range simplex[v].x {
+						simplex[v].x[i] = simplex[0].x[i] + 0.5*(simplex[v].x[i]-simplex[0].x[i])
+					}
+					simplex[v].f = f(simplex[v].x)
+				}
+			}
+		}
+		order()
+	}
+	return simplex[0].x, simplex[0].f
+}
+
+// Clamp returns v clamped to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

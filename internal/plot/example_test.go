@@ -1,0 +1,24 @@
+package plot_test
+
+import (
+	"fmt"
+
+	"dspot/internal/plot"
+)
+
+// Horizontal bars scaled to the maximum value.
+func ExampleBars() {
+	out := plot.Bars([]string{"SIRS", "D-SPOT"}, []float64{0.10, 0.02}, 10)
+	fmt.Print(out)
+	// Output:
+	// SIRS         0.1 ##########
+	// D-SPOT      0.02 ##
+}
+
+// A one-line block-character summary of a series.
+func ExampleSparkline() {
+	line := plot.Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	fmt.Println(len([]rune(line)))
+	// Output:
+	// 8
+}

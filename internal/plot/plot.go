@@ -1,0 +1,206 @@
+// Package plot renders time series and bar charts as plain text for the
+// CLIs and examples — the terminal equivalent of the paper's figure panels
+// (observed dots vs fitted line, reaction bar maps, RMSE comparisons).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart is a fixed-size character canvas with series plotted onto it.
+type Chart struct {
+	Width  int // plot columns (excluding the axis gutter)
+	Height int // plot rows
+
+	series []series
+	title  string
+}
+
+type series struct {
+	data   []float64
+	marker byte
+}
+
+// NewChart returns a chart with the given canvas size (sensible minimums
+// are enforced: 16×4).
+func NewChart(width, height int) *Chart {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	return &Chart{Width: width, Height: height}
+}
+
+// Title sets the chart heading.
+func (c *Chart) Title(t string) *Chart { c.title = t; return c }
+
+// Line adds a series drawn with the given marker rune ('.' for observed
+// data, '*' for a fitted curve, etc.). NaN values are skipped.
+func (c *Chart) Line(data []float64, marker byte) *Chart {
+	c.series = append(c.series, series{data, marker})
+	return c
+}
+
+// Render draws all series on shared axes. The x axis is compressed or
+// stretched to the canvas width; y is scaled to the global min/max.
+func (c *Chart) Render() string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range c.series {
+		for _, v := range s.data {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(s.data) > maxLen {
+			maxLen = len(s.data)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return "(empty chart)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for _, s := range c.series {
+		for col := 0; col < c.Width; col++ {
+			// Sample the series at this column (nearest index).
+			idx := col * (maxLen - 1) / max(c.Width-1, 1)
+			if idx >= len(s.data) {
+				continue
+			}
+			v := s.data[idx]
+			if math.IsNaN(v) {
+				continue
+			}
+			frac := (v - lo) / (hi - lo)
+			row := c.Height - 1 - int(frac*float64(c.Height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= c.Height {
+				row = c.Height - 1
+			}
+			grid[row][col] = s.marker
+		}
+	}
+
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	gutter := len(fmt.Sprintf("%.4g", hi))
+	if g := len(fmt.Sprintf("%.4g", lo)); g > gutter {
+		gutter = g
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", gutter)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", gutter, fmt.Sprintf("%.4g", hi))
+		}
+		if r == c.Height-1 {
+			label = fmt.Sprintf("%*s", gutter, fmt.Sprintf("%.4g", lo))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", gutter), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s  0%*d\n", strings.Repeat(" ", gutter), c.Width-1, maxLen-1)
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart of labelled values, scaled to width.
+// Values must be non-negative; negative values are clamped to zero.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		return "(bar chart: label/value mismatch)\n"
+	}
+	if width < 8 {
+		width = 8
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(float64(width) * v / maxVal)
+		}
+		fmt.Fprintf(&b, "%-*s %9.4g %s\n", labelW, labels[i], values[i],
+			strings.Repeat("#", n))
+	}
+	return b.String()
+}
+
+// Sparkline renders a one-line summary of a series using block characters.
+func Sparkline(data []float64, width int) string {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	if width < 1 {
+		width = len(data)
+	}
+	if len(data) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", width)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for col := 0; col < width; col++ {
+		idx := col * (len(data) - 1) / max(width-1, 1)
+		v := data[idx]
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		level := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		b.WriteRune(blocks[level])
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := NewChart(20, 5).Title("ramp").Line(data, '.').Render()
+	if !strings.Contains(out, "ramp") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("no markers drawn")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x labels
+	if len(lines) != 1+5+2 {
+		t.Fatalf("line count %d: %q", len(lines), out)
+	}
+	// Monotone ramp: first marker column should be near the bottom row,
+	// last near the top row.
+	rows := lines[1 : 1+5]
+	if !strings.Contains(rows[0], ".") {
+		t.Fatal("top row should contain the ramp maximum")
+	}
+	if !strings.Contains(rows[4], ".") {
+		t.Fatal("bottom row should contain the ramp minimum")
+	}
+}
+
+func TestChartTwoSeriesDistinctMarkers(t *testing.T) {
+	a := []float64{1, 1, 1, 1}
+	b := []float64{2, 2, 2, 2}
+	out := NewChart(16, 4).Line(a, '.').Line(b, '*').Render()
+	if !strings.Contains(out, ".") || !strings.Contains(out, "*") {
+		t.Fatalf("markers missing: %q", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	if out := NewChart(16, 4).Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+	nan := []float64{math.NaN(), math.NaN()}
+	if out := NewChart(16, 4).Line(nan, '.').Render(); !strings.Contains(out, "empty") {
+		t.Fatalf("all-NaN chart rendered %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := NewChart(16, 4).Line([]float64{5, 5, 5}, '.').Render()
+	if strings.Contains(out, "empty") {
+		t.Fatal("constant series should render")
+	}
+}
+
+func TestChartMinimumSize(t *testing.T) {
+	c := NewChart(1, 1)
+	if c.Width < 16 || c.Height < 4 {
+		t.Fatalf("minimums not enforced: %dx%d", c.Width, c.Height)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"US", "JP"}, []float64{10, 5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	usHashes := strings.Count(lines[0], "#")
+	jpHashes := strings.Count(lines[1], "#")
+	if usHashes != 20 || jpHashes != 10 {
+		t.Fatalf("bar lengths %d/%d, want 20/10", usHashes, jpHashes)
+	}
+	if !strings.HasPrefix(lines[0], "US") {
+		t.Fatalf("label missing: %q", lines[0])
+	}
+}
+
+func TestBarsEdgeCases(t *testing.T) {
+	if out := Bars([]string{"a"}, []float64{1, 2}, 10); !strings.Contains(out, "mismatch") {
+		t.Fatal("mismatch not reported")
+	}
+	out := Bars([]string{"zero"}, []float64{0}, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Fatal("zero value drew bars")
+	}
+	out = Bars([]string{"neg"}, []float64{-3}, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Fatal("negative value drew bars")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 3}, 4)
+	if len([]rune(out)) != 4 {
+		t.Fatalf("sparkline width %d", len([]rune(out)))
+	}
+	runes := []rune(out)
+	if runes[0] == runes[3] {
+		t.Fatal("ramp should span block levels")
+	}
+	if got := Sparkline(nil, 5); got != "" {
+		t.Fatalf("empty data sparkline %q", got)
+	}
+	blank := Sparkline([]float64{math.NaN()}, 3)
+	if strings.TrimSpace(blank) != "" {
+		t.Fatalf("NaN sparkline %q", blank)
+	}
+	flat := Sparkline([]float64{2, 2}, 4)
+	if len([]rune(flat)) != 4 {
+		t.Fatal("flat sparkline wrong width")
+	}
+}

@@ -1,0 +1,250 @@
+// Package service exposes Δ-SPOT over HTTP: fit a tensor, inspect events,
+// forecast, and score anomalies — the deployment shape a team monitoring
+// online activity would actually run. Handlers are plain net/http so the
+// server embeds anywhere; cmd/dspot-serve is the thin binary.
+//
+//	POST /v1/fit        text/csv long-form tensor → fitted model JSON
+//	                    ?global_only=1&no_growth=1&no_shocks=1&no_cycles=1
+//	POST /v1/events     model JSON → events per keyword
+//	POST /v1/forecast   model JSON → forecast + predicted events
+//	                    ?keyword=NAME&horizon=H
+//	POST /v1/anomalies  {"model":…, "series":[…], "keyword":…, "threshold":…}
+//	GET  /healthz       liveness
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"dspot/internal/core"
+	"dspot/internal/dataset"
+)
+
+// MaxBodyBytes bounds request bodies (tensors can be large but not
+// unbounded).
+const MaxBodyBytes = 64 << 20
+
+// Server carries the handler configuration.
+type Server struct {
+	// Workers is the fitting concurrency per request.
+	Workers int
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/fit", s.handleFit)
+	mux.HandleFunc("/v1/events", s.handleEvents)
+	mux.HandleFunc("/v1/forecast", s.handleForecast)
+	mux.HandleFunc("/v1/anomalies", s.handleAnomalies)
+	return mux
+}
+
+func (s *Server) workers() int {
+	if s.Workers <= 0 {
+		return 4
+	}
+	return s.Workers
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf(format, args...),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than drop the connection.
+		return
+	}
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	x, err := dataset.ReadCSV(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing tensor: %v", err)
+		return
+	}
+	opts := core.FitOptions{
+		Workers:       s.workers(),
+		DisableGrowth: boolParam(r, "no_growth"),
+		DisableShocks: boolParam(r, "no_shocks"),
+		DisableCycles: boolParam(r, "no_cycles"),
+	}
+	var m *core.Model
+	if boolParam(r, "global_only") {
+		m, err = core.FitGlobal(x, opts)
+	} else {
+		m, err = core.Fit(x, opts)
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "fitting: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteModel(&buf, m); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding model: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// readModel parses a model JSON request body.
+func readModel(w http.ResponseWriter, r *http.Request) (*core.Model, bool) {
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	m, err := dataset.ReadModel(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing model: %v", err)
+		return nil, false
+	}
+	return m, true
+}
+
+// EventJSON is one external shock in wire form.
+type EventJSON struct {
+	Keyword  string    `json:"keyword"`
+	Period   int       `json:"period"`
+	Start    int       `json:"start"`
+	Width    int       `json:"width"`
+	Strength []float64 `json:"strength"`
+	Cyclic   bool      `json:"cyclic"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	m, ok := readModel(w, r)
+	if !ok {
+		return
+	}
+	out := make([]EventJSON, 0, len(m.Shocks))
+	for _, sh := range m.Shocks {
+		out = append(out, EventJSON{
+			Keyword: m.Keywords[sh.Keyword], Period: sh.Period,
+			Start: sh.Start, Width: sh.Width,
+			Strength: sh.Strength, Cyclic: sh.Period > 0,
+		})
+	}
+	writeJSON(w, map[string]any{"events": out})
+}
+
+// ForecastJSON is the forecast wire form.
+type ForecastJSON struct {
+	Keyword  string                `json:"keyword"`
+	Horizon  int                   `json:"horizon"`
+	Forecast []float64             `json:"forecast"`
+	Events   []core.PredictedEvent `json:"predicted_events"`
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	m, ok := readModel(w, r)
+	if !ok {
+		return
+	}
+	i := 0
+	if name := r.URL.Query().Get("keyword"); name != "" {
+		i = -1
+		for k, kw := range m.Keywords {
+			if kw == name {
+				i = k
+			}
+		}
+		if i == -1 {
+			httpError(w, http.StatusBadRequest, "unknown keyword %q", name)
+			return
+		}
+	}
+	horizon := 52
+	if hs := r.URL.Query().Get("horizon"); hs != "" {
+		h, err := strconv.Atoi(hs)
+		if err != nil || h < 1 || h > 100000 {
+			httpError(w, http.StatusBadRequest, "bad horizon %q", hs)
+			return
+		}
+		horizon = h
+	}
+	writeJSON(w, ForecastJSON{
+		Keyword: m.Keywords[i], Horizon: horizon,
+		Forecast: m.ForecastGlobal(i, horizon),
+		Events:   m.PredictedEvents(i, horizon),
+	})
+}
+
+// anomaliesRequest is the /v1/anomalies body.
+type anomaliesRequest struct {
+	Model     json.RawMessage `json:"model"`
+	Series    []float64       `json:"series"`
+	Keyword   string          `json:"keyword"`
+	Threshold float64         `json:"threshold"`
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var req anomaliesRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return
+	}
+	m, err := dataset.ReadModel(bytes.NewReader(req.Model))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing model: %v", err)
+		return
+	}
+	if len(req.Series) == 0 {
+		httpError(w, http.StatusBadRequest, "empty series")
+		return
+	}
+	i := 0
+	if req.Keyword != "" {
+		i = -1
+		for k, kw := range m.Keywords {
+			if kw == req.Keyword {
+				i = k
+			}
+		}
+		if i == -1 {
+			httpError(w, http.StatusBadRequest, "unknown keyword %q", req.Keyword)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{
+		"anomalies": m.AnomaliesGlobal(i, req.Series, req.Threshold),
+	})
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/dataset"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer((&Server{Workers: 2}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// smallTensorCSV renders a small grammy world as long-form CSV.
+func smallTensorCSV(t *testing.T) string {
+	t.Helper()
+	truth, err := datagen.GoogleTrendsKeyword("grammy",
+		datagen.Config{Locations: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, truth.Tensor); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func post(t *testing.T, url, contentType, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestFitEventsForecastPipeline(t *testing.T) {
+	srv := testServer(t)
+	csv := smallTensorCSV(t)
+
+	// Fit (global-only keeps the test fast).
+	resp, modelJSON := post(t, srv.URL+"/v1/fit?global_only=1&no_growth=1",
+		"text/csv", csv)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fit status %d: %s", resp.StatusCode, modelJSON)
+	}
+	m, err := dataset.ReadModel(strings.NewReader(modelJSON))
+	if err != nil {
+		t.Fatalf("fit returned unparsable model: %v", err)
+	}
+	if len(m.Keywords) != 1 || m.Keywords[0] != "grammy" {
+		t.Fatalf("model keywords %v", m.Keywords)
+	}
+
+	// Events.
+	resp, eventsBody := post(t, srv.URL+"/v1/events", "application/json", modelJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d: %s", resp.StatusCode, eventsBody)
+	}
+	var events struct {
+		Events []EventJSON `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(eventsBody), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events.Events) == 0 {
+		t.Fatal("no events detected on the grammy world")
+	}
+	cyclic := false
+	for _, e := range events.Events {
+		if e.Cyclic {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatalf("no cyclic event: %+v", events.Events)
+	}
+
+	// Forecast.
+	resp, fcBody := post(t, srv.URL+"/v1/forecast?horizon=104",
+		"application/json", modelJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forecast status %d: %s", resp.StatusCode, fcBody)
+	}
+	var fc ForecastJSON
+	if err := json.Unmarshal([]byte(fcBody), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Forecast) != 104 {
+		t.Fatalf("forecast length %d", len(fc.Forecast))
+	}
+	if len(fc.Events) == 0 {
+		t.Fatal("no predicted events in forecast")
+	}
+}
+
+func TestAnomaliesEndpoint(t *testing.T) {
+	srv := testServer(t)
+
+	// Hand-built model and series with one corrupted tick.
+	p := core.KeywordParams{N: 100, Beta: 0.5, Delta: 0.45, Gamma: 0.5,
+		I0: 0.02, TEta: core.NoGrowth}
+	m := &core.Model{Keywords: []string{"k"}, Locations: []string{"WW"},
+		Ticks: 150, Global: []core.KeywordParams{p}}
+	series := core.Simulate(&p, 150, nil, -1)
+	series[70] += 30
+
+	var modelBuf bytes.Buffer
+	if err := dataset.WriteModel(&modelBuf, m); err != nil {
+		t.Fatal(err)
+	}
+	reqBody, _ := json.Marshal(map[string]any{
+		"model":     json.RawMessage(modelBuf.Bytes()),
+		"series":    series,
+		"threshold": 3,
+	})
+	resp, body := post(t, srv.URL+"/v1/anomalies", "application/json", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anomalies status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Anomalies []core.Anomaly `json:"anomalies"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Anomalies) == 0 || out.Anomalies[0].Tick != 70 {
+		t.Fatalf("expected anomaly at 70: %+v", out.Anomalies)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		path, contentType, body string
+		wantCode                int
+	}{
+		{"/v1/fit", "text/csv", "not a csv header", http.StatusBadRequest},
+		{"/v1/events", "application/json", "not json", http.StatusBadRequest},
+		{"/v1/forecast", "application/json", `{"keywords":[],"ticks":0,"global":[]}`, http.StatusBadRequest},
+		{"/v1/anomalies", "application/json", `{}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := post(t, srv.URL+c.path, c.contentType, c.body)
+		if resp.StatusCode != c.wantCode {
+			t.Fatalf("%s: status %d (want %d): %s", c.path, resp.StatusCode, c.wantCode, body)
+		}
+		if !strings.Contains(body, "error") {
+			t.Fatalf("%s: no error payload: %s", c.path, body)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{"/v1/fit", "/v1/events", "/v1/forecast", "/v1/anomalies"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestForecastParamValidation(t *testing.T) {
+	srv := testServer(t)
+	p := core.KeywordParams{N: 10, TEta: core.NoGrowth}
+	m := &core.Model{Keywords: []string{"k"}, Locations: []string{"WW"},
+		Ticks: 50, Global: []core.KeywordParams{p}}
+	var buf bytes.Buffer
+	if err := dataset.WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := post(t, srv.URL+"/v1/forecast?horizon=abc", "application/json", buf.String())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad horizon accepted: %d", resp.StatusCode)
+	}
+	resp, _ = post(t, srv.URL+"/v1/forecast?keyword=nope", "application/json", buf.String())
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown keyword accepted: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+// Residual diagnostics: after a model absorbs the structure it claims, its
+// residuals should be white. The Ljung–Box portmanteau test quantifies
+// that, and the fitters' test suites use it to verify they leave no
+// autocorrelation behind. The chi-square CDF is computed from the
+// regularised lower incomplete gamma function (series + continued-fraction
+// evaluation, stdlib only).
+
+import "math"
+
+// LjungBox returns the Ljung–Box Q statistic over the given number of lags
+// and its p-value under the chi-square(lags) null of white residuals. A
+// small p-value rejects whiteness. NaN entries are treated as missing and
+// skipped by the underlying autocorrelations; fewer than 3 observations or
+// non-positive lags yield (0, 1).
+func LjungBox(resid []float64, lags int) (q, pvalue float64) {
+	n := 0
+	for _, v := range resid {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	if n < 3 || lags <= 0 {
+		return 0, 1
+	}
+	if lags >= n {
+		lags = n - 1
+	}
+	for k := 1; k <= lags; k++ {
+		r := Autocorrelation(resid, k)
+		q += r * r / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	return q, 1 - ChiSquareCDF(q, float64(lags))
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareCDF(x, k float64) float64 {
+	if x <= 0 || k <= 0 {
+		return 0
+	}
+	return regularizedGammaP(k/2, x/2)
+}
+
+// regularizedGammaP computes P(a, x), the regularised lower incomplete
+// gamma function, by the series expansion for x < a+1 and the continued
+// fraction for the complement otherwise (Numerical Recipes gammp/gammq).
+func regularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 0
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-14 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

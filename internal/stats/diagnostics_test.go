@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Chi-square with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x/2)
+		if got := ChiSquareCDF(x, 2); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("ChiSquareCDF(%g,2) = %g, want %g", x, got, want)
+		}
+	}
+	// Median of chi-square(1) is ≈ 0.4549.
+	if got := ChiSquareCDF(0.4549, 1); math.Abs(got-0.5) > 1e-3 {
+		t.Fatalf("chi2(1) median CDF = %g", got)
+	}
+	// k=10 at its mean is a bit above half.
+	got := ChiSquareCDF(10, 10)
+	if got < 0.5 || got > 0.65 {
+		t.Fatalf("chi2(10) at mean = %g", got)
+	}
+	if ChiSquareCDF(-1, 3) != 0 || ChiSquareCDF(1, 0) != 0 {
+		t.Fatal("degenerate inputs should be 0")
+	}
+}
+
+func TestChiSquareCDFMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Float64()*20
+		prev := -1.0
+		for x := 0.1; x < 50; x += 2.4 {
+			v := ChiSquareCDF(x, k)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLjungBoxWhiteNoiseAccepts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	resid := make([]float64, 500)
+	for i := range resid {
+		resid[i] = rng.NormFloat64()
+	}
+	_, p := LjungBox(resid, 10)
+	if p < 0.01 {
+		t.Fatalf("white noise rejected: p = %g", p)
+	}
+}
+
+func TestLjungBoxAutocorrelatedRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	resid := make([]float64, 500)
+	for i := 1; i < len(resid); i++ {
+		resid[i] = 0.7*resid[i-1] + rng.NormFloat64()*0.3
+	}
+	q, p := LjungBox(resid, 10)
+	if p > 1e-6 {
+		t.Fatalf("strong AR(1) residuals accepted: q=%g p=%g", q, p)
+	}
+}
+
+func TestLjungBoxDegenerate(t *testing.T) {
+	if q, p := LjungBox(nil, 5); q != 0 || p != 1 {
+		t.Fatalf("empty residuals: q=%g p=%g", q, p)
+	}
+	if q, p := LjungBox([]float64{1, 2}, 5); q != 0 || p != 1 {
+		t.Fatalf("too-short residuals: q=%g p=%g", q, p)
+	}
+	if _, p := LjungBox([]float64{1, 2, 3, 4, 5}, 0); p != 1 {
+		t.Fatal("zero lags should be vacuous")
+	}
+	// Lags clamp below n.
+	if q, _ := LjungBox([]float64{1, -1, 1, -1, 1}, 99); math.IsNaN(q) {
+		t.Fatal("clamped lags produced NaN")
+	}
+}
+
+// Property: p-values stay in [0, 1].
+func TestLjungBoxPValueRangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		resid := make([]float64, n)
+		for i := range resid {
+			resid[i] = rng.NormFloat64() * (0.5 + rng.Float64())
+		}
+		_, p := LjungBox(resid, 1+rng.Intn(20))
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

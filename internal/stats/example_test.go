@@ -1,0 +1,43 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+
+	"dspot/internal/stats"
+)
+
+// Candidate periodicities from the autocorrelation function.
+func ExampleDominantPeriods() {
+	n, p := 208, 52
+	s := make([]float64, n)
+	for i := range s {
+		if i%p < 3 {
+			s[i] = 10
+		}
+	}
+	periods := stats.DominantPeriods(s, 1, 4, 0.2)
+	near52 := len(periods) == 1 && periods[0] >= 50 && periods[0] <= 54
+	fmt.Println("annual period found:", near52)
+	// Output:
+	// annual period found: true
+}
+
+// Contiguous elevated runs become shock-candidate peaks.
+func ExampleFindPeaks() {
+	s := []float64{0, 5, 8, 5, 0, 0, 3, 0}
+	peaks := stats.FindPeaks(s, 1)
+	fmt.Printf("peaks=%d biggest: start=%d width=%d apex=%d\n",
+		len(peaks), peaks[0].Start, peaks[0].Width, peaks[0].Apex)
+	// Output:
+	// peaks=2 biggest: start=1 width=3 apex=2
+}
+
+// RMSE skips NaN (missing) observations.
+func ExampleRMSE() {
+	obs := []float64{1, math.NaN(), 3}
+	est := []float64{2, 99, 4}
+	fmt.Println(stats.RMSE(obs, est))
+	// Output:
+	// 1
+}

@@ -1,0 +1,331 @@
+// Package stats provides the descriptive statistics and signal-processing
+// primitives shared across the Δ-SPOT fitters and the evaluation harness:
+// moments, error metrics (RMSE/MAE), autocorrelation, a simple periodogram,
+// and peak detection used for seeding external-shock candidates.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of s (0 for an empty slice). NaN entries
+// are skipped so that tensor missing values can be passed through directly.
+func Mean(s []float64) float64 {
+	sum, cnt := 0.0, 0
+	for _, v := range s {
+		if math.IsNaN(v) {
+			continue
+		}
+		sum += v
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Variance returns the population variance of s (0 for fewer than one
+// observation). NaN entries are skipped.
+func Variance(s []float64) float64 {
+	m := Mean(s)
+	sum, cnt := 0.0, 0
+	for _, v := range s {
+		if math.IsNaN(v) {
+			continue
+		}
+		d := v - m
+		sum += d * d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Std returns the population standard deviation.
+func Std(s []float64) float64 { return math.Sqrt(Variance(s)) }
+
+// Min returns the minimum non-NaN value (+Inf for empty/all-NaN input).
+func Min(s []float64) float64 {
+	best := math.Inf(1)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Max returns the maximum non-NaN value (-Inf for empty/all-NaN input).
+func Max(s []float64) float64 {
+	best := math.Inf(-1)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// RMSE returns the root-mean-square error between observed and estimated
+// sequences, skipping pairs where either side is NaN. Sequences of unequal
+// length are compared over their common prefix. An empty comparison set
+// yields 0.
+func RMSE(obs, est []float64) float64 {
+	n := len(obs)
+	if len(est) < n {
+		n = len(est)
+	}
+	sum, cnt := 0.0, 0
+	for t := 0; t < n; t++ {
+		if math.IsNaN(obs[t]) || math.IsNaN(est[t]) {
+			continue
+		}
+		d := obs[t] - est[t]
+		sum += d * d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(cnt))
+}
+
+// MAE returns the mean absolute error with the same NaN/length semantics as
+// RMSE.
+func MAE(obs, est []float64) float64 {
+	n := len(obs)
+	if len(est) < n {
+		n = len(est)
+	}
+	sum, cnt := 0.0, 0
+	for t := 0; t < n; t++ {
+		if math.IsNaN(obs[t]) || math.IsNaN(est[t]) {
+			continue
+		}
+		sum += math.Abs(obs[t] - est[t])
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// SSE returns the sum of squared errors with the same NaN/length semantics
+// as RMSE.
+func SSE(obs, est []float64) float64 {
+	n := len(obs)
+	if len(est) < n {
+		n = len(est)
+	}
+	sum := 0.0
+	for t := 0; t < n; t++ {
+		if math.IsNaN(obs[t]) || math.IsNaN(est[t]) {
+			continue
+		}
+		d := obs[t] - est[t]
+		sum += d * d
+	}
+	return sum
+}
+
+// Autocorrelation returns the sample autocorrelation of s at the given lag
+// (0 when the lag is out of range or the series is constant).
+func Autocorrelation(s []float64, lag int) float64 {
+	n := len(s)
+	if lag <= 0 || lag >= n {
+		if lag == 0 {
+			return 1
+		}
+		return 0
+	}
+	m := Mean(s)
+	var num, den float64
+	for t := 0; t < n; t++ {
+		if math.IsNaN(s[t]) {
+			continue
+		}
+		d := s[t] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for t := 0; t+lag < n; t++ {
+		if math.IsNaN(s[t]) || math.IsNaN(s[t+lag]) {
+			continue
+		}
+		num += (s[t] - m) * (s[t+lag] - m)
+	}
+	return num / den
+}
+
+// ACF returns autocorrelations for lags 0..maxLag inclusive.
+func ACF(s []float64, maxLag int) []float64 {
+	if maxLag >= len(s) {
+		maxLag = len(s) - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	out := make([]float64, maxLag+1)
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = Autocorrelation(s, lag)
+	}
+	return out
+}
+
+// DominantPeriods returns up to k candidate periods of s, found as local
+// maxima of the autocorrelation function above the given threshold, ordered
+// by decreasing autocorrelation. Periods shorter than minPeriod are ignored.
+func DominantPeriods(s []float64, k, minPeriod int, threshold float64) []int {
+	maxLag := len(s) / 2
+	acf := ACF(s, maxLag)
+	if len(acf) < 3 {
+		return nil
+	}
+	type cand struct {
+		lag int
+		r   float64
+	}
+	var cands []cand
+	for lag := 2; lag < len(acf)-1; lag++ {
+		if lag < minPeriod {
+			continue
+		}
+		if acf[lag] >= threshold && acf[lag] >= acf[lag-1] && acf[lag] >= acf[lag+1] {
+			cands = append(cands, cand{lag, acf[lag]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].r != cands[b].r {
+			return cands[a].r > cands[b].r
+		}
+		return cands[a].lag < cands[b].lag
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.lag
+	}
+	return out
+}
+
+// Peak describes a contiguous run of elevated values in a sequence.
+type Peak struct {
+	Start int     // first tick of the run
+	Width int     // number of ticks in the run
+	Apex  int     // tick of the run maximum
+	Mass  float64 // sum of values over the run
+	Max   float64 // maximum value in the run
+}
+
+// FindPeaks segments s into contiguous runs where s exceeds level, returning
+// the runs ordered by decreasing mass. NaN entries terminate runs.
+func FindPeaks(s []float64, level float64) []Peak {
+	var peaks []Peak
+	inRun := false
+	var cur Peak
+	flush := func(end int) {
+		if !inRun {
+			return
+		}
+		cur.Width = end - cur.Start
+		peaks = append(peaks, cur)
+		inRun = false
+	}
+	for t, v := range s {
+		if math.IsNaN(v) || v <= level {
+			flush(t)
+			continue
+		}
+		if !inRun {
+			inRun = true
+			cur = Peak{Start: t, Apex: t, Max: v, Mass: 0}
+		}
+		cur.Mass += v
+		if v > cur.Max {
+			cur.Max, cur.Apex = v, t
+		}
+	}
+	flush(len(s))
+	sort.Slice(peaks, func(a, b int) bool {
+		if peaks[a].Mass != peaks[b].Mass {
+			return peaks[a].Mass > peaks[b].Mass
+		}
+		return peaks[a].Start < peaks[b].Start
+	})
+	return peaks
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the non-NaN entries of s
+// using linear interpolation; it returns 0 for an empty sample.
+func Quantile(s []float64, q float64) float64 {
+	var clean []float64
+	for _, v := range s {
+		if !math.IsNaN(v) {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) == 0 {
+		return 0
+	}
+	sort.Float64s(clean)
+	if q <= 0 {
+		return clean[0]
+	}
+	if q >= 1 {
+		return clean[len(clean)-1]
+	}
+	pos := q * float64(len(clean)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return clean[lo]
+	}
+	frac := pos - float64(lo)
+	return clean[lo]*(1-frac) + clean[hi]*frac
+}
+
+// Pearson returns the Pearson correlation coefficient between a and b over
+// their common prefix, skipping NaN pairs (0 for degenerate input).
+func Pearson(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var xs, ys []float64
+	for t := 0; t < n; t++ {
+		if math.IsNaN(a[t]) || math.IsNaN(b[t]) {
+			continue
+		}
+		xs = append(xs, a[t])
+		ys = append(ys, b[t])
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, dx, dy float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		dx += (xs[i] - mx) * (xs[i] - mx)
+		dy += (ys[i] - my) * (ys[i] - my)
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(s); !almost(got, 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := Variance(s); !almost(got, 4, 1e-12) {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if got := Std(s); !almost(got, 2, 1e-12) {
+		t.Fatalf("Std = %g, want 2", got)
+	}
+}
+
+func TestMeanSkipsNaN(t *testing.T) {
+	s := []float64{1, math.NaN(), 3}
+	if got := Mean(s); !almost(got, 2, 1e-12) {
+		t.Fatalf("Mean with NaN = %g, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := []float64{3, math.NaN(), -1, 7}
+	if got := Min(s); got != -1 {
+		t.Fatalf("Min = %g", got)
+	}
+	if got := Max(s); got != 7 {
+		t.Fatalf("Max = %g", got)
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max sentinel wrong")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	obs := []float64{1, 2, 3}
+	est := []float64{1, 2, 3}
+	if got := RMSE(obs, est); got != 0 {
+		t.Fatalf("RMSE identical = %g", got)
+	}
+	est = []float64{2, 3, 4}
+	if got := RMSE(obs, est); !almost(got, 1, 1e-12) {
+		t.Fatalf("RMSE shifted = %g, want 1", got)
+	}
+	if got := MAE(obs, est); !almost(got, 1, 1e-12) {
+		t.Fatalf("MAE shifted = %g, want 1", got)
+	}
+	// NaN pairs skipped; unequal lengths use common prefix.
+	obs = []float64{1, math.NaN(), 5}
+	est = []float64{2, 100}
+	if got := RMSE(obs, est); !almost(got, 1, 1e-12) {
+		t.Fatalf("RMSE with NaN/len = %g, want 1", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Fatalf("RMSE empty = %g", got)
+	}
+}
+
+func TestSSE(t *testing.T) {
+	if got := SSE([]float64{1, 2}, []float64{0, 0}); !almost(got, 5, 1e-12) {
+		t.Fatalf("SSE = %g, want 5", got)
+	}
+}
+
+func TestAutocorrelationPeriodic(t *testing.T) {
+	n, p := 120, 12
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Sin(2 * math.Pi * float64(i) / float64(p))
+	}
+	if got := Autocorrelation(s, 0); got != 1 {
+		t.Fatalf("ACF(0) = %g, want 1", got)
+	}
+	if got := Autocorrelation(s, p); got < 0.8 {
+		t.Fatalf("ACF(period) = %g, want high", got)
+	}
+	if got := Autocorrelation(s, p/2); got > -0.5 {
+		t.Fatalf("ACF(half period) = %g, want strongly negative", got)
+	}
+	if got := Autocorrelation([]float64{5, 5, 5}, 1); got != 0 {
+		t.Fatalf("ACF constant = %g, want 0", got)
+	}
+	if got := Autocorrelation(s, n+5); got != 0 {
+		t.Fatalf("ACF out-of-range = %g, want 0", got)
+	}
+}
+
+func TestACFLength(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	acf := ACF(s, 10)
+	if len(acf) != 4 { // clamped to n-1 lags + lag 0
+		t.Fatalf("ACF len = %d, want 4", len(acf))
+	}
+	if ACF(nil, 3) != nil {
+		t.Fatal("ACF(nil) should be nil")
+	}
+}
+
+func TestDominantPeriods(t *testing.T) {
+	n, p := 208, 52
+	s := make([]float64, n)
+	for i := range s {
+		if i%p < 3 {
+			s[i] = 10
+		}
+	}
+	periods := DominantPeriods(s, 3, 4, 0.2)
+	if len(periods) == 0 {
+		t.Fatal("no dominant periods found")
+	}
+	found := false
+	for _, got := range periods {
+		if got >= p-2 && got <= p+2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("period %d not among %v", p, periods)
+	}
+}
+
+func TestDominantPeriodsFlat(t *testing.T) {
+	if got := DominantPeriods(make([]float64, 50), 3, 2, 0.2); len(got) != 0 {
+		t.Fatalf("flat series returned periods %v", got)
+	}
+}
+
+func TestFindPeaks(t *testing.T) {
+	s := []float64{0, 5, 8, 5, 0, 0, 3, 0, 9}
+	peaks := FindPeaks(s, 1)
+	if len(peaks) != 3 {
+		t.Fatalf("found %d peaks, want 3: %v", len(peaks), peaks)
+	}
+	// Ordered by mass: run [1,4) has mass 18.
+	if peaks[0].Start != 1 || peaks[0].Width != 3 || peaks[0].Apex != 2 || peaks[0].Max != 8 {
+		t.Fatalf("biggest peak = %+v", peaks[0])
+	}
+	// Final run reaching the end of the slice is flushed.
+	last := peaks[1]
+	if last.Start != 8 || last.Width != 1 || last.Max != 9 {
+		t.Fatalf("tail peak = %+v", last)
+	}
+}
+
+func TestFindPeaksNaNBreaksRun(t *testing.T) {
+	s := []float64{5, math.NaN(), 5}
+	peaks := FindPeaks(s, 1)
+	if len(peaks) != 2 {
+		t.Fatalf("NaN should split run: got %d peaks", len(peaks))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := Quantile(s, 0); got != 1 {
+		t.Fatalf("q0 = %g", got)
+	}
+	if got := Quantile(s, 1); got != 4 {
+		t.Fatalf("q1 = %g", got)
+	}
+	if got := Quantile(s, 0.5); !almost(got, 2.5, 1e-12) {
+		t.Fatalf("median = %g, want 2.5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantile = %g", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6, 8}
+	if got := Pearson(a, b); !almost(got, 1, 1e-12) {
+		t.Fatalf("Pearson proportional = %g", got)
+	}
+	c := []float64{8, 6, 4, 2}
+	if got := Pearson(a, c); !almost(got, -1, 1e-12) {
+		t.Fatalf("Pearson inverse = %g", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("Pearson constant = %g", got)
+	}
+}
+
+// Property: RMSE is symmetric and non-negative; RMSE(x,x)=0.
+func TestRMSEPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+			b[i] = rng.NormFloat64() * 10
+		}
+		r1, r2 := RMSE(a, b), RMSE(b, a)
+		return r1 >= 0 && almost(r1, r2, 1e-9) && RMSE(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(s, q)
+			if v < prev-1e-9 || v < Min(s)-1e-9 || v > Max(s)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pearson is within [-1, 1].
+func TestPearsonBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r := Pearson(a, b)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

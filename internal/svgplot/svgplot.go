@@ -1,0 +1,227 @@
+// Package svgplot renders time-series panels as standalone SVG documents —
+// the publication-shaped counterpart of internal/plot's terminal charts.
+// Output is deterministic, dependency-free XML: observed points as circles,
+// fitted/forecast curves as polylines, optional event markers, axes with
+// tick labels.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one plotted series.
+type Series struct {
+	Name   string
+	Data   []float64 // NaN entries are skipped
+	Color  string    // CSS color; defaults assigned per index
+	Points bool      // true: draw circles (observations); false: polyline
+}
+
+// Marker is a labelled vertical marker (e.g., a detected event).
+type Marker struct {
+	Tick  int
+	Label string
+	Color string
+}
+
+// Chart is an SVG chart under construction.
+type Chart struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	W, H    int // canvas size in px (defaults 860×320)
+	series  []Series
+	markers []Marker
+}
+
+// defaultPalette cycles when a series has no explicit color.
+var defaultPalette = []string{"#444444", "#c0392b", "#2471a3", "#1e8449", "#9a7d0a"}
+
+// New returns an empty chart with the given title.
+func New(title string) *Chart {
+	return &Chart{Title: title, W: 860, H: 320, XLabel: "tick", YLabel: "count"}
+}
+
+// Add appends a series.
+func (c *Chart) Add(s Series) *Chart {
+	if s.Color == "" {
+		s.Color = defaultPalette[len(c.series)%len(defaultPalette)]
+	}
+	c.series = append(c.series, s)
+	return c
+}
+
+// Mark appends a vertical event marker.
+func (c *Chart) Mark(m Marker) *Chart {
+	if m.Color == "" {
+		m.Color = "#7d3c98"
+	}
+	c.markers = append(c.markers, m)
+	return c
+}
+
+// bounds computes the data extents.
+func (c *Chart) bounds() (n int, lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		if len(s.Data) > n {
+			n = len(s.Data)
+		}
+		for _, v := range s.Data {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if n == 0 || math.IsInf(lo, 1) {
+		return 0, 0, 0, false
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	return n, lo, hi, true
+}
+
+const (
+	padLeft   = 56
+	padRight  = 16
+	padTop    = 30
+	padBottom = 42
+)
+
+// Render writes the SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	n, lo, hi, ok := c.bounds()
+	if !ok {
+		return fmt.Errorf("svgplot: no data to render")
+	}
+	if c.W < 200 {
+		c.W = 200
+	}
+	if c.H < 120 {
+		c.H = 120
+	}
+	plotW := float64(c.W - padLeft - padRight)
+	plotH := float64(c.H - padTop - padBottom)
+	xOf := func(t int) float64 {
+		if n <= 1 {
+			return padLeft
+		}
+		return padLeft + plotW*float64(t)/float64(n-1)
+	}
+	yOf := func(v float64) float64 {
+		return padTop + plotH*(1-(v-lo)/(hi-lo))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		c.W, c.H, c.W, c.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		padLeft, xmlEscape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#888"/>`+"\n",
+		padLeft, padTop+plotH, c.W-padRight, padTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="#888"/>`+"\n",
+		padLeft, padTop, padLeft, padTop+plotH)
+	// Y tick labels (lo, mid, hi) and X (0, n/2, n-1).
+	for _, v := range []float64{lo, (lo + hi) / 2, hi} {
+		fmt.Fprintf(&b, `<text x="%d" y="%g" font-family="sans-serif" font-size="10" text-anchor="end" fill="#555">%.4g</text>`+"\n",
+			padLeft-6, yOf(v)+3, v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#ddd"/>`+"\n",
+			padLeft, yOf(v), c.W-padRight, yOf(v))
+	}
+	for _, t := range []int{0, (n - 1) / 2, n - 1} {
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle" fill="#555">%d</text>`+"\n",
+			xOf(t), padTop+plotH+14, t)
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle" fill="#333">%s</text>`+"\n",
+		padLeft+plotW/2, c.H-8, xmlEscape(c.XLabel))
+
+	// Markers under the data.
+	for _, m := range c.markers {
+		if m.Tick < 0 || m.Tick >= n {
+			continue
+		}
+		x := xOf(m.Tick)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%d" x2="%g" y2="%g" stroke="%s" stroke-dasharray="4 3"/>`+"\n",
+			x, padTop, x, padTop+plotH, m.Color)
+		if m.Label != "" {
+			fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="9" fill="%s" text-anchor="middle">%s</text>`+"\n",
+				x, padTop-4, m.Color, xmlEscape(m.Label))
+		}
+	}
+
+	// Series.
+	for _, s := range c.series {
+		if s.Points {
+			for t, v := range s.Data {
+				if math.IsNaN(v) {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="1.6" fill="%s" fill-opacity="0.55"/>`+"\n",
+					xOf(t), yOf(v), s.Color)
+			}
+			continue
+		}
+		var pts []string
+		flush := func() {
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+					strings.Join(pts, " "), s.Color)
+			}
+			pts = pts[:0]
+		}
+		for t, v := range s.Data {
+			if math.IsNaN(v) {
+				flush()
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xOf(t), yOf(v)))
+		}
+		flush()
+	}
+
+	// Legend.
+	lx := float64(padLeft + 8)
+	for _, s := range c.series {
+		fmt.Fprintf(&b, `<rect x="%g" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			lx, padTop+2, s.Color)
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="11" fill="#333">%s</text>`+"\n",
+			lx+14, padTop+11, xmlEscape(s.Name))
+		lx += 18 + 7*float64(len(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Save renders to a file.
+func (c *Chart) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Render(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,132 @@
+package svgplot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	obs := []float64{1, 3, 2, 8, 2, 1, math.NaN(), 2}
+	fit := []float64{1.2, 2.8, 2.2, 7.5, 2.1, 1.1, 1.4, 1.9}
+	return New("test panel").
+		Add(Series{Name: "observed", Data: obs, Points: true}).
+		Add(Series{Name: "fitted", Data: fit}).
+		Mark(Marker{Tick: 3, Label: "event"})
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle", "test panel", "event",
+		`stroke-dasharray`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG output", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 || strings.Count(out, "</svg>") != 1 {
+		t.Fatal("malformed document structure")
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into SVG coordinates")
+	}
+}
+
+func TestRenderNaNBreaksPolyline(t *testing.T) {
+	data := []float64{1, 2, math.NaN(), 3, 4}
+	var buf bytes.Buffer
+	if err := New("gap").Add(Series{Name: "s", Data: data}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A gap should split the line into two polylines.
+	if got := strings.Count(buf.String(), "<polyline"); got != 2 {
+		t.Fatalf("polyline segments = %d, want 2", got)
+	}
+}
+
+func TestRenderEmptyFails(t *testing.T) {
+	if err := New("empty").Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+	nanOnly := New("nan").Add(Series{Name: "s", Data: []float64{math.NaN()}})
+	if err := nanOnly.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("all-NaN chart rendered")
+	}
+}
+
+func TestRenderEscapesXML(t *testing.T) {
+	var buf bytes.Buffer
+	c := New(`a<b>&"c"`).Add(Series{Name: "x<y", Data: []float64{1, 2}})
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a<b>") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Fatalf("escape output wrong: %s", out[:200])
+	}
+}
+
+func TestSaveWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chart.svg")
+	if err := sampleChart().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("file does not start with <svg")
+	}
+}
+
+func TestDefaultColorsAssigned(t *testing.T) {
+	c := New("colors")
+	for i := 0; i < 7; i++ {
+		c.Add(Series{Name: "s", Data: []float64{1, 2}})
+	}
+	for i, s := range c.series {
+		if s.Color == "" {
+			t.Fatalf("series %d has no color", i)
+		}
+	}
+	// Palette cycles.
+	if c.series[0].Color != c.series[5].Color {
+		t.Fatal("palette did not cycle")
+	}
+}
+
+func TestMarkerOutOfRangeIgnored(t *testing.T) {
+	var buf bytes.Buffer
+	c := New("m").Add(Series{Name: "s", Data: []float64{1, 2, 3}}).
+		Mark(Marker{Tick: 99, Label: "ghost"})
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ghost") {
+		t.Fatal("out-of-range marker rendered")
+	}
+}
+
+func TestMinimumCanvas(t *testing.T) {
+	c := New("tiny").Add(Series{Name: "s", Data: []float64{1, 2}})
+	c.W, c.H = 10, 10
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.W < 200 || c.H < 120 {
+		t.Fatal("minimum canvas not enforced")
+	}
+}

@@ -1,0 +1,176 @@
+package tbats
+
+// ARMA(p, q) error correction — the final component of the full TBATS
+// specification (the "A" in the acronym). The state-space filter leaves
+// one-step-ahead residuals; when they are autocorrelated, an ARMA model of
+// the residual process sharpens both the in-sample fit and the forecast.
+// Orders are selected from {0,1,2}×{0,1} by AIC on the residual series,
+// with (0,0) meaning "no correction" (the default when residuals are
+// already white).
+
+import (
+	"math"
+
+	"dspot/internal/optimize"
+	"dspot/internal/stats"
+)
+
+// armaModel is a fitted ARMA(p, q) on the filter residuals.
+type armaModel struct {
+	p, q int
+	phi  []float64 // AR coefficients, length p
+	teta []float64 // MA coefficients, length q
+	aic  float64
+
+	// Tail state for forecasting: the last p residual-process values and
+	// the last q innovations.
+	lastE []float64
+	lastA []float64
+}
+
+// armaSSE runs the innovations recursion and returns the SSE of the
+// one-step predictions plus the innovation sequence.
+func armaSSE(e []float64, phi, teta []float64) (float64, []float64) {
+	p, q := len(phi), len(teta)
+	a := make([]float64, len(e)) // innovations
+	sse := 0.0
+	for t := range e {
+		pred := 0.0
+		for k := 1; k <= p; k++ {
+			if t-k >= 0 {
+				pred += phi[k-1] * e[t-k]
+			}
+		}
+		for k := 1; k <= q; k++ {
+			if t-k >= 0 {
+				pred += teta[k-1] * a[t-k]
+			}
+		}
+		a[t] = e[t] - pred
+		sse += a[t] * a[t]
+	}
+	return sse, a
+}
+
+// fitARMA selects and fits the residual ARMA by AIC. Residual series
+// shorter than 16 observations skip correction entirely.
+func fitARMA(resid []float64) *armaModel {
+	n := len(resid)
+	none := &armaModel{}
+	none.aic = armaAIC(stats.SSE(resid, make([]float64, n)), n, 0)
+	if n < 16 {
+		return none
+	}
+	best := none
+	for p := 0; p <= 2; p++ {
+		for q := 0; q <= 1; q++ {
+			if p == 0 && q == 0 {
+				continue
+			}
+			dim := p + q
+			obj := func(v []float64) float64 {
+				phi := v[:p]
+				teta := v[p:]
+				for _, c := range v {
+					if math.Abs(c) > 1.2 { // keep the recursion stable
+						return math.Inf(1)
+					}
+				}
+				sse, _ := armaSSE(resid, phi, teta)
+				return sse
+			}
+			x0 := make([]float64, dim)
+			if p > 0 {
+				x0[0] = stats.Autocorrelation(resid, 1) // moment start
+			}
+			xb, sse := optimize.NelderMead(obj, x0, optimize.NelderMeadOptions{MaxIter: 800})
+			if math.IsInf(sse, 1) {
+				continue
+			}
+			aic := armaAIC(sse, n, dim)
+			if aic < best.aic-1e-9 {
+				m := &armaModel{p: p, q: q,
+					phi:  append([]float64(nil), xb[:p]...),
+					teta: append([]float64(nil), xb[p:]...),
+					aic:  aic}
+				_, innov := armaSSE(resid, m.phi, m.teta)
+				m.captureTail(resid, innov)
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+func armaAIC(sse float64, n, params int) float64 {
+	variance := sse / float64(n)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	return float64(n)*math.Log(variance) + 2*float64(params)
+}
+
+// captureTail records the state needed to extrapolate the residual process.
+func (m *armaModel) captureTail(e, a []float64) {
+	take := func(s []float64, k int) []float64 {
+		if k == 0 {
+			return nil
+		}
+		out := make([]float64, k)
+		for i := 0; i < k; i++ {
+			idx := len(s) - k + i
+			if idx >= 0 {
+				out[i] = s[idx]
+			}
+		}
+		return out
+	}
+	m.lastE = take(e, m.p)
+	m.lastA = take(a, m.q)
+}
+
+// active reports whether the model applies any correction.
+func (m *armaModel) active() bool { return m != nil && (m.p > 0 || m.q > 0) }
+
+// predictInSample returns the ARMA's one-step prediction of each residual
+// (aligned with resid).
+func (m *armaModel) predictInSample(resid []float64) []float64 {
+	out := make([]float64, len(resid))
+	if !m.active() {
+		return out
+	}
+	_, innov := armaSSE(resid, m.phi, m.teta)
+	for t := range resid {
+		out[t] = resid[t] - innov[t]
+	}
+	return out
+}
+
+// forecast extrapolates the residual process h steps (innovations 0).
+func (m *armaModel) forecast(h int) []float64 {
+	out := make([]float64, h)
+	if !m.active() {
+		return out
+	}
+	e := append([]float64(nil), m.lastE...)
+	a := append([]float64(nil), m.lastA...)
+	for t := 0; t < h; t++ {
+		pred := 0.0
+		for k := 1; k <= m.p; k++ {
+			idx := len(e) - k
+			if idx >= 0 {
+				pred += m.phi[k-1] * e[idx]
+			}
+		}
+		for k := 1; k <= m.q; k++ {
+			idx := len(a) - k
+			if idx >= 0 {
+				pred += m.teta[k-1] * a[idx]
+			}
+		}
+		out[t] = pred
+		e = append(e, pred)
+		a = append(a, 0)
+	}
+	return out
+}

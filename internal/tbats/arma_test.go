@@ -1,0 +1,167 @@
+package tbats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dspot/internal/stats"
+)
+
+// genARProcess synthesises a stationary AR(1) residual process.
+func genARProcess(phi float64, n int, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for t := 1; t < n; t++ {
+		out[t] = phi*out[t-1] + rng.NormFloat64()*noise
+	}
+	return out
+}
+
+func TestArmaSSEWhiteNoiseZeroModel(t *testing.T) {
+	e := []float64{1, -2, 3}
+	sse, innov := armaSSE(e, nil, nil)
+	if math.Abs(sse-14) > 1e-12 {
+		t.Fatalf("no-model SSE = %g, want 14", sse)
+	}
+	for i := range e {
+		if innov[i] != e[i] {
+			t.Fatal("no-model innovations should equal residuals")
+		}
+	}
+}
+
+func TestArmaSSEExactAR1(t *testing.T) {
+	// e(t) = 0.7·e(t-1) exactly: AR(1) with phi=0.7 leaves zero innovations
+	// after the first step.
+	e := []float64{1}
+	for i := 1; i < 20; i++ {
+		e = append(e, 0.7*e[i-1])
+	}
+	sse, _ := armaSSE(e, []float64{0.7}, nil)
+	if sse-1 > 1e-12 { // only e(0) is unpredictable
+		t.Fatalf("exact AR(1) SSE = %g, want 1", sse)
+	}
+}
+
+func TestFitARMARecoversAR1(t *testing.T) {
+	resid := genARProcess(0.6, 600, 0.5, 1)
+	m := fitARMA(resid)
+	if !m.active() {
+		t.Fatal("strongly autocorrelated residuals left uncorrected")
+	}
+	if m.p < 1 {
+		t.Fatalf("AR order %d, want >= 1", m.p)
+	}
+	if math.Abs(m.phi[0]-0.6) > 0.15 {
+		t.Fatalf("phi = %v, want ≈0.6", m.phi)
+	}
+}
+
+func TestFitARMAWhiteNoiseStaysInactive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	resid := make([]float64, 400)
+	for i := range resid {
+		resid[i] = rng.NormFloat64()
+	}
+	m := fitARMA(resid)
+	if m.active() {
+		// AIC may very occasionally keep a tiny coefficient; it must at
+		// least be small.
+		for _, c := range append(m.phi, m.teta...) {
+			if math.Abs(c) > 0.2 {
+				t.Fatalf("white noise got large ARMA coefficient: %+v", m)
+			}
+		}
+	}
+}
+
+func TestFitARMAShortSeriesInactive(t *testing.T) {
+	if m := fitARMA(genARProcess(0.8, 10, 0.5, 3)); m.active() {
+		t.Fatal("short residual series should skip correction")
+	}
+}
+
+func TestArmaForecastDecays(t *testing.T) {
+	resid := genARProcess(0.7, 600, 0.5, 4)
+	m := fitARMA(resid)
+	if !m.active() {
+		t.Skip("correction not kept on this seed")
+	}
+	fc := m.forecast(50)
+	if math.Abs(fc[49]) > math.Abs(fc[0]) {
+		t.Fatalf("stationary ARMA forecast should decay: %g -> %g", fc[0], fc[49])
+	}
+	for _, v := range fc {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("forecast not finite")
+		}
+	}
+}
+
+func TestArmaInactiveHelpers(t *testing.T) {
+	var nilModel *armaModel
+	if nilModel.active() {
+		t.Fatal("nil model active")
+	}
+	none := &armaModel{}
+	if got := none.forecast(5); len(got) != 5 {
+		t.Fatal("inactive forecast length")
+	}
+	for _, v := range none.forecast(5) {
+		if v != 0 {
+			t.Fatal("inactive forecast should be zero")
+		}
+	}
+	pred := none.predictInSample([]float64{1, 2})
+	if pred[0] != 0 || pred[1] != 0 {
+		t.Fatal("inactive in-sample prediction should be zero")
+	}
+}
+
+func TestARMACorrectionWhitensResiduals(t *testing.T) {
+	// The correction must leave residual innovations much whiter (by
+	// Ljung–Box) than the raw filter residuals it was fitted on.
+	resid := genARProcess(0.7, 800, 1, 21)
+	_, pBefore := stats.LjungBox(resid, 10)
+	m := fitARMA(resid)
+	if !m.active() {
+		t.Fatal("correction not kept on strongly autocorrelated input")
+	}
+	_, innov := armaSSE(resid, m.phi, m.teta)
+	_, pAfter := stats.LjungBox(innov[5:], 10)
+	if pAfter <= pBefore {
+		t.Fatalf("innovations not whiter: p %g -> %g", pBefore, pAfter)
+	}
+	if pAfter < 0.001 {
+		t.Fatalf("innovations still strongly autocorrelated: p = %g", pAfter)
+	}
+}
+
+func TestTBATSWithARMAImprovesAutocorrelatedSeries(t *testing.T) {
+	// Level + strongly autocorrelated disturbance: the plain filter leaves
+	// AR structure in its residuals which the ARMA stage should absorb.
+	n := 300
+	ar := genARProcess(0.8, n, 2, 5)
+	seq := make([]float64, n)
+	for i := range seq {
+		seq[i] = 50 + ar[i]
+		if seq[i] < 0 {
+			seq[i] = 0
+		}
+	}
+	m, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := m.Fitted(seq)
+	if rmse := stats.RMSE(seq[10:], fit[10:]); rmse >= stats.Std(seq) {
+		t.Fatalf("ARMA-corrected fit RMSE %g not better than flat %g",
+			rmse, stats.Std(seq))
+	}
+	for _, v := range m.Forecast(20) {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("forecast invalid: %g", v)
+		}
+	}
+}

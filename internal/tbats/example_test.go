@@ -1,0 +1,25 @@
+package tbats_test
+
+import (
+	"fmt"
+	"math"
+
+	"dspot/internal/tbats"
+)
+
+// Fit a seasonal series and forecast one full period.
+func ExampleFit() {
+	period := 12
+	seq := make([]float64, 10*period)
+	for i := range seq {
+		seq[i] = 50 + 30*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	m, err := tbats.Fit(seq)
+	if err != nil {
+		panic(err)
+	}
+	fc := m.Forecast(period)
+	fmt.Printf("seasonal=%v horizon=%d\n", m.Period > 0, len(fc))
+	// Output:
+	// seasonal=true horizon=12
+}

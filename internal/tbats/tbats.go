@@ -1,0 +1,307 @@
+// Package tbats implements a TBATS-style exponential-smoothing forecaster
+// (De Livera, Hyndman & Snyder 2011 — the paper's reference [8]): Box–Cox
+// transformation, damped linear trend, and trigonometric seasonality, with
+// smoothing constants estimated by Nelder–Mead on the one-step-ahead SSE and
+// the Box–Cox exponent, seasonal period, and number of harmonics selected by
+// AIC. This is the forecasting baseline of Fig. 11. ARMA error correction —
+// a refinement of the full TBATS — is intentionally omitted; on the bursty
+// activity series studied here it changes nothing about the qualitative
+// comparison (documented in DESIGN.md).
+package tbats
+
+import (
+	"errors"
+	"math"
+
+	"dspot/internal/optimize"
+	"dspot/internal/stats"
+)
+
+// Model is a fitted TBATS-style model.
+type Model struct {
+	Omega     float64 // Box–Cox exponent (0 = log)
+	Period    int     // seasonal period (0 = non-seasonal)
+	Harmonics int     // number of trigonometric harmonic pairs
+
+	Alpha float64 // level smoothing
+	Beta  float64 // trend smoothing
+	Phi   float64 // trend damping
+	Gamma float64 // seasonal smoothing
+
+	// Final state after the training pass, used by Forecast.
+	level float64
+	trend float64
+	sj    []float64 // seasonal states
+	sjs   []float64 // conjugate seasonal states
+
+	arma *armaModel // residual ARMA correction (nil or inactive = none)
+
+	aic float64
+	n   int
+}
+
+// boxCox transforms y (shifted by 1 so zero counts are representable).
+func boxCox(y, omega float64) float64 {
+	y += 1
+	if omega == 0 {
+		return math.Log(y)
+	}
+	return (math.Pow(y, omega) - 1) / omega
+}
+
+// invBoxCox inverts boxCox; values below the transform's range floor clamp
+// to zero in the original scale.
+func invBoxCox(z, omega float64) float64 {
+	var y float64
+	if omega == 0 {
+		y = math.Exp(z)
+	} else {
+		base := omega*z + 1
+		if base <= 0 {
+			return 0
+		}
+		y = math.Pow(base, 1/omega)
+	}
+	if y < 1 {
+		return 0
+	}
+	return y - 1
+}
+
+// filterState holds the running smoothing state.
+type filterState struct {
+	level, trend float64
+	sj, sjs      []float64
+}
+
+// step advances the state one tick given the transformed observation (or
+// NaN to run prediction-only) and returns the one-step prediction.
+func (m *Model) step(st *filterState, z float64) float64 {
+	seas := 0.0
+	for j := range st.sj {
+		seas += st.sj[j]
+	}
+	pred := st.level + m.Phi*st.trend + seas
+	d := 0.0
+	if !math.IsNaN(z) {
+		d = z - pred
+	}
+	newLevel := st.level + m.Phi*st.trend + m.Alpha*d
+	newTrend := m.Phi*st.trend + m.Beta*d
+	if m.Period > 1 && len(st.sj) > 0 {
+		k := len(st.sj)
+		share := m.Gamma * d / float64(k)
+		for j := 0; j < k; j++ {
+			lam := 2 * math.Pi * float64(j+1) / float64(m.Period)
+			c, s := math.Cos(lam), math.Sin(lam)
+			sj, sjs := st.sj[j], st.sjs[j]
+			st.sj[j] = sj*c + sjs*s + share
+			st.sjs[j] = -sj*s + sjs*c + share
+		}
+	}
+	st.level, st.trend = newLevel, newTrend
+	return pred
+}
+
+// initState seeds level/trend/seasonal states from the first stretch of the
+// transformed series.
+func (m *Model) initState(z []float64) filterState {
+	st := filterState{
+		sj:  make([]float64, m.Harmonics),
+		sjs: make([]float64, m.Harmonics),
+	}
+	warm := m.Period
+	if warm < 2 || warm > len(z) {
+		warm = len(z)
+		if warm > 10 {
+			warm = 10
+		}
+	}
+	st.level = stats.Mean(z[:warm])
+	if len(z) >= 2*warm && warm > 0 {
+		st.trend = (stats.Mean(z[warm:2*warm]) - st.level) / float64(warm)
+	}
+	return st
+}
+
+// sse runs the filter over z and returns the one-step-ahead SSE.
+func (m *Model) sse(z []float64) float64 {
+	st := m.initState(z)
+	sum := 0.0
+	for _, v := range z {
+		pred := m.step(&st, v)
+		if math.IsNaN(v) {
+			continue
+		}
+		d := v - pred
+		sum += d * d
+	}
+	return sum
+}
+
+// Fit selects Box–Cox exponent, seasonal period, and harmonic count by AIC
+// and estimates smoothing constants by Nelder–Mead. Candidate periods come
+// from the series autocorrelation plus common calendar periods.
+func Fit(seq []float64) (*Model, error) {
+	if len(seq) < 8 {
+		return nil, errors.New("tbats: sequence too short")
+	}
+	for _, v := range seq {
+		if !math.IsNaN(v) && v < 0 {
+			return nil, errors.New("tbats: negative observations not supported")
+		}
+	}
+
+	periods := stats.DominantPeriods(seq, 3, 4, 0.1)
+	periods = append(periods, 0, 52, 26, 7, 12)
+	seen := map[int]bool{}
+
+	var best *Model
+	for _, omega := range []float64{0, 0.5, 1} {
+		z := make([]float64, len(seq))
+		for i, v := range seq {
+			if math.IsNaN(v) {
+				z[i] = math.NaN()
+				continue
+			}
+			z[i] = boxCox(v, omega)
+		}
+		for _, period := range periods {
+			key := period + int(omega*1000)*100000
+			if period < 0 || period > len(seq)/2 || seen[key] {
+				continue
+			}
+			seen[key] = true
+			maxK := 3
+			if period == 0 {
+				maxK = 0
+			} else if period/2 < maxK {
+				maxK = period / 2
+			}
+			for k := 0; k <= maxK; k++ {
+				if (period == 0) != (k == 0) {
+					continue // seasonal model needs harmonics and vice versa
+				}
+				m := &Model{Omega: omega, Period: period, Harmonics: k, n: len(seq)}
+				obj := func(p []float64) float64 {
+					m.Alpha = optimize.Clamp(p[0], 0, 1)
+					m.Beta = optimize.Clamp(p[1], 0, 1)
+					m.Phi = optimize.Clamp(p[2], 0.6, 1)
+					if k > 0 {
+						m.Gamma = optimize.Clamp(p[3], 0, 1)
+					}
+					return m.sse(z)
+				}
+				x0 := []float64{0.3, 0.05, 0.97}
+				if k > 0 {
+					x0 = append(x0, 0.2)
+				}
+				xbest, fbest := optimize.NelderMead(obj, x0, optimize.NelderMeadOptions{MaxIter: 600})
+				obj(xbest) // restore best params into m
+				nobs := float64(len(seq))
+				params := float64(len(x0) + 2*k + 2) // smoothers + seasonal & level/trend states
+				variance := fbest / nobs
+				if variance < 1e-12 {
+					variance = 1e-12
+				}
+				m.aic = nobs*math.Log(variance) + 2*params
+				if best == nil || m.aic < best.aic {
+					// Re-run the filter to capture the final state.
+					st := m.initState(z)
+					for _, v := range z {
+						m.step(&st, v)
+					}
+					m.level, m.trend, m.sj, m.sjs = st.level, st.trend, st.sj, st.sjs
+					best = m
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, errors.New("tbats: no candidate model could be fitted")
+	}
+	// Residual ARMA correction (the "A" of TBATS): fit on the selected
+	// model's one-step residuals in transformed space; AIC keeps it only
+	// when the residuals are genuinely autocorrelated.
+	z := make([]float64, len(seq))
+	for i, v := range seq {
+		if math.IsNaN(v) {
+			z[i] = math.NaN()
+			continue
+		}
+		z[i] = boxCox(v, best.Omega)
+	}
+	best.arma = fitARMA(best.residualsOf(z))
+	return best, nil
+}
+
+// residualsOf runs the filter over z and collects the one-step residuals
+// (0 at missing observations, so the ARMA recursion stays defined).
+func (m *Model) residualsOf(z []float64) []float64 {
+	st := m.initState(z)
+	out := make([]float64, len(z))
+	for i, v := range z {
+		pred := m.step(&st, v)
+		if math.IsNaN(v) {
+			out[i] = 0
+			continue
+		}
+		out[i] = v - pred
+	}
+	return out
+}
+
+// Fitted returns the in-sample one-step-ahead predictions in the original
+// scale, aligned with seq.
+func (m *Model) Fitted(seq []float64) []float64 {
+	z := make([]float64, len(seq))
+	for i, v := range seq {
+		if math.IsNaN(v) {
+			z[i] = math.NaN()
+			continue
+		}
+		z[i] = boxCox(v, m.Omega)
+	}
+	st := m.initState(z)
+	out := make([]float64, len(seq))
+	var armaAdj []float64
+	if m.arma.active() {
+		armaAdj = m.arma.predictInSample(m.residualsOf(z))
+	}
+	for i, v := range z {
+		pred := m.step(&st, v)
+		if armaAdj != nil {
+			pred += armaAdj[i]
+		}
+		out[i] = invBoxCox(pred, m.Omega)
+	}
+	return out
+}
+
+// Forecast extrapolates h steps past the training data.
+func (m *Model) Forecast(h int) []float64 {
+	if h <= 0 {
+		return nil
+	}
+	st := filterState{
+		level: m.level, trend: m.trend,
+		sj:  append([]float64(nil), m.sj...),
+		sjs: append([]float64(nil), m.sjs...),
+	}
+	out := make([]float64, h)
+	var armaFC []float64
+	if m.arma.active() {
+		armaFC = m.arma.forecast(h)
+	}
+	for t := 0; t < h; t++ {
+		pred := m.step(&st, math.NaN())
+		if armaFC != nil {
+			pred += armaFC[t]
+		}
+		out[t] = invBoxCox(pred, m.Omega)
+	}
+	return out
+}
+
+// AIC exposes the selected model's Akaike information criterion.
+func (m *Model) AIC() float64 { return m.aic }

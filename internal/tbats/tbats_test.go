@@ -1,0 +1,168 @@
+package tbats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dspot/internal/stats"
+)
+
+func TestBoxCoxRoundTrip(t *testing.T) {
+	for _, omega := range []float64{0, 0.5, 1} {
+		for _, y := range []float64{0, 0.5, 1, 10, 1234.5} {
+			z := boxCox(y, omega)
+			back := invBoxCox(z, omega)
+			if math.Abs(back-y) > 1e-9*(1+y) {
+				t.Fatalf("omega=%g y=%g round-trip %g", omega, y, back)
+			}
+		}
+	}
+}
+
+func TestInvBoxCoxClampsToZero(t *testing.T) {
+	if got := invBoxCox(-100, 0.5); got != 0 {
+		t.Fatalf("invBoxCox underflow = %g, want 0", got)
+	}
+	if got := invBoxCox(-100, 0); got != 0 {
+		t.Fatalf("invBoxCox log-underflow = %g, want 0", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1, 2, 3}); err == nil {
+		t.Fatal("short sequence accepted")
+	}
+	if _, err := Fit([]float64{1, 2, 3, -4, 5, 6, 7, 8, 9}); err == nil {
+		t.Fatal("negative observations accepted")
+	}
+}
+
+func TestFitLevelSeries(t *testing.T) {
+	seq := make([]float64, 60)
+	for i := range seq {
+		seq[i] = 100
+	}
+	m, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(10)
+	for _, v := range fc {
+		if math.Abs(v-100) > 2 {
+			t.Fatalf("level forecast = %v", fc)
+		}
+	}
+}
+
+func TestFitTrendSeries(t *testing.T) {
+	seq := make([]float64, 80)
+	for i := range seq {
+		seq[i] = 10 + 2*float64(i)
+	}
+	m, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(5)
+	// Damped trend: expect continued growth, direction matters more than
+	// exact slope.
+	if fc[4] <= seq[len(seq)-1] {
+		t.Fatalf("trend forecast did not grow: last obs %g, fc %v", seq[len(seq)-1], fc)
+	}
+}
+
+func TestFitSeasonalSeries(t *testing.T) {
+	period := 12
+	n := 10 * period
+	seq := make([]float64, n)
+	for i := range seq {
+		seq[i] = 50 + 30*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	m, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Period == 0 {
+		t.Fatalf("seasonal series fitted with non-seasonal model (AIC %g)", m.AIC())
+	}
+	fc := m.Forecast(period)
+	truth := make([]float64, period)
+	for i := range truth {
+		truth[i] = 50 + 30*math.Sin(2*math.Pi*float64(n+i)/float64(period))
+	}
+	if rmse := stats.RMSE(truth, fc); rmse > 15 {
+		t.Fatalf("seasonal forecast RMSE %g: fc %v", rmse, fc)
+	}
+}
+
+func TestFittedAlignsAndImprovesOnMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	period := 12
+	n := 8 * period
+	seq := make([]float64, n)
+	for i := range seq {
+		seq[i] = 50 + 30*math.Sin(2*math.Pi*float64(i)/float64(period)) + rng.NormFloat64()*2
+	}
+	m, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := m.Fitted(seq)
+	if len(fit) != n {
+		t.Fatalf("Fitted length %d != %d", len(fit), n)
+	}
+	if rmse := stats.RMSE(seq[period:], fit[period:]); rmse >= stats.Std(seq) {
+		t.Fatalf("fitted RMSE %g not better than flat-mean %g", rmse, stats.Std(seq))
+	}
+}
+
+func TestFitWithMissingValues(t *testing.T) {
+	seq := make([]float64, 60)
+	for i := range seq {
+		seq[i] = 20 + float64(i%6)
+	}
+	seq[10], seq[30] = math.NaN(), math.NaN()
+	m, err := Fit(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range m.Forecast(6) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("forecast corrupted by missing values: %g", v)
+		}
+	}
+}
+
+func TestForecastZeroHorizon(t *testing.T) {
+	m := &Model{Omega: 1, Phi: 1}
+	if m.Forecast(0) != nil {
+		t.Fatal("Forecast(0) should be nil")
+	}
+}
+
+// Property: forecasts are finite and non-negative for any non-negative series.
+func TestForecastSaneQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(60)
+		seq := make([]float64, n)
+		for i := range seq {
+			seq[i] = rng.Float64() * 100
+		}
+		m, err := Fit(seq)
+		if err != nil {
+			return false
+		}
+		for _, v := range m.Forecast(20) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

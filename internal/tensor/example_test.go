@@ -1,0 +1,48 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"dspot/internal/tensor"
+)
+
+// Build a tensor, mark a missing cell, and read the global rollup.
+func ExampleTensor_Global() {
+	x := tensor.New([]string{"olympics"}, []string{"US", "JP", "GB"}, 2)
+	x.Set(0, 0, 0, 36)
+	x.Set(0, 1, 0, 12)
+	x.Set(0, 2, 0, tensor.Missing) // unobserved
+	x.Set(0, 0, 1, 40)
+	x.Set(0, 1, 1, 15)
+	x.Set(0, 2, 1, 9)
+
+	g := x.Global(0)
+	fmt.Println(g[0], g[1])
+	// Output:
+	// 48 64
+}
+
+// Aggregate the location axis into named groups.
+func ExampleTensor_AggregateLocations() {
+	x := tensor.New([]string{"k"}, []string{"US", "DE", "FR"}, 1)
+	x.Set(0, 0, 0, 10)
+	x.Set(0, 1, 0, 4)
+	x.Set(0, 2, 0, 6)
+	agg, err := x.AggregateLocations(
+		[]string{"america", "europe"},
+		[][]string{{"US"}, {"DE", "FR"}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(agg.At(0, 0, 0), agg.At(0, 1, 0))
+	// Output:
+	// 10 10
+}
+
+// Linear interpolation across missing stretches.
+func ExampleFillMissing() {
+	s := []float64{1, tensor.Missing, tensor.Missing, 4}
+	fmt.Println(tensor.FillMissing(s))
+	// Output:
+	// [1 2 3 4]
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sequence utilities shared by the fitters. All functions treat NaN cells as
+// missing and skip them, mirroring the tensor semantics.
+
+// SumSeq returns the sum of the non-missing entries of s.
+func SumSeq(s []float64) float64 {
+	sum := 0.0
+	for _, v := range s {
+		if IsMissing(v) {
+			continue
+		}
+		sum += v
+	}
+	return sum
+}
+
+// MaxSeq returns the maximum non-missing entry and its index, or (0, -1) if
+// every entry is missing.
+func MaxSeq(s []float64) (float64, int) {
+	best, at := 0.0, -1
+	for t, v := range s {
+		if IsMissing(v) {
+			continue
+		}
+		if at == -1 || v > best {
+			best, at = v, t
+		}
+	}
+	return best, at
+}
+
+// MeanSeq returns the mean of the non-missing entries (0 if none).
+func MeanSeq(s []float64) float64 {
+	sum, cnt := 0.0, 0
+	for _, v := range s {
+		if IsMissing(v) {
+			continue
+		}
+		sum += v
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// ObservedCount returns the number of non-missing entries.
+func ObservedCount(s []float64) int {
+	c := 0
+	for _, v := range s {
+		if !IsMissing(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// Scale returns s scaled by f (missing entries stay missing).
+func Scale(s []float64, f float64) []float64 {
+	out := make([]float64, len(s))
+	for t, v := range s {
+		if IsMissing(v) {
+			out[t] = Missing
+			continue
+		}
+		out[t] = v * f
+	}
+	return out
+}
+
+// AddSeq returns a+b elementwise; a missing entry in either operand makes
+// the result entry missing. It panics on length mismatch (caller bug).
+func AddSeq(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: AddSeq length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for t := range a {
+		if IsMissing(a[t]) || IsMissing(b[t]) {
+			out[t] = Missing
+			continue
+		}
+		out[t] = a[t] + b[t]
+	}
+	return out
+}
+
+// SubSeq returns a-b elementwise with the same missing semantics as AddSeq.
+func SubSeq(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: SubSeq length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for t := range a {
+		if IsMissing(a[t]) || IsMissing(b[t]) {
+			out[t] = Missing
+			continue
+		}
+		out[t] = a[t] - b[t]
+	}
+	return out
+}
+
+// FillMissing returns s with missing entries replaced by linear
+// interpolation between the nearest observed neighbours (edge gaps take the
+// nearest observed value; an all-missing sequence becomes all zeros).
+func FillMissing(s []float64) []float64 {
+	out := append([]float64(nil), s...)
+	n := len(out)
+	prev := -1 // last observed index
+	for t := 0; t < n; t++ {
+		if IsMissing(out[t]) {
+			continue
+		}
+		if prev == -1 && t > 0 {
+			for u := 0; u < t; u++ { // leading gap
+				out[u] = out[t]
+			}
+		} else if prev >= 0 && t-prev > 1 {
+			lo, hi := out[prev], out[t]
+			span := float64(t - prev)
+			for u := prev + 1; u < t; u++ {
+				frac := float64(u-prev) / span
+				out[u] = lo + (hi-lo)*frac
+			}
+		}
+		prev = t
+	}
+	if prev == -1 {
+		for t := range out {
+			out[t] = 0
+		}
+		return out
+	}
+	for t := prev + 1; t < n; t++ { // trailing gap
+		out[t] = out[prev]
+	}
+	return out
+}
+
+// Smooth returns a centred moving average of s with the given half-window
+// (window = 2*half+1), skipping missing entries. half <= 0 returns a copy.
+func Smooth(s []float64, half int) []float64 {
+	if half <= 0 {
+		return append([]float64(nil), s...)
+	}
+	n := len(s)
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		sum, cnt := 0.0, 0
+		lo, hi := t-half, t+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for u := lo; u <= hi; u++ {
+			if IsMissing(s[u]) {
+				continue
+			}
+			sum += s[u]
+			cnt++
+		}
+		if cnt == 0 {
+			out[t] = Missing
+			continue
+		}
+		out[t] = sum / float64(cnt)
+	}
+	return out
+}
+
+// Normalize returns s divided by its maximum non-missing value together with
+// the scale used. A flat-zero sequence is returned unchanged with scale 1.
+func Normalize(s []float64) (scaled []float64, scale float64) {
+	max, _ := MaxSeq(s)
+	if max <= 0 || math.IsInf(max, 0) {
+		return append([]float64(nil), s...), 1
+	}
+	return Scale(s, 1/max), max
+}

@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if IsMissing(a[i]) != IsMissing(b[i]) {
+			return false
+		}
+		if IsMissing(a[i]) {
+			continue
+		}
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSumMaxMeanSeq(t *testing.T) {
+	s := []float64{1, Missing, 3, 2}
+	if got := SumSeq(s); got != 6 {
+		t.Fatalf("SumSeq = %g, want 6", got)
+	}
+	if v, at := MaxSeq(s); v != 3 || at != 2 {
+		t.Fatalf("MaxSeq = (%g,%d), want (3,2)", v, at)
+	}
+	if got := MeanSeq(s); got != 2 {
+		t.Fatalf("MeanSeq = %g, want 2", got)
+	}
+	if got := ObservedCount(s); got != 3 {
+		t.Fatalf("ObservedCount = %d, want 3", got)
+	}
+	all := []float64{Missing, Missing}
+	if v, at := MaxSeq(all); v != 0 || at != -1 {
+		t.Fatalf("MaxSeq(all missing) = (%g,%d), want (0,-1)", v, at)
+	}
+	if got := MeanSeq(all); got != 0 {
+		t.Fatalf("MeanSeq(all missing) = %g, want 0", got)
+	}
+}
+
+func TestScaleKeepsMissing(t *testing.T) {
+	s := []float64{2, Missing, 4}
+	out := Scale(s, 0.5)
+	if out[0] != 1 || !IsMissing(out[1]) || out[2] != 2 {
+		t.Fatalf("Scale = %v", out)
+	}
+}
+
+func TestAddSubSeq(t *testing.T) {
+	a := []float64{1, 2, Missing}
+	b := []float64{10, Missing, 30}
+	sum := AddSeq(a, b)
+	if sum[0] != 11 || !IsMissing(sum[1]) || !IsMissing(sum[2]) {
+		t.Fatalf("AddSeq = %v", sum)
+	}
+	diff := SubSeq(b, a)
+	if diff[0] != 9 || !IsMissing(diff[1]) || !IsMissing(diff[2]) {
+		t.Fatalf("SubSeq = %v", diff)
+	}
+}
+
+func TestAddSeqLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AddSeq([]float64{1}, []float64{1, 2})
+}
+
+func TestFillMissingInterior(t *testing.T) {
+	s := []float64{1, Missing, Missing, 4}
+	out := FillMissing(s)
+	want := []float64{1, 2, 3, 4}
+	if !seqEq(out, want, 1e-12) {
+		t.Fatalf("FillMissing = %v, want %v", out, want)
+	}
+}
+
+func TestFillMissingEdges(t *testing.T) {
+	s := []float64{Missing, Missing, 5, Missing}
+	out := FillMissing(s)
+	want := []float64{5, 5, 5, 5}
+	if !seqEq(out, want, 1e-12) {
+		t.Fatalf("FillMissing edges = %v, want %v", out, want)
+	}
+}
+
+func TestFillMissingAllMissing(t *testing.T) {
+	out := FillMissing([]float64{Missing, Missing})
+	if !seqEq(out, []float64{0, 0}, 0) {
+		t.Fatalf("FillMissing all-missing = %v, want zeros", out)
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	s := []float64{0, 3, 0, 3, 0}
+	out := Smooth(s, 1)
+	if math.Abs(out[1]-1) > 1e-12 || math.Abs(out[2]-2) > 1e-12 {
+		t.Fatalf("Smooth = %v", out)
+	}
+	// half <= 0 is a copy.
+	cp := Smooth(s, 0)
+	if !seqEq(cp, s, 0) {
+		t.Fatalf("Smooth(0) = %v, want copy", cp)
+	}
+	cp[0] = 99
+	if s[0] == 99 {
+		t.Fatal("Smooth(0) aliases input")
+	}
+}
+
+func TestSmoothSkipsMissing(t *testing.T) {
+	s := []float64{2, Missing, 4}
+	out := Smooth(s, 1)
+	if math.Abs(out[1]-3) > 1e-12 {
+		t.Fatalf("Smooth over missing = %v, want mid 3", out)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := []float64{0, 5, 10}
+	out, scale := Normalize(s)
+	if scale != 10 {
+		t.Fatalf("scale = %g, want 10", scale)
+	}
+	if !seqEq(out, []float64{0, 0.5, 1}, 1e-12) {
+		t.Fatalf("Normalize = %v", out)
+	}
+	flat := []float64{0, 0}
+	out, scale = Normalize(flat)
+	if scale != 1 || !seqEq(out, flat, 0) {
+		t.Fatalf("Normalize(flat) = %v scale %g", out, scale)
+	}
+}
+
+// Property: FillMissing never leaves a missing value and preserves observed
+// entries.
+func TestFillMissingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		s := make([]float64, n)
+		for i := range s {
+			if rng.Float64() < 0.3 {
+				s[i] = Missing
+			} else {
+				s[i] = rng.Float64() * 100
+			}
+		}
+		out := FillMissing(s)
+		for i := range out {
+			if IsMissing(out[i]) {
+				return false
+			}
+			if !IsMissing(s[i]) && out[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize then rescale round-trips.
+func TestNormalizeRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Float64() * 1e6
+		}
+		out, scale := Normalize(s)
+		back := Scale(out, scale)
+		return seqEq(back, s, 1e-6*scale+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package tensor provides the 3rd-order count tensor that underlies all of
+// Δ-SPOT: X ∈ N^{d×l×n}, where x_ij(t) is the activity count of keyword i in
+// location j at time-tick t. It also provides the derived sequence views the
+// fitting algorithms operate on (local sequences x_ij and global sequences
+// x̄_i), missing-value handling, and slicing/aggregation utilities.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Missing marks an unobserved cell. Sums and fits skip missing entries.
+// NaN is used so that accidental arithmetic on a missing value is loud.
+var Missing = math.NaN()
+
+// IsMissing reports whether v denotes a missing observation.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// Tensor is a dense 3rd-order tensor of activity counts, indexed as
+// (keyword, location, time). Values are float64 so that missing values and
+// normalised data can be represented, but semantically they are counts.
+type Tensor struct {
+	Keywords  []string // names of the d keywords/queries
+	Locations []string // names of the l locations/countries
+	Ticks     int      // duration n
+
+	data []float64 // len d*l*n, row-major (keyword, location, time)
+}
+
+// New returns a zero tensor with the given keyword and location names and
+// duration n. It panics if n < 0 or a dimension is empty, since a tensor
+// without keywords or locations is never meaningful in this codebase.
+func New(keywords, locations []string, n int) *Tensor {
+	if n < 0 {
+		panic("tensor: negative duration")
+	}
+	if len(keywords) == 0 || len(locations) == 0 {
+		panic("tensor: empty keyword or location axis")
+	}
+	return &Tensor{
+		Keywords:  append([]string(nil), keywords...),
+		Locations: append([]string(nil), locations...),
+		Ticks:     n,
+		data:      make([]float64, len(keywords)*len(locations)*n),
+	}
+}
+
+// D returns the number of keywords d.
+func (x *Tensor) D() int { return len(x.Keywords) }
+
+// L returns the number of locations l.
+func (x *Tensor) L() int { return len(x.Locations) }
+
+// N returns the duration n (number of time-ticks).
+func (x *Tensor) N() int { return x.Ticks }
+
+// Size returns the total number of cells d·l·n.
+func (x *Tensor) Size() int { return x.D() * x.L() * x.N() }
+
+func (x *Tensor) index(i, j, t int) int {
+	if i < 0 || i >= x.D() || j < 0 || j >= x.L() || t < 0 || t >= x.N() {
+		panic(fmt.Sprintf("tensor: index (%d,%d,%d) out of bounds (%d,%d,%d)",
+			i, j, t, x.D(), x.L(), x.N()))
+	}
+	return (i*x.L()+j)*x.N() + t
+}
+
+// At returns x_ij(t).
+func (x *Tensor) At(i, j, t int) float64 { return x.data[x.index(i, j, t)] }
+
+// Set assigns x_ij(t) = v.
+func (x *Tensor) Set(i, j, t int, v float64) { x.data[x.index(i, j, t)] = v }
+
+// Add accumulates v into x_ij(t); adding to a missing cell replaces it.
+func (x *Tensor) Add(i, j, t int, v float64) {
+	idx := x.index(i, j, t)
+	if IsMissing(x.data[idx]) {
+		x.data[idx] = v
+		return
+	}
+	x.data[idx] += v
+}
+
+// Local returns the local-level sequence x_ij = {x_ij(t)}. The returned
+// slice aliases the tensor storage; callers that mutate it mutate the tensor.
+func (x *Tensor) Local(i, j int) []float64 {
+	start := x.index(i, j, 0)
+	return x.data[start : start+x.N() : start+x.N()]
+}
+
+// LocalCopy returns a copy of the local sequence x_ij.
+func (x *Tensor) LocalCopy(i, j int) []float64 {
+	return append([]float64(nil), x.Local(i, j)...)
+}
+
+// Global returns the global-level sequence x̄_i(t) = Σ_j x_ij(t), skipping
+// missing cells. A tick where every location is missing is itself missing.
+func (x *Tensor) Global(i int) []float64 {
+	n, l := x.N(), x.L()
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		sum, seen := 0.0, false
+		for j := 0; j < l; j++ {
+			v := x.At(i, j, t)
+			if IsMissing(v) {
+				continue
+			}
+			sum += v
+			seen = true
+		}
+		if !seen {
+			out[t] = Missing
+			continue
+		}
+		out[t] = sum
+	}
+	return out
+}
+
+// GlobalAll returns the d global sequences {x̄_i}.
+func (x *Tensor) GlobalAll() [][]float64 {
+	out := make([][]float64, x.D())
+	for i := range out {
+		out[i] = x.Global(i)
+	}
+	return out
+}
+
+// KeywordIndex returns the axis index of the named keyword, or an error.
+func (x *Tensor) KeywordIndex(name string) (int, error) {
+	for i, k := range x.Keywords {
+		if k == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: unknown keyword %q", name)
+}
+
+// LocationIndex returns the axis index of the named location, or an error.
+func (x *Tensor) LocationIndex(name string) (int, error) {
+	for j, l := range x.Locations {
+		if l == name {
+			return j, nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: unknown location %q", name)
+}
+
+// Clone returns a deep copy of the tensor.
+func (x *Tensor) Clone() *Tensor {
+	y := New(x.Keywords, x.Locations, x.N())
+	copy(y.data, x.data)
+	return y
+}
+
+// SliceTicks returns a new tensor restricted to ticks [lo, hi).
+func (x *Tensor) SliceTicks(lo, hi int) (*Tensor, error) {
+	if lo < 0 || hi > x.N() || lo >= hi {
+		return nil, fmt.Errorf("tensor: bad tick range [%d,%d) of %d", lo, hi, x.N())
+	}
+	y := New(x.Keywords, x.Locations, hi-lo)
+	for i := 0; i < x.D(); i++ {
+		for j := 0; j < x.L(); j++ {
+			copy(y.Local(i, j), x.Local(i, j)[lo:hi])
+		}
+	}
+	return y, nil
+}
+
+// SliceKeywords returns a new tensor with only the given keyword indices.
+func (x *Tensor) SliceKeywords(idx []int) (*Tensor, error) {
+	if len(idx) == 0 {
+		return nil, errors.New("tensor: empty keyword selection")
+	}
+	names := make([]string, len(idx))
+	for p, i := range idx {
+		if i < 0 || i >= x.D() {
+			return nil, fmt.Errorf("tensor: keyword index %d out of range", i)
+		}
+		names[p] = x.Keywords[i]
+	}
+	y := New(names, x.Locations, x.N())
+	for p, i := range idx {
+		for j := 0; j < x.L(); j++ {
+			copy(y.Local(p, j), x.Local(i, j))
+		}
+	}
+	return y, nil
+}
+
+// SliceLocations returns a new tensor with only the given location indices.
+func (x *Tensor) SliceLocations(idx []int) (*Tensor, error) {
+	if len(idx) == 0 {
+		return nil, errors.New("tensor: empty location selection")
+	}
+	names := make([]string, len(idx))
+	for p, j := range idx {
+		if j < 0 || j >= x.L() {
+			return nil, fmt.Errorf("tensor: location index %d out of range", j)
+		}
+		names[p] = x.Locations[j]
+	}
+	y := New(x.Keywords, names, x.N())
+	for i := 0; i < x.D(); i++ {
+		for p, j := range idx {
+			copy(y.Local(i, p), x.Local(i, j))
+		}
+	}
+	return y, nil
+}
+
+// AggregateLocations returns a new tensor whose location axis is the given
+// groups: group g sums the counts of every member location (missing cells
+// skipped; a tick where every member is missing stays missing). Group names
+// and membership lists must be aligned; unknown member names are an error.
+func (x *Tensor) AggregateLocations(groupNames []string, members [][]string) (*Tensor, error) {
+	if len(groupNames) == 0 || len(groupNames) != len(members) {
+		return nil, fmt.Errorf("tensor: %d group names for %d member lists",
+			len(groupNames), len(members))
+	}
+	idx := make([][]int, len(members))
+	for g, list := range members {
+		for _, name := range list {
+			j, err := x.LocationIndex(name)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: group %q: %w", groupNames[g], err)
+			}
+			idx[g] = append(idx[g], j)
+		}
+	}
+	out := New(x.Keywords, groupNames, x.N())
+	for i := 0; i < x.D(); i++ {
+		for g := range idx {
+			dst := out.Local(i, g)
+			for t := range dst {
+				dst[t] = Missing
+			}
+			for _, j := range idx[g] {
+				src := x.Local(i, j)
+				for t, v := range src {
+					if IsMissing(v) {
+						continue
+					}
+					if IsMissing(dst[t]) {
+						dst[t] = v
+						continue
+					}
+					dst[t] += v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Total returns the sum over all non-missing cells.
+func (x *Tensor) Total() float64 {
+	sum := 0.0
+	for _, v := range x.data {
+		if IsMissing(v) {
+			continue
+		}
+		sum += v
+	}
+	return sum
+}
+
+// MissingCount returns the number of missing cells.
+func (x *Tensor) MissingCount() int {
+	c := 0
+	for _, v := range x.data {
+		if IsMissing(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// Max returns the maximum non-missing cell value (0 for an all-missing tensor).
+func (x *Tensor) Max() float64 {
+	best := 0.0
+	for _, v := range x.data {
+		if IsMissing(v) {
+			continue
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Validate checks structural invariants (dimension/storage agreement, no
+// negative counts) and returns a descriptive error on the first violation.
+func (x *Tensor) Validate() error {
+	if want := x.D() * x.L() * x.N(); len(x.data) != want {
+		return fmt.Errorf("tensor: storage %d != d*l*n %d", len(x.data), want)
+	}
+	for i := 0; i < x.D(); i++ {
+		for j := 0; j < x.L(); j++ {
+			for t, v := range x.Local(i, j) {
+				if IsMissing(v) {
+					continue
+				}
+				if v < 0 {
+					return fmt.Errorf("tensor: negative count %g at (%d,%d,%d)", v, i, j, t)
+				}
+				if math.IsInf(v, 0) {
+					return fmt.Errorf("tensor: infinite count at (%d,%d,%d)", i, j, t)
+				}
+			}
+		}
+	}
+	return nil
+}

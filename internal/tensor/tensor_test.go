@@ -1,0 +1,367 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTensor() *Tensor {
+	x := New([]string{"a", "b"}, []string{"US", "JP", "GB"}, 4)
+	for i := 0; i < x.D(); i++ {
+		for j := 0; j < x.L(); j++ {
+			for t := 0; t < x.N(); t++ {
+				x.Set(i, j, t, float64(100*i+10*j+t))
+			}
+		}
+	}
+	return x
+}
+
+func TestNewDimensions(t *testing.T) {
+	x := newTestTensor()
+	if x.D() != 2 || x.L() != 3 || x.N() != 4 {
+		t.Fatalf("got dims (%d,%d,%d), want (2,3,4)", x.D(), x.L(), x.N())
+	}
+	if x.Size() != 24 {
+		t.Fatalf("Size() = %d, want 24", x.Size())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(nil, []string{"US"}, 3) },
+		func() { New([]string{"a"}, nil, 3) },
+		func() { New([]string{"a"}, []string{"US"}, -1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := newTestTensor()
+	x.Set(1, 2, 3, 42.5)
+	if got := x.At(1, 2, 3); got != 42.5 {
+		t.Fatalf("At = %g, want 42.5", got)
+	}
+}
+
+func TestIndexOutOfBoundsPanics(t *testing.T) {
+	x := newTestTensor()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds index")
+		}
+	}()
+	x.At(2, 0, 0)
+}
+
+func TestAddOnMissingReplaces(t *testing.T) {
+	x := newTestTensor()
+	x.Set(0, 0, 0, Missing)
+	x.Add(0, 0, 0, 7)
+	if got := x.At(0, 0, 0); got != 7 {
+		t.Fatalf("Add on missing = %g, want 7", got)
+	}
+	x.Add(0, 0, 0, 3)
+	if got := x.At(0, 0, 0); got != 10 {
+		t.Fatalf("Add accumulate = %g, want 10", got)
+	}
+}
+
+func TestLocalAliasesStorage(t *testing.T) {
+	x := newTestTensor()
+	s := x.Local(1, 1)
+	s[2] = -99
+	if got := x.At(1, 1, 2); got != -99 {
+		t.Fatalf("Local slice does not alias storage: At = %g", got)
+	}
+	c := x.LocalCopy(1, 1)
+	c[0] = 123456
+	if x.At(1, 1, 0) == 123456 {
+		t.Fatal("LocalCopy aliases storage; want copy")
+	}
+}
+
+func TestGlobalSumsLocations(t *testing.T) {
+	x := newTestTensor()
+	g := x.Global(0)
+	for tt := 0; tt < x.N(); tt++ {
+		want := x.At(0, 0, tt) + x.At(0, 1, tt) + x.At(0, 2, tt)
+		if g[tt] != want {
+			t.Fatalf("Global(0)[%d] = %g, want %g", tt, g[tt], want)
+		}
+	}
+}
+
+func TestGlobalSkipsMissing(t *testing.T) {
+	x := newTestTensor()
+	x.Set(0, 1, 2, Missing)
+	g := x.Global(0)
+	want := x.At(0, 0, 2) + x.At(0, 2, 2)
+	if g[2] != want {
+		t.Fatalf("Global with missing = %g, want %g", g[2], want)
+	}
+	// All locations missing at a tick -> missing.
+	for j := 0; j < x.L(); j++ {
+		x.Set(0, j, 3, Missing)
+	}
+	g = x.Global(0)
+	if !IsMissing(g[3]) {
+		t.Fatalf("Global over all-missing tick = %g, want missing", g[3])
+	}
+}
+
+func TestGlobalAll(t *testing.T) {
+	x := newTestTensor()
+	gs := x.GlobalAll()
+	if len(gs) != x.D() {
+		t.Fatalf("GlobalAll len = %d, want %d", len(gs), x.D())
+	}
+	for i := range gs {
+		want := x.Global(i)
+		for tt := range want {
+			if gs[i][tt] != want[tt] {
+				t.Fatalf("GlobalAll[%d][%d] = %g, want %g", i, tt, gs[i][tt], want[tt])
+			}
+		}
+	}
+}
+
+func TestKeywordLocationIndex(t *testing.T) {
+	x := newTestTensor()
+	if i, err := x.KeywordIndex("b"); err != nil || i != 1 {
+		t.Fatalf("KeywordIndex(b) = %d, %v", i, err)
+	}
+	if _, err := x.KeywordIndex("zzz"); err == nil {
+		t.Fatal("KeywordIndex(zzz) should fail")
+	}
+	if j, err := x.LocationIndex("JP"); err != nil || j != 1 {
+		t.Fatalf("LocationIndex(JP) = %d, %v", j, err)
+	}
+	if _, err := x.LocationIndex("XX"); err == nil {
+		t.Fatal("LocationIndex(XX) should fail")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := newTestTensor()
+	y := x.Clone()
+	y.Set(0, 0, 0, 1e9)
+	if x.At(0, 0, 0) == 1e9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSliceTicks(t *testing.T) {
+	x := newTestTensor()
+	y, err := x.SliceTicks(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.N() != 2 {
+		t.Fatalf("sliced N = %d, want 2", y.N())
+	}
+	if y.At(1, 2, 0) != x.At(1, 2, 1) {
+		t.Fatal("SliceTicks misaligned")
+	}
+	if _, err := x.SliceTicks(3, 2); err == nil {
+		t.Fatal("expected error for inverted range")
+	}
+	if _, err := x.SliceTicks(0, 99); err == nil {
+		t.Fatal("expected error for out-of-range slice")
+	}
+}
+
+func TestSliceKeywordsAndLocations(t *testing.T) {
+	x := newTestTensor()
+	y, err := x.SliceKeywords([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.D() != 1 || y.Keywords[0] != "b" {
+		t.Fatalf("SliceKeywords got %v", y.Keywords)
+	}
+	if y.At(0, 1, 2) != x.At(1, 1, 2) {
+		t.Fatal("SliceKeywords misaligned")
+	}
+	z, err := x.SliceLocations([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.L() != 2 || z.Locations[0] != "GB" || z.Locations[1] != "US" {
+		t.Fatalf("SliceLocations got %v", z.Locations)
+	}
+	if z.At(1, 0, 3) != x.At(1, 2, 3) {
+		t.Fatal("SliceLocations misaligned")
+	}
+	if _, err := x.SliceKeywords(nil); err == nil {
+		t.Fatal("expected error for empty keyword slice")
+	}
+	if _, err := x.SliceLocations([]int{9}); err == nil {
+		t.Fatal("expected error for bad location index")
+	}
+}
+
+func TestTotalMaxMissingCount(t *testing.T) {
+	x := New([]string{"a"}, []string{"US"}, 3)
+	x.Set(0, 0, 0, 2)
+	x.Set(0, 0, 1, Missing)
+	x.Set(0, 0, 2, 5)
+	if got := x.Total(); got != 7 {
+		t.Fatalf("Total = %g, want 7", got)
+	}
+	if got := x.Max(); got != 5 {
+		t.Fatalf("Max = %g, want 5", got)
+	}
+	if got := x.MissingCount(); got != 1 {
+		t.Fatalf("MissingCount = %d, want 1", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	x := newTestTensor()
+	if err := x.Validate(); err != nil {
+		t.Fatalf("valid tensor rejected: %v", err)
+	}
+	x.Set(0, 0, 0, -1)
+	if err := x.Validate(); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	x.Set(0, 0, 0, math.Inf(1))
+	if err := x.Validate(); err == nil {
+		t.Fatal("infinite count accepted")
+	}
+	x.Set(0, 0, 0, Missing)
+	if err := x.Validate(); err != nil {
+		t.Fatalf("missing cell rejected: %v", err)
+	}
+}
+
+func TestAggregateLocations(t *testing.T) {
+	x := newTestTensor()
+	agg, err := x.AggregateLocations([]string{"west", "east"},
+		[][]string{{"US"}, {"JP", "GB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.L() != 2 || agg.Locations[1] != "east" {
+		t.Fatalf("aggregate locations %v", agg.Locations)
+	}
+	for i := 0; i < x.D(); i++ {
+		for tt := 0; tt < x.N(); tt++ {
+			if agg.At(i, 0, tt) != x.At(i, 0, tt) {
+				t.Fatal("singleton group mismatch")
+			}
+			want := x.At(i, 1, tt) + x.At(i, 2, tt)
+			if agg.At(i, 1, tt) != want {
+				t.Fatalf("group sum = %g, want %g", agg.At(i, 1, tt), want)
+			}
+		}
+	}
+}
+
+func TestAggregateLocationsMissingSemantics(t *testing.T) {
+	x := newTestTensor()
+	x.Set(0, 1, 0, Missing)
+	x.Set(0, 2, 0, Missing)
+	x.Set(0, 1, 1, Missing)
+	agg, err := x.AggregateLocations([]string{"east"}, [][]string{{"JP", "GB"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMissing(agg.At(0, 0, 0)) {
+		t.Fatal("all-members-missing tick should stay missing")
+	}
+	if agg.At(0, 0, 1) != x.At(0, 2, 1) {
+		t.Fatal("partially missing tick should sum observed members")
+	}
+}
+
+func TestAggregateLocationsErrors(t *testing.T) {
+	x := newTestTensor()
+	if _, err := x.AggregateLocations(nil, nil); err == nil {
+		t.Fatal("empty groups accepted")
+	}
+	if _, err := x.AggregateLocations([]string{"a"}, [][]string{{"ZZ"}}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if _, err := x.AggregateLocations([]string{"a", "b"}, [][]string{{"US"}}); err == nil {
+		t.Fatal("misaligned groups accepted")
+	}
+}
+
+// Property: Global is invariant under any permutation of the location axis.
+func TestGlobalPermutationInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, l, n := 1+rng.Intn(3), 2+rng.Intn(4), 1+rng.Intn(8)
+		kw := make([]string, d)
+		for i := range kw {
+			kw[i] = string(rune('a' + i))
+		}
+		loc := make([]string, l)
+		for j := range loc {
+			loc[j] = string(rune('A' + j))
+		}
+		x := New(kw, loc, n)
+		for i := 0; i < d; i++ {
+			for j := 0; j < l; j++ {
+				for tt := 0; tt < n; tt++ {
+					x.Set(i, j, tt, float64(rng.Intn(100)))
+				}
+			}
+		}
+		perm := rng.Perm(l)
+		y, err := x.SliceLocations(perm)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < d; i++ {
+			gx, gy := x.Global(i), y.Global(i)
+			for tt := 0; tt < n; tt++ {
+				if math.Abs(gx[tt]-gy[tt]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone round-trips exactly.
+func TestCloneRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := New([]string{"k"}, []string{"A", "B"}, 1+rng.Intn(16))
+		for j := 0; j < 2; j++ {
+			for tt := 0; tt < x.N(); tt++ {
+				x.Set(0, j, tt, rng.Float64()*1000)
+			}
+		}
+		y := x.Clone()
+		for j := 0; j < 2; j++ {
+			for tt := 0; tt < x.N(); tt++ {
+				if x.At(0, j, tt) != y.At(0, j, tt) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

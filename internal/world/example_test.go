@@ -1,0 +1,36 @@
+package world_test
+
+import (
+	"fmt"
+
+	"dspot/internal/world"
+)
+
+// The registry covers the paper's 232 territories, weight-sorted.
+func ExampleCountries() {
+	cs := world.Countries()
+	fmt.Println(len(cs), cs[0].Code)
+	// Output:
+	// 232 CN
+}
+
+// Look up the paper's reference countries.
+func ExampleByCode() {
+	us, _ := world.ByCode("US")
+	la, _ := world.ByCode("LA")
+	fmt.Printf("%s weight>%s weight: %v\n", us.Code, la.Code, us.Weight > la.Weight)
+	// Output:
+	// US weight>LA weight: true
+}
+
+// Region rollup groups for the regional analyses.
+func ExampleCodesByRegion() {
+	groups := world.CodesByRegion()
+	total := 0
+	for _, codes := range groups {
+		total += len(codes)
+	}
+	fmt.Println(len(groups), total)
+	// Output:
+	// 7 232
+}

@@ -1,0 +1,132 @@
+package world
+
+import "sort"
+
+// Region is a coarse geographic grouping used for regional rollups of
+// reaction maps and tensors (the paper's world-map figures are, in effect,
+// regional summaries rendered per country).
+type Region string
+
+// The seven regions used by the rollup analyses.
+const (
+	NorthAmerica Region = "North America"
+	LatinAmerica Region = "Latin America"
+	Europe       Region = "Europe"
+	MiddleEast   Region = "Middle East"
+	Africa       Region = "Africa"
+	AsiaPacific  Region = "Asia-Pacific"
+	Oceania      Region = "Oceania"
+)
+
+// regionOf assigns every registry code to a region. Codes absent from the
+// map default to AsiaPacific (none currently are; the test enforces total
+// coverage).
+var regionOf = map[string]Region{
+	// North America.
+	"US": NorthAmerica, "CA": NorthAmerica, "BM": NorthAmerica,
+	"GL": NorthAmerica, "PM": NorthAmerica,
+	// Latin America & Caribbean.
+	"MX": LatinAmerica, "BR": LatinAmerica, "AR": LatinAmerica, "CO": LatinAmerica,
+	"VE": LatinAmerica, "PE": LatinAmerica, "CL": LatinAmerica, "EC": LatinAmerica,
+	"BO": LatinAmerica, "PY": LatinAmerica, "UY": LatinAmerica, "GY": LatinAmerica,
+	"SR": LatinAmerica, "GF": LatinAmerica, "PA": LatinAmerica, "CR": LatinAmerica,
+	"NI": LatinAmerica, "HN": LatinAmerica, "SV": LatinAmerica, "GT": LatinAmerica,
+	"BZ": LatinAmerica, "CU": LatinAmerica, "HT": LatinAmerica, "DO": LatinAmerica,
+	"JM": LatinAmerica, "TT": LatinAmerica, "BB": LatinAmerica, "BS": LatinAmerica,
+	"PR": LatinAmerica, "AW": LatinAmerica, "CW": LatinAmerica, "SX": LatinAmerica,
+	"MF": LatinAmerica, "AI": LatinAmerica, "MS": LatinAmerica, "TC": LatinAmerica,
+	"KY": LatinAmerica, "VG": LatinAmerica, "VI": LatinAmerica, "GP": LatinAmerica,
+	"MQ": LatinAmerica, "DM": LatinAmerica, "GD": LatinAmerica, "LC": LatinAmerica,
+	"VC": LatinAmerica, "KN": LatinAmerica, "AG": LatinAmerica, "FK": LatinAmerica,
+	// Europe.
+	"GB": Europe, "DE": Europe, "FR": Europe, "IT": Europe, "ES": Europe,
+	"PT": Europe, "NL": Europe, "BE": Europe, "LU": Europe, "IE": Europe,
+	"CH": Europe, "AT": Europe, "PL": Europe, "CZ": Europe, "SK": Europe,
+	"HU": Europe, "RO": Europe, "BG": Europe, "GR": Europe, "HR": Europe,
+	"SI": Europe, "RS": Europe, "BA": Europe, "ME": Europe, "MK": Europe,
+	"AL": Europe, "MD": Europe, "UA": Europe, "BY": Europe, "LT": Europe,
+	"LV": Europe, "EE": Europe, "FI": Europe, "SE": Europe, "NO": Europe,
+	"DK": Europe, "IS": Europe, "RU": Europe, "MT": Europe, "CY": Europe,
+	"AD": Europe, "MC": Europe, "LI": Europe, "SM": Europe, "VA": Europe,
+	"GI": Europe, "FO": Europe, "IM": Europe, "JE": Europe, "GG": Europe,
+	"AX": Europe,
+	// Middle East & North Africa.
+	"TR": MiddleEast, "SA": MiddleEast, "AE": MiddleEast, "QA": MiddleEast,
+	"KW": MiddleEast, "BH": MiddleEast, "OM": MiddleEast, "YE": MiddleEast,
+	"IQ": MiddleEast, "IR": MiddleEast, "SY": MiddleEast, "JO": MiddleEast,
+	"LB": MiddleEast, "IL": MiddleEast, "PS": MiddleEast, "EG": MiddleEast,
+	"LY": MiddleEast, "TN": MiddleEast, "DZ": MiddleEast, "MA": MiddleEast,
+	"EH": MiddleEast,
+	// Sub-Saharan Africa.
+	"NG": Africa, "ZA": Africa, "KE": Africa, "GH": Africa, "ET": Africa,
+	"TZ": Africa, "UG": Africa, "ZM": Africa, "ZW": Africa, "MZ": Africa,
+	"AO": Africa, "CD": Africa, "CG": Africa, "CM": Africa, "CI": Africa,
+	"SN": Africa, "ML": Africa, "BF": Africa, "NE": Africa, "TD": Africa,
+	"SD": Africa, "SS": Africa, "SO": Africa, "ER": Africa, "DJ": Africa,
+	"RW": Africa, "BI": Africa, "MW": Africa, "LS": Africa, "SZ": Africa,
+	"BW": Africa, "NA": Africa, "MG": Africa, "MU": Africa, "SC": Africa,
+	"KM": Africa, "RE": Africa, "YT": Africa, "CV": Africa, "ST": Africa,
+	"GQ": Africa, "GA": Africa, "GM": Africa, "GN": Africa, "GW": Africa,
+	"SL": Africa, "LR": Africa, "TG": Africa, "BJ": Africa, "MR": Africa,
+	"CF": Africa, "SH": Africa, "IO": Africa,
+	// Asia-Pacific.
+	"CN": AsiaPacific, "IN": AsiaPacific, "JP": AsiaPacific, "KR": AsiaPacific,
+	"KP": AsiaPacific, "TW": AsiaPacific, "HK": AsiaPacific, "MO": AsiaPacific,
+	"ID": AsiaPacific, "MY": AsiaPacific, "SG": AsiaPacific, "TH": AsiaPacific,
+	"VN": AsiaPacific, "PH": AsiaPacific, "MM": AsiaPacific, "KH": AsiaPacific,
+	"LA": AsiaPacific, "BD": AsiaPacific, "LK": AsiaPacific, "NP": AsiaPacific,
+	"BT": AsiaPacific, "MV": AsiaPacific, "PK": AsiaPacific, "AF": AsiaPacific,
+	"KZ": AsiaPacific, "UZ": AsiaPacific, "KG": AsiaPacific, "TJ": AsiaPacific,
+	"TM": AsiaPacific, "MN": AsiaPacific, "GE": AsiaPacific, "AM": AsiaPacific,
+	"AZ": AsiaPacific, "BN": AsiaPacific, "TL": AsiaPacific,
+	// Oceania.
+	"AU": Oceania, "NZ": Oceania, "PG": Oceania, "FJ": Oceania, "WS": Oceania,
+	"TO": Oceania, "VU": Oceania, "SB": Oceania, "KI": Oceania, "FM": Oceania,
+	"MH": Oceania, "PW": Oceania, "NR": Oceania, "TV": Oceania, "CK": Oceania,
+	"AS": Oceania, "GU": Oceania, "MP": Oceania, "NC": Oceania, "PF": Oceania,
+}
+
+// RegionOf returns the region of an ISO code (AsiaPacific for unknowns).
+func RegionOf(code string) Region {
+	if r, ok := regionOf[code]; ok {
+		return r
+	}
+	return AsiaPacific
+}
+
+// Regions lists all regions in display order.
+func Regions() []Region {
+	return []Region{NorthAmerica, LatinAmerica, Europe, MiddleEast, Africa,
+		AsiaPacific, Oceania}
+}
+
+// CodesByRegion groups the registry codes by region, each group sorted by
+// descending weight.
+func CodesByRegion() map[Region][]string {
+	out := map[Region][]string{}
+	for _, c := range Countries() { // already weight-sorted
+		r := RegionOf(c.Code)
+		out[r] = append(out[r], c.Code)
+	}
+	return out
+}
+
+// RegionWeights returns each region's total registry weight.
+func RegionWeights() map[Region]float64 {
+	out := map[Region]float64{}
+	for _, c := range Countries() {
+		out[RegionOf(c.Code)] += c.Weight
+	}
+	return out
+}
+
+// SortedRegionNames returns region names sorted alphabetically — a helper
+// for deterministic report printing.
+func SortedRegionNames(m map[Region]float64) []Region {
+	out := make([]Region, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

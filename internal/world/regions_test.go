@@ -1,0 +1,88 @@
+package world
+
+import "testing"
+
+func TestEveryRegistryCodeHasExplicitRegion(t *testing.T) {
+	for _, c := range Countries() {
+		if _, ok := regionOf[c.Code]; !ok {
+			t.Errorf("code %q (%s) missing from region map", c.Code, c.Name)
+		}
+	}
+}
+
+func TestRegionOfKnownAssignments(t *testing.T) {
+	cases := map[string]Region{
+		"US": NorthAmerica, "BR": LatinAmerica, "GB": Europe, "SA": MiddleEast,
+		"NG": Africa, "JP": AsiaPacific, "AU": Oceania, "RU": Europe,
+		"LA": AsiaPacific, "NP": AsiaPacific, "CG": Africa,
+	}
+	for code, want := range cases {
+		if got := RegionOf(code); got != want {
+			t.Errorf("RegionOf(%s) = %s, want %s", code, got, want)
+		}
+	}
+	if got := RegionOf("ZZ"); got != AsiaPacific {
+		t.Errorf("unknown code default = %s", got)
+	}
+}
+
+func TestRegionsCompleteAndOrdered(t *testing.T) {
+	rs := Regions()
+	if len(rs) != 7 {
+		t.Fatalf("regions = %d, want 7", len(rs))
+	}
+	seen := map[Region]bool{}
+	for _, r := range rs {
+		if seen[r] {
+			t.Fatalf("duplicate region %s", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestCodesByRegionPartition(t *testing.T) {
+	groups := CodesByRegion()
+	total := 0
+	for _, codes := range groups {
+		total += len(codes)
+	}
+	if total != Count() {
+		t.Fatalf("region groups cover %d codes, want %d", total, Count())
+	}
+	// Groups inherit the weight ordering.
+	for region, codes := range groups {
+		prev := -1.0
+		for i, code := range codes {
+			c, ok := ByCode(code)
+			if !ok {
+				t.Fatalf("unknown code %q in region %s", code, region)
+			}
+			if i > 0 && c.Weight > prev {
+				t.Fatalf("region %s not weight-sorted at %q", region, code)
+			}
+			prev = c.Weight
+		}
+	}
+}
+
+func TestRegionWeightsSumToTotal(t *testing.T) {
+	sum := 0.0
+	for _, w := range RegionWeights() {
+		sum += w
+	}
+	if diff := sum - TotalWeight(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("region weights sum %g != total %g", sum, TotalWeight())
+	}
+}
+
+func TestSortedRegionNames(t *testing.T) {
+	names := SortedRegionNames(RegionWeights())
+	if len(names) != 7 {
+		t.Fatalf("sorted names = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}

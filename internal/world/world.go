@@ -1,0 +1,305 @@
+// Package world provides the location axis used by the synthetic datasets:
+// 232 countries/territories (the count used by the paper's GoogleTrends
+// dataset) with ISO 3166-1 alpha-2 codes, display names, and a synthetic
+// connectivity weight standing in for each territory's online population.
+//
+// The weights are order-of-magnitude figures (roughly "millions of internet
+// users, mid-2010s") for the larger countries and deterministic small values
+// for the long tail. They are a data substitute, not a statistical source:
+// the evaluation only needs a heavy-tailed, fixed, realistic-looking
+// distribution of local activity volumes (documented in DESIGN.md).
+package world
+
+import "sort"
+
+// Country describes one location on the location axis.
+type Country struct {
+	Code    string  // ISO 3166-1 alpha-2
+	Name    string  // display name
+	Weight  float64 // synthetic online-population weight (arbitrary units)
+	English float64 // affinity to English-language topics in [0,1]
+}
+
+// named holds the explicitly curated entries (the high-volume countries and
+// every country referenced by the paper's figures: US, JP, GB, AU, RU, LA,
+// NP, CG, ...).
+var named = []Country{
+	{"US", "United States", 280, 1.0},
+	{"CN", "China", 640, 0.1},
+	{"IN", "India", 240, 0.6},
+	{"BR", "Brazil", 110, 0.2},
+	{"JP", "Japan", 110, 0.2},
+	{"RU", "Russia", 100, 0.15},
+	{"DE", "Germany", 70, 0.5},
+	{"ID", "Indonesia", 70, 0.25},
+	{"NG", "Nigeria", 60, 0.7},
+	{"MX", "Mexico", 55, 0.2},
+	{"GB", "United Kingdom", 58, 1.0},
+	{"FR", "France", 55, 0.4},
+	{"IT", "Italy", 38, 0.3},
+	{"ES", "Spain", 36, 0.3},
+	{"TR", "Turkey", 35, 0.2},
+	{"KR", "South Korea", 43, 0.3},
+	{"VN", "Vietnam", 40, 0.2},
+	{"PH", "Philippines", 40, 0.8},
+	{"EG", "Egypt", 30, 0.3},
+	{"IR", "Iran", 30, 0.2},
+	{"PK", "Pakistan", 28, 0.5},
+	{"CA", "Canada", 31, 0.95},
+	{"AR", "Argentina", 28, 0.25},
+	{"TH", "Thailand", 26, 0.25},
+	{"PL", "Poland", 25, 0.35},
+	{"ZA", "South Africa", 24, 0.8},
+	{"CO", "Colombia", 22, 0.2},
+	{"UA", "Ukraine", 18, 0.2},
+	{"SA", "Saudi Arabia", 18, 0.35},
+	{"MY", "Malaysia", 19, 0.6},
+	{"AU", "Australia", 20, 1.0},
+	{"TW", "Taiwan", 18, 0.25},
+	{"NL", "Netherlands", 15, 0.7},
+	{"MA", "Morocco", 14, 0.2},
+	{"VE", "Venezuela", 14, 0.2},
+	{"PE", "Peru", 12, 0.2},
+	{"CL", "Chile", 12, 0.25},
+	{"RO", "Romania", 11, 0.35},
+	{"BD", "Bangladesh", 10, 0.4},
+	{"KE", "Kenya", 10, 0.75},
+	{"SE", "Sweden", 8.5, 0.8},
+	{"BE", "Belgium", 8.5, 0.55},
+	{"KZ", "Kazakhstan", 9, 0.15},
+	{"CZ", "Czechia", 7.5, 0.4},
+	{"AT", "Austria", 7, 0.5},
+	{"HU", "Hungary", 7, 0.35},
+	{"CH", "Switzerland", 6.5, 0.6},
+	{"GR", "Greece", 6.5, 0.4},
+	{"PT", "Portugal", 6.5, 0.35},
+	{"IL", "Israel", 6, 0.7},
+	{"AE", "United Arab Emirates", 8, 0.7},
+	{"DZ", "Algeria", 8, 0.2},
+	{"EC", "Ecuador", 6, 0.2},
+	{"SG", "Singapore", 4.5, 0.9},
+	{"DK", "Denmark", 5, 0.8},
+	{"FI", "Finland", 4.8, 0.75},
+	{"NO", "Norway", 4.6, 0.8},
+	{"IE", "Ireland", 3.8, 1.0},
+	{"NZ", "New Zealand", 3.7, 1.0},
+	{"HK", "Hong Kong", 5.7, 0.7},
+	{"SK", "Slovakia", 4.2, 0.35},
+	{"BY", "Belarus", 5.5, 0.15},
+	{"RS", "Serbia", 4.2, 0.3},
+	{"BG", "Bulgaria", 4, 0.3},
+	{"HR", "Croatia", 3, 0.35},
+	{"JO", "Jordan", 3.5, 0.4},
+	{"LK", "Sri Lanka", 4, 0.5},
+	{"TN", "Tunisia", 4.5, 0.2},
+	{"GH", "Ghana", 5, 0.8},
+	{"UZ", "Uzbekistan", 6, 0.1},
+	{"IQ", "Iraq", 6, 0.2},
+	{"MM", "Myanmar", 4, 0.2},
+	{"ET", "Ethiopia", 4, 0.4},
+	{"TZ", "Tanzania", 4, 0.6},
+	{"UG", "Uganda", 4, 0.7},
+	{"BO", "Bolivia", 3, 0.15},
+	{"DO", "Dominican Republic", 3.5, 0.25},
+	{"GT", "Guatemala", 3, 0.2},
+	{"CR", "Costa Rica", 2.5, 0.3},
+	{"UY", "Uruguay", 2.3, 0.25},
+	{"PA", "Panama", 2, 0.3},
+	{"LB", "Lebanon", 2.5, 0.4},
+	{"KW", "Kuwait", 3, 0.5},
+	{"QA", "Qatar", 2.2, 0.6},
+	{"OM", "Oman", 2.5, 0.4},
+	{"BH", "Bahrain", 1.2, 0.5},
+	{"LT", "Lithuania", 2.2, 0.4},
+	{"LV", "Latvia", 1.6, 0.4},
+	{"EE", "Estonia", 1.1, 0.5},
+	{"SI", "Slovenia", 1.5, 0.45},
+	{"AL", "Albania", 1.8, 0.3},
+	{"MK", "North Macedonia", 1.3, 0.3},
+	{"BA", "Bosnia and Herzegovina", 2, 0.3},
+	{"MD", "Moldova", 1.8, 0.2},
+	{"GE", "Georgia", 2, 0.2},
+	{"AM", "Armenia", 1.7, 0.2},
+	{"AZ", "Azerbaijan", 5, 0.15},
+	{"KG", "Kyrgyzstan", 1.8, 0.1},
+	{"TJ", "Tajikistan", 1.3, 0.1},
+	{"TM", "Turkmenistan", 0.6, 0.1},
+	{"MN", "Mongolia", 1.2, 0.2},
+	{"KH", "Cambodia", 2, 0.25},
+	{"LA", "Laos", 0.9, 0.15},
+	{"NP", "Nepal", 3, 0.35},
+	{"AF", "Afghanistan", 2, 0.2},
+	{"SY", "Syria", 3, 0.2},
+	{"YE", "Yemen", 2.5, 0.15},
+	{"SD", "Sudan", 3.5, 0.25},
+	{"LY", "Libya", 1.5, 0.2},
+	{"SN", "Senegal", 2.5, 0.15},
+	{"CI", "Ivory Coast", 2.5, 0.15},
+	{"CM", "Cameroon", 2, 0.3},
+	{"ZM", "Zambia", 1.8, 0.6},
+	{"ZW", "Zimbabwe", 2, 0.7},
+	{"MZ", "Mozambique", 1.2, 0.2},
+	{"AO", "Angola", 2, 0.15},
+	{"CD", "DR Congo (Kinshasa)", 1.5, 0.15},
+	{"CG", "DR Congo", 0.4, 0.15},
+	{"MG", "Madagascar", 0.8, 0.15},
+	{"RW", "Rwanda", 1, 0.5},
+	{"BJ", "Benin", 0.6, 0.15},
+	{"ML", "Mali", 0.8, 0.15},
+	{"BF", "Burkina Faso", 0.8, 0.15},
+	{"NE", "Niger", 0.4, 0.15},
+	{"TD", "Chad", 0.3, 0.15},
+	{"SO", "Somalia", 0.4, 0.2},
+	{"ER", "Eritrea", 0.1, 0.2},
+	{"GM", "Gambia", 0.3, 0.5},
+	{"SL", "Sierra Leone", 0.3, 0.6},
+	{"LR", "Liberia", 0.3, 0.7},
+	{"GN", "Guinea", 0.4, 0.15},
+	{"TG", "Togo", 0.4, 0.15},
+	{"GA", "Gabon", 0.5, 0.15},
+	{"NA", "Namibia", 0.6, 0.6},
+	{"BW", "Botswana", 0.7, 0.7},
+	{"MW", "Malawi", 0.6, 0.55},
+	{"BI", "Burundi", 0.2, 0.2},
+	{"LS", "Lesotho", 0.4, 0.6},
+	{"SZ", "Eswatini", 0.3, 0.55},
+	{"MU", "Mauritius", 0.7, 0.6},
+	{"IS", "Iceland", 0.3, 0.75},
+	{"LU", "Luxembourg", 0.5, 0.6},
+	{"MT", "Malta", 0.3, 0.75},
+	{"CY", "Cyprus", 0.8, 0.6},
+	{"ME", "Montenegro", 0.4, 0.3},
+	{"JM", "Jamaica", 1.3, 0.9},
+	{"TT", "Trinidad and Tobago", 0.9, 0.9},
+	{"BS", "Bahamas", 0.3, 0.9},
+	{"BB", "Barbados", 0.2, 0.9},
+	{"HT", "Haiti", 0.8, 0.2},
+	{"CU", "Cuba", 2, 0.2},
+	{"HN", "Honduras", 1.5, 0.2},
+	{"SV", "El Salvador", 1.5, 0.2},
+	{"NI", "Nicaragua", 1, 0.2},
+	{"PY", "Paraguay", 2.5, 0.2},
+	{"GY", "Guyana", 0.3, 0.85},
+	{"SR", "Suriname", 0.3, 0.3},
+	{"BZ", "Belize", 0.15, 0.8},
+	{"FJ", "Fiji", 0.4, 0.8},
+	{"PG", "Papua New Guinea", 0.5, 0.7},
+	{"BN", "Brunei", 0.35, 0.6},
+	{"MV", "Maldives", 0.25, 0.5},
+	{"BT", "Bhutan", 0.25, 0.4},
+	{"TL", "Timor-Leste", 0.1, 0.2},
+	{"PS", "Palestine", 1.5, 0.3},
+	{"MO", "Macao", 0.4, 0.4},
+	{"PR", "Puerto Rico", 2.5, 0.7},
+	{"GL", "Greenland", 0.05, 0.4},
+	{"FO", "Faroe Islands", 0.04, 0.5},
+	{"AD", "Andorra", 0.07, 0.4},
+	{"MC", "Monaco", 0.03, 0.4},
+	{"LI", "Liechtenstein", 0.03, 0.5},
+	{"SM", "San Marino", 0.02, 0.4},
+	{"VA", "Vatican City", 0.01, 0.4},
+	{"GI", "Gibraltar", 0.03, 0.9},
+	{"BM", "Bermuda", 0.06, 0.95},
+	{"KY", "Cayman Islands", 0.05, 0.95},
+	{"VG", "British Virgin Islands", 0.02, 0.95},
+	{"VI", "U.S. Virgin Islands", 0.07, 0.95},
+	{"AW", "Aruba", 0.09, 0.6},
+	{"CW", "Curacao", 0.12, 0.6},
+	{"GP", "Guadeloupe", 0.2, 0.3},
+	{"MQ", "Martinique", 0.2, 0.3},
+	{"GF", "French Guiana", 0.1, 0.3},
+	{"RE", "Reunion", 0.4, 0.3},
+	{"NC", "New Caledonia", 0.15, 0.35},
+	{"PF", "French Polynesia", 0.15, 0.35},
+	{"WS", "Samoa", 0.06, 0.8},
+	{"TO", "Tonga", 0.04, 0.8},
+	{"VU", "Vanuatu", 0.06, 0.7},
+	{"SB", "Solomon Islands", 0.06, 0.7},
+	{"KI", "Kiribati", 0.02, 0.7},
+	{"FM", "Micronesia", 0.03, 0.7},
+	{"MH", "Marshall Islands", 0.02, 0.7},
+	{"PW", "Palau", 0.02, 0.7},
+	{"NR", "Nauru", 0.01, 0.7},
+	{"TV", "Tuvalu", 0.01, 0.7},
+	{"CK", "Cook Islands", 0.01, 0.8},
+	{"AS", "American Samoa", 0.03, 0.8},
+	{"GU", "Guam", 0.1, 0.8},
+	{"MP", "Northern Mariana Islands", 0.03, 0.8},
+	{"SC", "Seychelles", 0.06, 0.6},
+	{"KM", "Comoros", 0.06, 0.15},
+	{"DJ", "Djibouti", 0.1, 0.2},
+	{"CV", "Cape Verde", 0.2, 0.2},
+	{"ST", "Sao Tome and Principe", 0.05, 0.15},
+	{"GQ", "Equatorial Guinea", 0.15, 0.15},
+	{"GW", "Guinea-Bissau", 0.06, 0.15},
+	{"MR", "Mauritania", 0.4, 0.15},
+	{"EH", "Western Sahara", 0.03, 0.15},
+	{"SS", "South Sudan", 0.2, 0.3},
+	{"CF", "Central African Republic", 0.1, 0.15},
+	{"KP", "North Korea", 0.02, 0.05},
+	{"MF", "Saint Martin", 0.02, 0.3},
+	{"SX", "Sint Maarten", 0.03, 0.5},
+	{"AI", "Anguilla", 0.01, 0.9},
+	{"MS", "Montserrat", 0.004, 0.9},
+	{"TC", "Turks and Caicos Islands", 0.03, 0.9},
+	{"DM", "Dominica", 0.04, 0.85},
+	{"GD", "Grenada", 0.06, 0.85},
+	{"LC", "Saint Lucia", 0.09, 0.85},
+	{"VC", "Saint Vincent and the Grenadines", 0.06, 0.85},
+	{"KN", "Saint Kitts and Nevis", 0.04, 0.85},
+	{"AG", "Antigua and Barbuda", 0.06, 0.85},
+	{"IM", "Isle of Man", 0.06, 0.95},
+	{"JE", "Jersey", 0.07, 0.95},
+	{"GG", "Guernsey", 0.05, 0.95},
+	{"AX", "Aland Islands", 0.02, 0.5},
+	{"FK", "Falkland Islands", 0.003, 0.9},
+	{"SH", "Saint Helena", 0.004, 0.9},
+	{"IO", "British Indian Ocean Territory", 0.002, 0.9},
+	{"YT", "Mayotte", 0.05, 0.3},
+}
+
+// Countries returns the full 232-territory registry, sorted by descending
+// weight (ties broken by code) so that index 0 is the largest market. The
+// returned slice is a fresh copy.
+func Countries() []Country {
+	out := append([]Country(nil), named...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Weight != out[b].Weight {
+			return out[a].Weight > out[b].Weight
+		}
+		return out[a].Code < out[b].Code
+	})
+	return out
+}
+
+// Count is the number of territories in the registry.
+func Count() int { return len(named) }
+
+// ByCode returns the country with the given ISO code and whether it exists.
+func ByCode(code string) (Country, bool) {
+	for _, c := range named {
+		if c.Code == code {
+			return c, true
+		}
+	}
+	return Country{}, false
+}
+
+// Codes returns the codes in the same order as Countries().
+func Codes() []string {
+	cs := Countries()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Code
+	}
+	return out
+}
+
+// TotalWeight returns the sum of all registry weights.
+func TotalWeight() float64 {
+	sum := 0.0
+	for _, c := range named {
+		sum += c.Weight
+	}
+	return sum
+}

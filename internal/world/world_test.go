@@ -1,0 +1,99 @@
+package world
+
+import "testing"
+
+func TestCountIs232(t *testing.T) {
+	if Count() != 232 {
+		t.Fatalf("registry has %d territories, want 232 (paper's GoogleTrends count)", Count())
+	}
+	if got := len(Countries()); got != 232 {
+		t.Fatalf("Countries() returned %d entries", got)
+	}
+}
+
+func TestCountriesSortedByWeight(t *testing.T) {
+	cs := Countries()
+	for i := 1; i < len(cs); i++ {
+		if cs[i].Weight > cs[i-1].Weight {
+			t.Fatalf("not sorted at %d: %v > %v", i, cs[i], cs[i-1])
+		}
+		if cs[i].Weight == cs[i-1].Weight && cs[i].Code < cs[i-1].Code {
+			t.Fatalf("tie not broken by code at %d", i)
+		}
+	}
+}
+
+func TestCountriesNoDuplicatesValidFields(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Countries() {
+		if len(c.Code) != 2 {
+			t.Fatalf("bad code %q", c.Code)
+		}
+		if seen[c.Code] {
+			t.Fatalf("duplicate code %q", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Name == "" {
+			t.Fatalf("empty name for %q", c.Code)
+		}
+		if c.Weight <= 0 {
+			t.Fatalf("non-positive weight for %q", c.Code)
+		}
+		if c.English < 0 || c.English > 1 {
+			t.Fatalf("affinity out of range for %q: %g", c.Code, c.English)
+		}
+	}
+}
+
+func TestPaperCountriesPresent(t *testing.T) {
+	// Every country referenced in the paper's figures must exist.
+	for _, code := range []string{"US", "JP", "GB", "AU", "RU", "LA", "NP", "CG"} {
+		if _, ok := ByCode(code); !ok {
+			t.Fatalf("paper country %q missing from registry", code)
+		}
+	}
+}
+
+func TestByCodeUnknown(t *testing.T) {
+	if _, ok := ByCode("XX"); ok {
+		t.Fatal("unknown code resolved")
+	}
+}
+
+func TestCodesAlignsWithCountries(t *testing.T) {
+	cs, codes := Countries(), Codes()
+	if len(cs) != len(codes) {
+		t.Fatal("length mismatch")
+	}
+	for i := range cs {
+		if cs[i].Code != codes[i] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+}
+
+func TestCountriesReturnsCopy(t *testing.T) {
+	a := Countries()
+	a[0].Weight = -1
+	b := Countries()
+	if b[0].Weight == -1 {
+		t.Fatal("Countries() exposes internal storage")
+	}
+}
+
+func TestTotalWeightPositive(t *testing.T) {
+	if TotalWeight() < 100 {
+		t.Fatalf("TotalWeight = %g, suspiciously small", TotalWeight())
+	}
+}
+
+func TestUSIsTopEnglishMarket(t *testing.T) {
+	us, ok := ByCode("US")
+	if !ok || us.English != 1.0 {
+		t.Fatalf("US affinity = %v", us)
+	}
+	la, _ := ByCode("LA")
+	if la.Weight >= us.Weight {
+		t.Fatal("outlier country should have much smaller weight than US")
+	}
+}
