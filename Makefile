@@ -18,7 +18,8 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream' ./internal/core/
+	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent' ./internal/core/
+	$(GO) test -race -run 'TestMetrics|TestMiddleware' ./internal/service/ ./internal/obs/
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	dspot-exp -fig all|1|4|5|6|7|8|9|10|11 [-scale small|full] [-seed S] [-csv DIR] [-plot]
+//	dspot-exp -fig all|1|4|5|6|7|8|9|10|11 [-scale small|full] [-seed S] [-csv DIR] [-plot] [-stats]
 //	dspot-exp -fig ablations|robustness|rolling|regional|tailscale [-scale small|full]
+//
+// -stats traces every fit the run performs and prints an aggregated fit
+// report (per-stage wall-clock, LM iteration totals, shock candidates tried
+// vs accepted) at the end, so benchmark runs become attributable.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dspot/internal/core"
 	"dspot/internal/dataset"
 	"dspot/internal/experiments"
 	"dspot/internal/plot"
@@ -32,6 +37,8 @@ func main() {
 	train := flag.Int("train", 400, "Fig 11 training ticks")
 	doPlot := flag.Bool("plot", false, "render ASCII charts for figure panels")
 	svgDir := flag.String("svg", "", "optional directory for per-figure SVG panels")
+	stats := flag.Bool("stats", false,
+		"trace every fit and print an aggregated fit report at the end")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -45,6 +52,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Seed = *seed
+	var trace *core.FitTrace
+	if *stats {
+		trace = core.NewFitTrace()
+		cfg.Progress = trace.Hook()
+		defer func() { fmt.Printf("\n%s", trace.Report()) }()
+	}
 
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 	fail := func(name string, err error) {

@@ -1,6 +1,7 @@
 // Command dspot-serve runs the Δ-SPOT HTTP service.
 //
-//	dspot-serve [-addr :8080] [-workers N]
+//	dspot-serve [-addr :8080] [-workers N] [-log-level info] [-log-json]
+//	            [-pprof] [-shutdown-timeout 30s]
 //
 // Endpoints (see internal/service):
 //
@@ -9,30 +10,97 @@
 //	POST /v1/forecast   model JSON → forecast + predicted events
 //	POST /v1/anomalies  model + series → flagged ticks
 //	GET  /healthz
+//	GET  /metrics       Prometheus text exposition
+//	GET  /debug/pprof/  net/http/pprof profiles (with -pprof)
+//
+// Every request is logged as a structured line (key=value, or JSON with
+// -log-json) and counted in the /metrics registry; fits additionally record
+// per-stage timings, LM iteration totals, and MDL shock verdicts. On
+// SIGINT/SIGTERM the listener closes and in-flight fits drain for up to
+// -shutdown-timeout before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"dspot/internal/obs"
 	"dspot/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "fitting concurrency per request")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logJSON := flag.Bool("log-json", false, "log JSON instead of key=value text")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
+		"grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dspot-serve:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+
+	handler := (&service.Server{
+		Workers: *workers,
+		Metrics: service.NewMetrics(),
+		Logger:  logger,
+	}).Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           (&service.Server{Workers: *workers}).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Fits on large tensors take a while; no blanket write timeout.
 	}
-	log.Printf("dspot-serve listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("dspot-serve listening",
+		"addr", *addr, "workers", *workers, "pprof", *pprofOn)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		logger.Info("shutting down, draining in-flight requests",
+			"timeout", *shutdownTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			logger.Error("shutdown incomplete", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("shutdown complete")
 	}
 }

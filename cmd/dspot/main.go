@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dspot fit      -in data.csv -out model.json [-global-only] [-no-growth] [-no-shocks] [-no-cycles] [-workers N]
+//	dspot fit      -in data.csv -out model.json [-global-only] [-no-growth] [-no-shocks] [-no-cycles] [-workers N] [-stats]
 //	dspot events   -model model.json
 //	dspot forecast -model model.json [-keyword NAME] [-horizon H] [-out forecast.csv]
 //	dspot simulate -model model.json [-keyword NAME] [-out fitted.csv]
@@ -55,7 +55,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  dspot fit      -in data.csv -out model.json [-wide KEYWORD] [-global-only] [-no-growth] [-no-shocks] [-no-cycles] [-workers N]
+  dspot fit      -in data.csv -out model.json [-wide KEYWORD] [-global-only] [-no-growth] [-no-shocks] [-no-cycles] [-workers N] [-stats]
   dspot events   -model model.json
   dspot forecast -model model.json [-keyword NAME] [-horizon H] [-out forecast.csv]
   dspot simulate -model model.json [-keyword NAME] [-out fitted.csv]
@@ -73,6 +73,7 @@ func runFit(args []string) error {
 	noShocks := fs.Bool("no-shocks", false, "disable external shock detection")
 	noCycles := fs.Bool("no-cycles", false, "restrict shocks to one-shot events")
 	workers := fs.Int("workers", 4, "fitting concurrency")
+	stats := fs.Bool("stats", false, "print a fit report (stage timings, LM iterations, shock verdicts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +94,11 @@ func runFit(args []string) error {
 		DisableGrowth: *noGrowth, DisableShocks: *noShocks,
 		DisableCycles: *noCycles, Workers: *workers,
 	}
+	var trace *dspot.FitTrace
+	if *stats {
+		trace = dspot.NewFitTrace()
+		opts.Progress = trace.Hook()
+	}
 	var m *dspot.Model
 	if *globalOnly {
 		m, err = dspot.FitGlobal(x, opts)
@@ -107,6 +113,9 @@ func runFit(args []string) error {
 	}
 	fmt.Printf("fitted %d keywords × %d locations × %d ticks; %d shocks; model → %s\n",
 		len(m.Keywords), len(m.Locations), m.Ticks, len(m.Shocks), *out)
+	if trace != nil {
+		fmt.Print(trace.Report())
+	}
 	return nil
 }
 

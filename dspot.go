@@ -83,6 +83,38 @@ func Fit(x *Tensor, opts Options) (*Model, error) {
 	return core.Fit(x, opts)
 }
 
+// Observability: set Options.Progress to receive FitEvents at stage
+// boundaries, or use the *WithReport variants to get an aggregated
+// FitReport (stage timings, LM iteration counts, shock candidates tried vs
+// accepted) alongside the model. Hooks are zero-cost when nil.
+
+// FitEvent is one fit-progress observation emitted at a stage boundary.
+type FitEvent = core.FitEvent
+
+// ProgressFunc receives fit-progress events; it must be safe for
+// concurrent use.
+type ProgressFunc = core.ProgressFunc
+
+// FitReport aggregates a fit run's trace events.
+type FitReport = core.FitReport
+
+// FitTrace aggregates FitEvents into a FitReport; NewFitTrace().Hook() is
+// the canonical Options.Progress value.
+type FitTrace = core.FitTrace
+
+// NewFitTrace returns an empty fit-trace collector.
+func NewFitTrace() *FitTrace { return core.NewFitTrace() }
+
+// FitWithReport is Fit with tracing enabled, returning the FitReport too.
+func FitWithReport(x *Tensor, opts Options) (*Model, *FitReport, error) {
+	return core.FitWithReport(x, opts)
+}
+
+// FitGlobalWithReport is FitGlobal with tracing enabled.
+func FitGlobalWithReport(x *Tensor, opts Options) (*Model, *FitReport, error) {
+	return core.FitGlobalWithReport(x, opts)
+}
+
 // FitGlobal runs only the global phase (l times cheaper; local matrices stay
 // nil). Use Fit, or follow with FitLocal, when per-location analysis or the
 // world reaction maps are needed.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dspot/internal/tensor"
 )
@@ -27,11 +28,54 @@ func Fit(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 	return m, nil
 }
 
+// FitWithReport runs Fit with tracing enabled and returns the aggregated
+// FitReport alongside the model: per-stage wall-clock, LM iteration totals,
+// and shock candidates tried vs accepted. Any Progress hook already set on
+// opts keeps receiving events too.
+func FitWithReport(x *tensor.Tensor, opts FitOptions) (*Model, *FitReport, error) {
+	tr := NewFitTrace()
+	opts.Progress = chainProgress(opts.Progress, tr.Hook())
+	m, err := Fit(x, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, tr.Report(), nil
+}
+
+// FitGlobalWithReport is FitWithReport for the global phase only.
+func FitGlobalWithReport(x *tensor.Tensor, opts FitOptions) (*Model, *FitReport, error) {
+	tr := NewFitTrace()
+	opts.Progress = chainProgress(opts.Progress, tr.Hook())
+	m, err := FitGlobal(x, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, tr.Report(), nil
+}
+
+// emitPhase reports a whole-phase boundary (StageGlobal/StageLocal).
+func emitPhase(opts FitOptions, stage string, start time.Time) {
+	if opts.Progress == nil {
+		return
+	}
+	opts.Progress(FitEvent{Stage: stage, Keyword: -1, Location: -1,
+		Duration: time.Since(start)})
+}
+
+// phaseStart timestamps a phase only when tracing is enabled.
+func phaseStart(opts FitOptions) time.Time {
+	if opts.Progress == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
 // FitGlobal runs only the global phase (Algorithm 2) and returns a model
 // whose local matrices are nil. Useful when only world-level analysis or
 // forecasting is needed — it is l times cheaper than the full fit.
 func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 	opts = opts.withDefaults()
+	start := phaseStart(opts)
 	d := x.D()
 	m := &Model{
 		Keywords:  append([]string(nil), x.Keywords...),
@@ -66,6 +110,7 @@ func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 		m.Shocks = append(m.Shocks, r.Shocks...)
 	}
 	sortShocks(m.Shocks)
+	emitPhase(opts, StageGlobal, start)
 	return m, nil
 }
 
@@ -73,6 +118,7 @@ func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 // FitGlobal, filling B_L, R_L and the shock Local matrices in place.
 func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 	opts = opts.withDefaults()
+	phase := phaseStart(opts)
 	d, l, n := x.D(), x.L(), x.N()
 	if n != m.Ticks || d != len(m.Global) {
 		return fmt.Errorf("core: tensor (%d,%d,%d) does not match model (%d keywords, %d ticks)",
@@ -104,6 +150,10 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				var cellStart time.Time
+				if opts.Progress != nil {
+					cellStart = time.Now()
+				}
 				// Worker-local copies of the keyword's shocks.
 				shocks := make([]Shock, len(byKeyword[i]))
 				for p, si := range byKeyword[i] {
@@ -117,10 +167,15 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 						m.Shocks[si].Local[occ][j] = v
 					}
 				}
+				if opts.Progress != nil {
+					opts.Progress(FitEvent{Stage: StageLocalCell, Keyword: i,
+						Location: j, Duration: time.Since(cellStart)})
+				}
 			}(i, j)
 		}
 	}
 	wg.Wait()
+	emitPhase(opts, StageLocal, phase)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"time"
 
 	"dspot/internal/lm"
 	"dspot/internal/mdl"
@@ -39,6 +40,13 @@ type FitOptions struct {
 	// Workers bounds fitting concurrency across keywords/locations
 	// (default: 4; 1 disables parallelism).
 	Workers int
+	// Progress, when non-nil, receives a FitEvent at every stage boundary:
+	// per-keyword LM iteration counts and residuals, each shock candidate's
+	// MDL cost delta and verdict, growth decisions, and per-stage wall-clock
+	// timings. It is called concurrently from fitting workers and must be
+	// safe for parallel use (FitTrace.Hook is the canonical consumer). Nil
+	// disables tracing at zero cost.
+	Progress ProgressFunc
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -78,12 +86,15 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitRe
 	n := len(norm)
 
 	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts}
+	start := st.traceNow()
 	st.params = KeywordParams{TEta: NoGrowth}
 	st.fitBase(true)
 
 	best := st.snapshot()
 	bestCost := st.cost()
+	rounds := 0
 	for iter := 0; iter < opts.MaxOuterIter; iter++ {
+		rounds = iter + 1
 		st.fitBase(iter == 0)
 		if !opts.DisableGrowth {
 			st.fitGrowth()
@@ -110,6 +121,11 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitRe
 
 	params, shocks := best.params, best.shocks
 	params.N *= scale // back to raw counts
+	if opts.Progress != nil {
+		opts.Progress(FitEvent{Stage: StageKeyword, Keyword: keyword, Location: -1,
+			Round: rounds, LMIters: st.lmIters, Residual: bestCost,
+			Duration: time.Since(start)})
+	}
 	return GlobalFitResult{Params: params, Shocks: shocks, Scale: scale, Cost: bestCost}, nil
 }
 
@@ -122,6 +138,8 @@ type gfit struct {
 
 	params KeywordParams
 	shocks []Shock
+
+	lmIters int // LM iterations spent on this keyword so far
 }
 
 type gsnapshot struct {
@@ -181,6 +199,8 @@ func (g *gfit) cost() float64 {
 func (g *gfit) fitBase(multiStart bool) { g.fitBaseIter(multiStart, 120) }
 
 func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
+	t0 := g.traceNow()
+	itersBefore := g.lmIters
 	eps := g.epsilon()
 	resid := func(p []float64) []float64 {
 		cand := g.params
@@ -237,6 +257,7 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 		if err != nil {
 			continue
 		}
+		g.lmIters += res.Iterations
 		if res.SSE < bestSSE {
 			bestSSE = res.SSE
 			bestParams = res.Params
@@ -246,6 +267,17 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 		g.params.N, g.params.Beta, g.params.Delta = bestParams[0], bestParams[1], bestParams[2]
 		g.params.Gamma, g.params.I0 = bestParams[3], bestParams[4]
 	}
+	g.emit(FitEvent{Stage: StageBase, Keyword: g.keyword, Location: -1,
+		LMIters: g.lmIters - itersBefore, Residual: bestSSE,
+		Duration: sinceIfTraced(g, t0)})
+}
+
+// sinceIfTraced returns the elapsed time since start when tracing is on.
+func sinceIfTraced(g *gfit, start time.Time) time.Duration {
+	if g.opts.Progress == nil {
+		return 0
+	}
+	return time.Since(start)
 }
 
 // fitGrowth searches for a population growth effect. A cheap pass grids
@@ -260,6 +292,7 @@ func (g *gfit) fitGrowth() {
 	if hi <= lo {
 		return
 	}
+	start := g.traceNow()
 	// Cheap pre-check: the growth effect raises the *base level*, so a
 	// series whose median level never shifts cannot carry one. Medians are
 	// robust to the shock spikes, so bursty-but-level series (the common
@@ -276,6 +309,8 @@ func (g *gfit) fitGrowth() {
 		}
 		if first > 0 && maxLate/first < 1.15 {
 			g.params.Eta0, g.params.TEta = 0, NoGrowth
+			g.emit(FitEvent{Stage: StageGrowth, Keyword: g.keyword, Location: -1,
+				Duration: sinceIfTraced(g, start)})
 			return
 		}
 	}
@@ -309,11 +344,15 @@ func (g *gfit) fitGrowth() {
 	sim := Simulate(&p, g.n, eps, -1)
 	costWith := mdl.GaussianCost(residuals(g.seq, sim)) +
 		costGrowthGlobal([]KeywordParams{p})
-	if costWith < costWithout-1e-9 && p.Eta0 > 1e-4 {
+	accepted := costWith < costWithout-1e-9 && p.Eta0 > 1e-4
+	if accepted {
 		g.params = p
 	} else {
 		g.params = withoutGrowth
 	}
+	g.emit(FitEvent{Stage: StageGrowth, Keyword: g.keyword, Location: -1,
+		CostDelta: costWith - costWithout, Accepted: accepted,
+		Duration: sinceIfTraced(g, start)})
 }
 
 // jointGrowthFit runs LM over {N, β, δ, γ, i0, η₀} with t_η fixed.
@@ -343,6 +382,7 @@ func (g *gfit) jointGrowthFit(tEta int) KeywordParams {
 		if err != nil {
 			continue
 		}
+		g.lmIters += res.Iterations
 		if res.SSE < bestSSE {
 			bestSSE = res.SSE
 			best = build(res.Params)
@@ -367,11 +407,19 @@ func (g *gfit) detectShocks() {
 func (g *gfit) growShocks() {
 	cur := g.cost()
 	for len(g.shocks) < g.opts.MaxShocks {
+		start := g.traceNow()
 		cand, params, cost, ok := g.bestShockCandidate()
 		if !ok {
 			break
 		}
-		if cost >= cur-1e-9 && !g.opts.AcceptAllShocks {
+		accepted := cost < cur-1e-9 || g.opts.AcceptAllShocks
+		if g.opts.Progress != nil {
+			sc := cand // stable copy: the live shock keeps being refined
+			g.opts.Progress(FitEvent{Stage: StageShock, Keyword: g.keyword,
+				Location: -1, CostDelta: cost - cur, Accepted: accepted,
+				Shock: &sc, Duration: time.Since(start)})
+		}
+		if !accepted {
 			break
 		}
 		g.shocks = append(g.shocks, cand)
@@ -671,6 +719,7 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 		if err != nil {
 			continue
 		}
+		g.lmIters += res.Iterations
 		consider(res.Params)
 	}
 	return bestShock, bestParams, bestCost
@@ -776,6 +825,7 @@ func (g *gfit) refineStrengths() {
 		resid(p0) // restore
 		return
 	}
+	g.lmIters += res.Iterations
 	resid(res.Params)
 }
 
@@ -793,9 +843,12 @@ func (g *gfit) maskedBaseParams(s *Shock) KeywordParams {
 			}
 		}
 	}
-	sub := &gfit{seq: seqMasked, n: g.n, keyword: g.keyword, opts: g.opts}
+	subOpts := g.opts
+	subOpts.Progress = nil // inner helper fit: no stage events of its own
+	sub := &gfit{seq: seqMasked, n: g.n, keyword: g.keyword, opts: subOpts}
 	sub.params = KeywordParams{TEta: g.params.TEta, Eta0: g.params.Eta0}
 	sub.fitBaseIter(true, 40)
+	g.lmIters += sub.lmIters
 	return sub.params
 }
 

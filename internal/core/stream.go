@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"dspot/internal/tensor"
 )
@@ -27,6 +28,7 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 	n := len(norm)
 
 	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts}
+	start := st.traceNow()
 	st.params = prev.Params
 	if scale > 0 {
 		st.params.N = prev.Params.N / scale // back into normalised space
@@ -54,7 +56,9 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 
 	best := st.snapshot()
 	bestCost := st.cost()
+	rounds := 0
 	for iter := 0; iter < opts.MaxOuterIter; iter++ {
+		rounds = iter + 1
 		st.fitBase(iter == 0)
 		if !opts.DisableGrowth {
 			st.fitGrowth()
@@ -77,6 +81,11 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 
 	params, shocks := best.params, best.shocks
 	params.N *= scale
+	if opts.Progress != nil {
+		opts.Progress(FitEvent{Stage: StageKeyword, Keyword: keyword, Location: -1,
+			Round: rounds, LMIters: st.lmIters, Residual: bestCost,
+			Duration: time.Since(start)})
+	}
 	return GlobalFitResult{Params: params, Shocks: shocks, Scale: scale, Cost: bestCost}, nil
 }
 

@@ -61,7 +61,7 @@ func AblationCycles(cfg Config, trainTicks int) (AblationCyclesResult, error) {
 
 	res := AblationCyclesResult{FlatFcstRMSE: flatRMSE(train, test)}
 
-	fullOpts := core.FitOptions{Workers: cfg.Workers}
+	fullOpts := cfg.fit()
 	full, err := core.FitGlobalSequence(train, 0, fullOpts)
 	if err != nil {
 		return res, err
@@ -73,7 +73,8 @@ func AblationCycles(cfg Config, trainTicks int) (AblationCyclesResult, error) {
 	res.FullFcstRMSE = stats.RMSE(test, fm.ForecastGlobal(0, len(test)))
 	res.FullpredEvents = len(fm.PredictedEvents(0, len(test)))
 
-	nocOpts := core.FitOptions{Workers: cfg.Workers, DisableCycles: true}
+	nocOpts := cfg.fit()
+	nocOpts.DisableCycles = true
 	noc, err := core.FitGlobalSequence(train, 0, nocOpts)
 	if err != nil {
 		return res, err
@@ -122,8 +123,8 @@ func AblationMDL(cfg Config) (AblationMDLResult, error) {
 
 	res := AblationMDLResult{}
 	fit := func(acceptAll bool) (int, float64, float64, error) {
-		opts := core.FitOptions{Workers: cfg.Workers, AcceptAllShocks: acceptAll,
-			DisableGrowth: true}
+		opts := cfg.fit()
+		opts.AcceptAllShocks, opts.DisableGrowth = acceptAll, true
 		r, err := core.FitGlobalSequence(train, 0, opts)
 		if err != nil {
 			return 0, 0, 0, err
@@ -221,7 +222,7 @@ func AblationLocal(cfg Config) (AblationLocalResult, error) {
 		return AblationLocalResult{}, err
 	}
 
-	m, err := core.Fit(x, core.FitOptions{Workers: cfg.Workers})
+	m, err := core.Fit(x, cfg.fit())
 	if err != nil {
 		return AblationLocalResult{}, err
 	}

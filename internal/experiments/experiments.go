@@ -24,6 +24,10 @@ type Config struct {
 	Ticks     int   // duration for GoogleTrends-like data (0 = natural)
 	Seed      int64 // generation seed
 	Workers   int   // fitting concurrency
+	// Progress, when non-nil, observes every fit the experiment performs
+	// (see core.FitOptions.Progress); dspot-exp -stats aggregates it into
+	// a run-wide FitReport.
+	Progress core.ProgressFunc
 }
 
 // Full returns the paper-scale configuration: 232 countries, 576 weeks.
@@ -37,7 +41,7 @@ func (c Config) gen() datagen.Config {
 }
 
 func (c Config) fit() core.FitOptions {
-	return core.FitOptions{Workers: c.Workers}
+	return core.FitOptions{Workers: c.Workers, Progress: c.Progress}
 }
 
 // EventReport describes one detected external shock in presentation form.

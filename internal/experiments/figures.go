@@ -164,6 +164,7 @@ func Fig4(cfg Config) (Fig4Result, error) {
 	res := Fig4Result{Peak: stats.Max(obs)}
 	for _, v := range variants {
 		v.opts.Workers = cfg.Workers
+		v.opts.Progress = cfg.Progress
 		fit, err := core.FitGlobalSequence(obs, 0, v.opts)
 		if err != nil {
 			return Fig4Result{}, fmt.Errorf("variant %s: %w", v.name, err)

@@ -71,7 +71,7 @@ func Fig11(cfg Config, trainTicks int) (Fig11Result, error) {
 	}
 
 	// Δ-SPOT: fit the training prefix, extrapolate cyclic shocks.
-	fit, err := core.FitGlobalSequence(train, 0, core.FitOptions{Workers: cfg.Workers})
+	fit, err := core.FitGlobalSequence(train, 0, cfg.fit())
 	if err != nil {
 		return res, err
 	}

@@ -131,8 +131,9 @@ func Robustness(cfg Config, missingLevels, noiseLevels []float64) (RobustnessRes
 
 	fitScored := func(truth *datagen.Truth, obs []float64) (RecoveryScore, error) {
 		n := len(obs)
-		fit, err := core.FitGlobalSequence(obs, 0, core.FitOptions{
-			Workers: cfg.Workers, DisableGrowth: truth.Keywords[0].Growth == nil})
+		opts := cfg.fit()
+		opts.DisableGrowth = truth.Keywords[0].Growth == nil
+		fit, err := core.FitGlobalSequence(obs, 0, opts)
 		if err != nil {
 			return RecoveryScore{}, err
 		}

@@ -95,8 +95,7 @@ func Rolling(cfg Config, rc RollingConfig, keywords []string) (RollingResult, er
 			peak := stats.Max(train)
 
 			// Δ-SPOT.
-			if fit, err := core.FitGlobalSequence(train, 0,
-				core.FitOptions{Workers: cfg.Workers}); err == nil {
+			if fit, err := core.FitGlobalSequence(train, 0, cfg.fit()); err == nil {
 				m := &core.Model{Keywords: []string{kw}, Ticks: origin,
 					Global: []core.KeywordParams{fit.Params}, Shocks: fit.Shocks}
 				add("D-SPOT", stats.RMSE(test, m.ForecastGlobal(0, kc.Horizon)), peak)

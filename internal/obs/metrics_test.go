@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs processed")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter value %g, want 3.5", got)
+	}
+	g := r.Gauge("queue_depth", "items queued")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge value %g, want 4", got)
+	}
+	// Re-registering the same name returns the same series.
+	if r.Counter("jobs_total", "jobs processed").Value() != 3.5 {
+		t.Fatal("re-registered counter lost its value")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("hits_total", "hits", "path")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v.With("/a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.With("/a").Value(); got != 8000 {
+		t.Fatalf("concurrent counter %g, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and 0.1 (le is inclusive)
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+		`# TYPE latency_seconds histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelledExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests", "method", "code")
+	v.With("POST", "200").Add(3)
+	v.With("GET", "405").Inc()
+	h := r.HistogramVec("req_seconds", "req latency", []float64{1}, "path")
+	h.With("/v1/fit").Observe(0.5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`http_requests_total{method="GET",code="405"} 1`,
+		`http_requests_total{method="POST",code="200"} 3`,
+		`req_seconds_bucket{path="/v1/fit",le="1"} 1`,
+		`req_seconds_sum{path="/v1/fit"} 0.5`,
+		`req_seconds_count{path="/v1/fit"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name: http_requests_total before req_seconds.
+	if strings.Index(out, "http_requests_total") > strings.Index(out, "req_seconds") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("weird_total", "", "v").With("a\"b\\c\nd").Inc()
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if want := `weird_total{v="a\"b\\c\nd"} 1`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, buf.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	resp2, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp2.StatusCode)
+	}
+	if allow := resp2.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Fatalf("Allow header %q", allow)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"Error": slog.LevelError, "": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn, false)
+	log.Info("hidden", "k", 1)
+	log.Warn("shown", "k", 2)
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filtering wrong: %s", out)
+	}
+
+	buf.Reset()
+	NewLogger(&buf, slog.LevelInfo, true).Info("m", "key", "val")
+	if !strings.Contains(buf.String(), `"key":"val"`) {
+		t.Fatalf("json handler output: %s", buf.String())
+	}
+}

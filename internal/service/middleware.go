@@ -1,0 +1,124 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dspot/internal/core"
+	"dspot/internal/obs"
+)
+
+// Metrics bundles the service's instrumentation over one obs.Registry:
+// per-endpoint request counts, latency histograms, an in-flight gauge,
+// response sizes, and fit-pipeline stage metrics fed from core.FitTrace
+// reports. Expose the registry at GET /metrics via Server.Handler.
+type Metrics struct {
+	Registry *obs.Registry
+
+	requests  *obs.CounterVec   // http_requests_total{path,method,code}
+	latency   *obs.HistogramVec // http_request_seconds{path}
+	inflight  *obs.Gauge        // http_inflight_requests
+	respBytes *obs.CounterVec   // http_response_bytes_total{path}
+
+	fitStage       *obs.HistogramVec // fit_stage_seconds{stage}
+	fitLMIters     *obs.Counter      // fit_lm_iterations_total
+	shocksTried    *obs.Counter      // fit_shocks_tried_total
+	shocksAccepted *obs.Counter      // fit_shocks_accepted_total
+	fitKeywords    *obs.Counter      // fit_keywords_total
+}
+
+// NewMetrics returns service metrics registered on a fresh registry.
+func NewMetrics() *Metrics {
+	return NewMetricsOn(obs.NewRegistry())
+}
+
+// NewMetricsOn registers the service metrics on reg.
+func NewMetricsOn(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Registry: reg,
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by endpoint, method and status code.",
+			"path", "method", "code"),
+		latency: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency in seconds, by endpoint.",
+			obs.DefBuckets(), "path"),
+		inflight: reg.Gauge("http_inflight_requests",
+			"Requests currently being served."),
+		respBytes: reg.CounterVec("http_response_bytes_total",
+			"Response body bytes written, by endpoint.", "path"),
+		fitStage: reg.HistogramVec("fit_stage_seconds",
+			"Wall-clock per fit pipeline stage (worker time for inner stages).",
+			obs.DefBuckets(), "stage"),
+		fitLMIters: reg.Counter("fit_lm_iterations_total",
+			"Levenberg-Marquardt iterations spent fitting."),
+		shocksTried: reg.Counter("fit_shocks_tried_total",
+			"Shock candidates evaluated by the MDL gate."),
+		shocksAccepted: reg.Counter("fit_shocks_accepted_total",
+			"Shock candidates accepted by the MDL gate."),
+		fitKeywords: reg.Counter("fit_keywords_total",
+			"Keyword sequences fitted."),
+	}
+}
+
+// ObserveFitReport folds one fit run's report into the fit metrics.
+func (m *Metrics) ObserveFitReport(rep *core.FitReport) {
+	if m == nil || rep == nil {
+		return
+	}
+	for stage, d := range rep.StageDurations {
+		m.fitStage.With(stage).Observe(d.Seconds())
+	}
+	m.fitLMIters.Add(float64(rep.LMIterations))
+	m.shocksTried.Add(float64(rep.ShocksTried))
+	m.shocksAccepted.Add(float64(rep.ShocksAccepted))
+	m.fitKeywords.Add(float64(rep.Keywords))
+}
+
+// statusRecorder captures the status code and bytes written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps next with request metrics and optional request logging.
+// path is the route label (the registered pattern, not the raw URL, so
+// label cardinality stays bounded).
+func instrument(path string, m *Metrics, log *slog.Logger, next http.Handler) http.Handler {
+	if m == nil && log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if m != nil {
+			m.inflight.Inc()
+			defer m.inflight.Dec()
+		}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		if m != nil {
+			m.requests.With(path, r.Method, strconv.Itoa(rec.code)).Inc()
+			m.latency.With(path).Observe(elapsed.Seconds())
+			m.respBytes.With(path).Add(float64(rec.bytes))
+		}
+		if log != nil {
+			log.Info("request",
+				"method", r.Method, "path", r.URL.Path, "status", rec.code,
+				"bytes", rec.bytes, "duration", elapsed, "remote", r.RemoteAddr)
+		}
+	})
+}

@@ -10,12 +10,15 @@
 //	                    ?keyword=NAME&horizon=H
 //	POST /v1/anomalies  {"model":…, "series":[…], "keyword":…, "threshold":…}
 //	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition (when Metrics is set)
 package service
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 
@@ -23,24 +26,41 @@ import (
 	"dspot/internal/dataset"
 )
 
-// MaxBodyBytes bounds request bodies (tensors can be large but not
-// unbounded).
+// MaxBodyBytes is the default request-body bound (tensors can be large but
+// not unbounded); override per Server via MaxBody.
 const MaxBodyBytes = 64 << 20
 
 // Server carries the handler configuration.
 type Server struct {
 	// Workers is the fitting concurrency per request.
 	Workers int
+	// MaxBody bounds request bodies in bytes (0 selects MaxBodyBytes).
+	MaxBody int64
+	// Metrics, when non-nil, instruments every endpoint (request counts,
+	// latency histograms, in-flight gauge, response sizes, fit-stage
+	// timings) and serves the registry at GET /metrics.
+	Metrics *Metrics
+	// Logger, when non-nil, emits one structured line per request plus
+	// fit summaries.
+	Logger *slog.Logger
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler, instrumented when Metrics
+// and/or Logger are set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/fit", s.handleFit)
-	mux.HandleFunc("/v1/events", s.handleEvents)
-	mux.HandleFunc("/v1/forecast", s.handleForecast)
-	mux.HandleFunc("/v1/anomalies", s.handleAnomalies)
+	route := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, instrument(path, s.Metrics, s.Logger, h))
+	}
+	route("/healthz", s.handleHealth)
+	route("/v1/fit", s.handleFit)
+	route("/v1/events", s.handleEvents)
+	route("/v1/forecast", s.handleForecast)
+	route("/v1/anomalies", s.handleAnomalies)
+	if s.Metrics != nil {
+		// Not instrumented: scrapes should not move the request metrics.
+		mux.Handle("/metrics", s.Metrics.Registry.Handler())
+	}
 	return mux
 }
 
@@ -49,6 +69,23 @@ func (s *Server) workers() int {
 		return 4
 	}
 	return s.Workers
+}
+
+func (s *Server) maxBody() int64 {
+	if s.MaxBody <= 0 {
+		return MaxBodyBytes
+	}
+	return s.MaxBody
+}
+
+// bodyError maps a request-body parse failure to a status code: 413 when
+// the MaxBytesReader limit tripped, 400 otherwise.
+func bodyError(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -67,15 +104,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func requirePost(w http.ResponseWriter, r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+// requireMethod gates a handler to one method, answering 405 with the
+// mandatory Allow header otherwise (RFC 9110 §15.5.6).
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		httpError(w, http.StatusMethodNotAllowed, "use %s", method)
 		return false
 	}
 	return true
 }
 
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	return requireMethod(w, r, http.MethodPost)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
 	writeJSON(w, map[string]string{"status": "ok"})
 }
 
@@ -88,10 +135,10 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	x, err := dataset.ReadCSV(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parsing tensor: %v", err)
+		httpError(w, bodyError(err), "parsing tensor: %v", err)
 		return
 	}
 	opts := core.FitOptions{
@@ -100,11 +147,30 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		DisableShocks: boolParam(r, "no_shocks"),
 		DisableCycles: boolParam(r, "no_cycles"),
 	}
+	var trace *core.FitTrace
+	if s.Metrics != nil || s.Logger != nil {
+		trace = core.NewFitTrace()
+		opts.Progress = trace.Hook()
+	}
 	var m *core.Model
 	if boolParam(r, "global_only") {
 		m, err = core.FitGlobal(x, opts)
 	} else {
 		m, err = core.Fit(x, opts)
+	}
+	if trace != nil {
+		rep := trace.Report()
+		s.Metrics.ObserveFitReport(rep)
+		if s.Logger != nil {
+			s.Logger.Info("fit",
+				"keywords", x.D(), "locations", x.L(), "ticks", x.N(),
+				"lm_iterations", rep.LMIterations,
+				"shocks_tried", rep.ShocksTried,
+				"shocks_accepted", rep.ShocksAccepted,
+				"global_duration", rep.GlobalDuration,
+				"local_duration", rep.LocalDuration,
+				"err", err)
+		}
 	}
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "fitting: %v", err)
@@ -120,11 +186,11 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 }
 
 // readModel parses a model JSON request body.
-func readModel(w http.ResponseWriter, r *http.Request) (*core.Model, bool) {
-	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+func (s *Server) readModel(w http.ResponseWriter, r *http.Request) (*core.Model, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	m, err := dataset.ReadModel(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parsing model: %v", err)
+		httpError(w, bodyError(err), "parsing model: %v", err)
 		return nil, false
 	}
 	return m, true
@@ -144,7 +210,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	m, ok := readModel(w, r)
+	m, ok := s.readModel(w, r)
 	if !ok {
 		return
 	}
@@ -171,7 +237,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	m, ok := readModel(w, r)
+	m, ok := s.readModel(w, r)
 	if !ok {
 		return
 	}
@@ -216,10 +282,10 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req anomaliesRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		httpError(w, bodyError(err), "parsing request: %v", err)
 		return
 	}
 	m, err := dataset.ReadModel(bytes.NewReader(req.Model))
