@@ -19,13 +19,16 @@ test-short:
 
 race:
 	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent' ./internal/core/
-	$(GO) test -race -run 'TestMetrics|TestMiddleware' ./internal/service/ ./internal/obs/
+	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic' ./internal/service/ ./internal/obs/
+	$(GO) test -race ./internal/registry/ ./internal/jobs/
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
+# go test runs one fuzz target per invocation.
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=30s ./internal/registry/
 
 examples:
 	$(GO) run ./examples/quickstart

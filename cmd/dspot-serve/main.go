@@ -2,6 +2,8 @@
 //
 //	dspot-serve [-addr :8080] [-workers N] [-log-level info] [-log-json]
 //	            [-pprof] [-shutdown-timeout 30s]
+//	            [-data-dir DIR] [-fit-workers N] [-queue-depth N]
+//	            [-job-timeout 15m] [-max-models N]
 //
 // Endpoints (see internal/service):
 //
@@ -13,11 +15,18 @@
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/pprof/  net/http/pprof profiles (with -pprof)
 //
+// plus the stateful layer (see internal/service/stateful.go): async fit jobs
+// under /v1/jobs, stored models under /v1/models, and incremental streams
+// under /v1/streams. With -data-dir the registry persists models and stream
+// snapshots there and reloads them on boot, so stored state survives a
+// restart; without it state is memory-only.
+//
 // Every request is logged as a structured line (key=value, or JSON with
 // -log-json) and counted in the /metrics registry; fits additionally record
 // per-stage timings, LM iteration totals, and MDL shock verdicts. On
-// SIGINT/SIGTERM the listener closes and in-flight fits drain for up to
-// -shutdown-timeout before the process exits.
+// SIGINT/SIGTERM the listener closes, in-flight fits drain for up to
+// -shutdown-timeout, then the job engine stops (cancelling queued and
+// running jobs) before the process exits.
 package main
 
 import (
@@ -32,7 +41,9 @@ import (
 	"syscall"
 	"time"
 
+	"dspot/internal/jobs"
 	"dspot/internal/obs"
+	"dspot/internal/registry"
 	"dspot/internal/service"
 )
 
@@ -44,6 +55,16 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second,
 		"grace period for in-flight requests on SIGINT/SIGTERM")
+	dataDir := flag.String("data-dir", "",
+		"directory for persisted models and streams (empty: memory-only)")
+	fitWorkers := flag.Int("fit-workers", jobs.DefaultWorkers,
+		"async fit-job worker pool size")
+	queueDepth := flag.Int("queue-depth", jobs.DefaultQueueDepth,
+		"async fit-job queue bound (full queue answers 503)")
+	jobTimeout := flag.Duration("job-timeout", jobs.DefaultTimeout,
+		"per-job run timeout for async fits")
+	maxModels := flag.Int("max-models", registry.DefaultMaxLoaded,
+		"models kept in memory at once (persisted models reload on demand)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -52,11 +73,32 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	metrics := service.NewMetrics()
+
+	reg, err := registry.Open(registry.Options{
+		DataDir:   *dataDir,
+		MaxLoaded: *maxModels,
+		Logger:    logger,
+		Metrics:   registry.NewMetricsOn(metrics.Registry),
+	})
+	if err != nil {
+		logger.Error("opening registry", "data_dir", *dataDir, "err", err)
+		os.Exit(1)
+	}
+	engine := jobs.New(jobs.Options{
+		Workers:    *fitWorkers,
+		QueueDepth: *queueDepth,
+		Timeout:    *jobTimeout,
+		Logger:     logger,
+		Metrics:    jobs.NewMetricsOn(metrics.Registry),
+	})
 
 	handler := (&service.Server{
-		Workers: *workers,
-		Metrics: service.NewMetrics(),
-		Logger:  logger,
+		Workers:  *workers,
+		Metrics:  metrics,
+		Logger:   logger,
+		Registry: reg,
+		Jobs:     engine,
 	}).Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()
@@ -83,7 +125,9 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("dspot-serve listening",
-		"addr", *addr, "workers", *workers, "pprof", *pprofOn)
+		"addr", *addr, "workers", *workers, "pprof", *pprofOn,
+		"data_dir", *dataDir, "models", reg.Len(),
+		"fit_workers", *fitWorkers, "queue_depth", *queueDepth)
 
 	select {
 	case err := <-errc:
@@ -99,8 +143,12 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
 			logger.Error("shutdown incomplete", "err", err)
+			engine.Close()
 			os.Exit(1)
 		}
+		// HTTP is drained; stop the job engine last so accepted jobs had
+		// their chance to finish queueing, then cancel what remains.
+		engine.Close()
 		logger.Info("shutdown complete")
 	}
 }

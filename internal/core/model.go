@@ -235,6 +235,19 @@ func (m *Model) Validate() error {
 	return nil
 }
 
+// KeywordIndex returns the index of the first keyword named name and
+// whether it exists. Keyword axes should not contain duplicates, but when
+// they do the first occurrence wins — every lookup in the codebase goes
+// through here so the choice is consistent.
+func (m *Model) KeywordIndex(name string) (int, bool) {
+	for i, kw := range m.Keywords {
+		if kw == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
 // ShocksFor returns the shocks attached to keyword i, in discovery order.
 func (m *Model) ShocksFor(i int) []Shock {
 	var out []Shock

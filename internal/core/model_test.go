@@ -287,3 +287,18 @@ func TestOccurrenceConsistencyQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKeywordIndexFirstMatch(t *testing.T) {
+	m := &Model{Keywords: []string{"a", "b", "b", "c"}}
+	if i, ok := m.KeywordIndex("a"); !ok || i != 0 {
+		t.Fatalf("KeywordIndex(a) = %d,%v", i, ok)
+	}
+	// Duplicate axes are malformed, but lookups must still deterministically
+	// pick the first occurrence (the old handler scan kept the last).
+	if i, ok := m.KeywordIndex("b"); !ok || i != 1 {
+		t.Fatalf("KeywordIndex(b) = %d,%v, want first match 1", i, ok)
+	}
+	if i, ok := m.KeywordIndex("zzz"); ok || i != -1 {
+		t.Fatalf("KeywordIndex(zzz) = %d,%v", i, ok)
+	}
+}

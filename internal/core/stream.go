@@ -164,7 +164,9 @@ func (s *Stream) Len() int { return len(s.seq) }
 func (s *Stream) Ready() bool { return s.fitted }
 
 // Model materialises the current fit as a single-keyword Model (nil when
-// not Ready).
+// not Ready). The shocks are deep-copied: callers may mutate the returned
+// model freely without corrupting the warm-start state the next incremental
+// refit builds on.
 func (s *Stream) Model() *Model {
 	if !s.fitted {
 		return nil
@@ -174,9 +176,67 @@ func (s *Stream) Model() *Model {
 		Locations: []string{"all"},
 		Ticks:     len(s.seq),
 		Global:    []KeywordParams{s.result.Params},
-		Shocks:    append([]Shock(nil), s.result.Shocks...),
+		Shocks:    CopyShocks(s.result.Shocks),
 		Scale:     []float64{s.result.Scale},
 	}
+}
+
+// CopyShocks deep-copies a shock slice, including the Strength and Local
+// slices that a shallow copy would share.
+func CopyShocks(shocks []Shock) []Shock {
+	if shocks == nil {
+		return nil
+	}
+	out := make([]Shock, len(shocks))
+	for i, s := range shocks {
+		s.Strength = append([]float64(nil), s.Strength...)
+		if s.Local != nil {
+			local := make([][]float64, len(s.Local))
+			for m, row := range s.Local {
+				local[m] = append([]float64(nil), row...)
+			}
+			s.Local = local
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// StreamState is the serialisable snapshot of a Stream: everything needed
+// to reconstruct it elsewhere (or after a restart) via RestoreStream. All
+// slices are deep copies — mutating a state does not touch the stream.
+type StreamState struct {
+	RefitEvery int
+	Seq        []float64 // appended ticks; tensor.Missing marks gaps
+	Fitted     bool
+	Result     GlobalFitResult
+	SinceRefit int
+}
+
+// State snapshots the stream for persistence.
+func (s *Stream) State() StreamState {
+	res := s.result
+	res.Shocks = CopyShocks(res.Shocks)
+	return StreamState{
+		RefitEvery: s.refitEvery,
+		Seq:        append([]float64(nil), s.seq...),
+		Fitted:     s.fitted,
+		Result:     res,
+		SinceRefit: s.sinceRefit,
+	}
+}
+
+// RestoreStream reconstructs a stream from a snapshot taken with State.
+// The fitting options are supplied by the caller (they hold a func hook and
+// are not part of the serialisable state).
+func RestoreStream(opts FitOptions, st StreamState) *Stream {
+	s := NewStream(opts, st.RefitEvery)
+	s.seq = append([]float64(nil), st.Seq...)
+	s.fitted = st.Fitted
+	s.result = st.Result
+	s.result.Shocks = CopyShocks(st.Result.Shocks)
+	s.sinceRefit = st.SinceRefit
+	return s
 }
 
 // Forecast extrapolates h ticks past the stream head (nil when not Ready).

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"dspot/internal/stats"
+	"dspot/internal/tensor"
 )
 
 // grammyLike synthesises an annual-spike series of length n.
@@ -146,5 +148,130 @@ func TestStreamDefaultRefitEvery(t *testing.T) {
 	s := NewStream(FitOptions{}, 0)
 	if s.refitEvery != 26 {
 		t.Fatalf("default refitEvery = %d", s.refitEvery)
+	}
+}
+
+// ContinueGlobalSequence promises to tolerate *revised* recent values, not
+// just appended ones — the doc comment says so but nothing exercised it.
+func TestContinueGlobalSequenceRevisedValues(t *testing.T) {
+	full := grammyLike(420, 24)
+	prev, err := FitGlobalSequence(full[:320], 0, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revise the tail of the already-fitted prefix — the shape late data
+	// corrections take in practice — and extend the window.
+	revised := append([]float64(nil), full...)
+	for t := 300; t < 320; t++ {
+		revised[t] *= 1.3
+	}
+	cont, err := ContinueGlobalSequence(revised, 0, prev, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{Keywords: []string{"k"}, Ticks: 420,
+		Global: []KeywordParams{cont.Params}, Shocks: cont.Shocks}
+	fit := m.SimulateGlobal(0, 420)
+	if r := stats.RMSE(revised, fit); r > 0.12*stats.Max(revised) {
+		t.Fatalf("refit on revised data RMSE %.3f of peak %.3f", r, stats.Max(revised))
+	}
+}
+
+// Stream.Append must not fit (and must not error) while fewer than eight
+// observed ticks exist, however many missing ticks pad the sequence.
+func TestStreamAppendMostlyMissing(t *testing.T) {
+	s := NewStream(FitOptions{DisableGrowth: true}, 4)
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = tensor.Missing
+	}
+	vals[3], vals[9], vals[15], vals[21], vals[27] = 1, 2, 1, 2, 1
+	refit, err := s.Append(vals...)
+	if err != nil {
+		t.Fatalf("append of sparse data errored: %v", err)
+	}
+	if refit || s.Ready() {
+		t.Fatal("stream fitted with fewer than 8 observed ticks")
+	}
+	if s.Len() != 30 {
+		t.Fatalf("Len = %d, want 30 (missing ticks still count)", s.Len())
+	}
+	if s.Model() != nil || s.Forecast(5) != nil {
+		t.Fatal("unready stream must return nil model and forecast")
+	}
+	// Crossing eight observed ticks fits despite the gaps.
+	more := grammyLike(120, 25)
+	refit, err = s.Append(more...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refit || !s.Ready() {
+		t.Fatal("stream did not fit once enough ticks were observed")
+	}
+}
+
+// Regression: Stream.Model used to shallow-copy shocks, so a caller
+// mutating the returned model corrupted the stream's warm-start state.
+func TestStreamModelNoAliasing(t *testing.T) {
+	full := grammyLike(340, 26)
+	s := NewStream(FitOptions{DisableGrowth: true}, 52)
+	if _, err := s.Append(full...); err != nil {
+		t.Fatal(err)
+	}
+	m1 := s.Model()
+	if m1 == nil || len(m1.Shocks) == 0 {
+		t.Fatal("fitted stream produced no shocks; cannot test aliasing")
+	}
+	want := m1.Shocks[0].Strength[0]
+	m1.Shocks[0].Strength[0] = math.Inf(1) // vandalise the returned copy
+	m1.Shocks[0].Local = [][]float64{{-1}}
+	m2 := s.Model()
+	if got := m2.Shocks[0].Strength[0]; got != want {
+		t.Fatalf("mutating a returned model leaked into the stream: %g != %g", got, want)
+	}
+	if m2.Shocks[0].Local != nil {
+		t.Fatal("mutating returned Local leaked into the stream")
+	}
+	// The next incremental refit must still see finite state.
+	if _, err := s.Append(grammyLike(60, 27)...); err != nil {
+		t.Fatalf("refit after external mutation: %v", err)
+	}
+}
+
+func TestStreamStateRoundTrip(t *testing.T) {
+	full := grammyLike(340, 28)
+	s := NewStream(FitOptions{DisableGrowth: true}, 52)
+	if _, err := s.Append(full[:320]...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(full[320:330]...); err != nil { // leave sinceRefit > 0
+		t.Fatal(err)
+	}
+	st := s.State()
+	r := RestoreStream(FitOptions{DisableGrowth: true}, st)
+	if r.Len() != s.Len() || r.Ready() != s.Ready() {
+		t.Fatalf("restored stream Len/Ready = %d/%v, want %d/%v",
+			r.Len(), r.Ready(), s.Len(), s.Ready())
+	}
+	want, got := s.Forecast(20), r.Forecast(20)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("restored forecast diverges at %d: %g != %g", i, got[i], want[i])
+		}
+	}
+	// The snapshot is isolated from the restored stream.
+	if len(st.Result.Shocks) > 0 && len(st.Result.Shocks[0].Strength) > 0 {
+		st.Result.Shocks[0].Strength[0] = -42
+		if r.result.Shocks[0].Strength[0] == -42 {
+			t.Fatal("RestoreStream aliases the snapshot's shock slices")
+		}
+	}
+	// Both continue identically after the same appends.
+	tail := full[330:]
+	refA, errA := s.Append(tail...)
+	refB, errB := r.Append(tail...)
+	if refA != refB || (errA == nil) != (errB == nil) {
+		t.Fatalf("restored stream diverged on append: (%v,%v) vs (%v,%v)",
+			refA, errA, refB, errB)
 	}
 }

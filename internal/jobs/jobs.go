@@ -1,0 +1,458 @@
+// Package jobs is the asynchronous execution engine behind the service's
+// fit endpoints: fits take minutes at scale, so requests enqueue work and
+// poll instead of holding a connection open for the whole fit.
+//
+// The engine is deliberately generic — it runs any Func — with a bounded
+// queue (backpressure surfaces as ErrQueueFull, not unbounded memory), a
+// fixed worker pool, a per-job timeout, cooperative cancellation, and one
+// retry for failures marked Transient. A job moves through
+//
+//	queued → running → done | failed | cancelled
+//
+// and its terminal snapshot (including the Func's result) stays queryable
+// until evicted by the history bound. Cancelling a queued job is immediate;
+// cancelling a running job cancels its context and the worker abandons the
+// invocation — the Func keeps running in the background until it notices,
+// so long Funcs should check ctx at natural checkpoints.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The five job states. The last three are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Func is the unit of work: it must honour ctx and return either a result
+// (stored on the job, JSON-encodable for the HTTP layer) or an error.
+type Func func(ctx context.Context) (any, error)
+
+// Engine errors recognised by callers.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrClosed    = errors.New("jobs: engine closed")
+	ErrNotFound  = errors.New("jobs: not found")
+	ErrTerminal  = errors.New("jobs: job already finished")
+)
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so the engine retries the job once (nil stays nil).
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Defaults applied by New when the corresponding Options field is zero.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 16
+	DefaultTimeout    = 15 * time.Minute
+	DefaultMaxHistory = 256
+)
+
+// Options configures New.
+type Options struct {
+	// Workers is the fixed worker-pool size (default DefaultWorkers).
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default
+	// DefaultQueueDepth); Submit fails fast with ErrQueueFull beyond it.
+	QueueDepth int
+	// Timeout bounds each running job (default DefaultTimeout; it does not
+	// count queue wait). Negative disables the timeout.
+	Timeout time.Duration
+	// MaxHistory bounds retained terminal jobs (default DefaultMaxHistory);
+	// the oldest finished snapshots are evicted first.
+	MaxHistory int
+	// Logger, when non-nil, reports job transitions and abandoned Funcs.
+	Logger *slog.Logger
+	// Metrics, when non-nil, exports queue depth, busy workers, outcomes
+	// and latencies.
+	Metrics *Metrics
+}
+
+// Snapshot is the queryable state of a job at one instant.
+type Snapshot struct {
+	ID           string `json:"id"`
+	Kind         string `json:"kind"`
+	State        State  `json:"state"`
+	Error        string `json:"error,omitempty"`
+	Attempts     int    `json:"attempts"`
+	CreatedUnix  int64  `json:"created_unix"`
+	StartedUnix  int64  `json:"started_unix,omitempty"`
+	FinishedUnix int64  `json:"finished_unix,omitempty"`
+	Result       any    `json:"result,omitempty"`
+}
+
+// job is the engine-internal record.
+type job struct {
+	id   string
+	kind string
+	fn   Func
+
+	cancel context.CancelFunc // cancels jctx: explicit cancel or shutdown
+	jctx   context.Context
+
+	// Mutable fields below are guarded by the engine mutex.
+	state     State
+	err       string
+	attempts  int
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	result    any
+	cancelReq bool
+}
+
+// Engine runs jobs on a fixed worker pool over a bounded queue.
+type Engine struct {
+	opts  Options
+	root  context.Context
+	stop  context.CancelFunc
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	terminal []string // terminal job ids, oldest first, for history eviction
+	closed   bool
+}
+
+// New starts an engine with opts' worker pool. Call Close to drain it.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = DefaultWorkers
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.MaxHistory <= 0 {
+		opts.MaxHistory = DefaultMaxHistory
+	}
+	root, stop := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:  opts,
+		root:  root,
+		stop:  stop,
+		queue: make(chan *job, opts.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) logger() *slog.Logger {
+	if e.opts.Logger != nil {
+		return e.opts.Logger
+	}
+	return nopLogger
+}
+
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.Level(127),
+}))
+
+// newID returns a random 16-hex-character job id.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: randomness unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Submit enqueues fn under a fresh id. kind labels the job in snapshots and
+// metrics. It fails fast with ErrQueueFull when the queue is at depth.
+func (e *Engine) Submit(kind string, fn Func) (string, error) {
+	jctx, cancel := context.WithCancel(e.root)
+	j := &job{
+		id: newID(), kind: kind, fn: fn,
+		jctx: jctx, cancel: cancel,
+		state: StateQueued, created: time.Now(),
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return "", ErrClosed
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.mu.Unlock()
+		cancel()
+		e.opts.Metrics.rejected()
+		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
+	}
+	e.jobs[j.id] = j
+	e.mu.Unlock()
+	e.opts.Metrics.queueDepth(len(e.queue))
+	e.logger().Debug("job queued", "id", j.id, "kind", kind)
+	return j.id, nil
+}
+
+// Get returns the job's snapshot.
+func (e *Engine) Get(id string) (Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	return j.snapshotLocked(), nil
+}
+
+// List returns every retained job snapshot, newest first.
+func (e *Engine) List() []Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Snapshot, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		out = append(out, j.snapshotLocked())
+	}
+	sortSnapshots(out)
+	return out
+}
+
+// Cancel requests cancellation. A queued job is cancelled immediately; a
+// running job has its context cancelled and finishes as cancelled once the
+// worker observes it. Cancelling a terminal job returns ErrTerminal.
+func (e *Engine) Cancel(id string) (Snapshot, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	if j.state.Terminal() {
+		snap := j.snapshotLocked()
+		e.mu.Unlock()
+		return snap, ErrTerminal
+	}
+	j.cancelReq = true
+	if j.state == StateQueued {
+		e.finishLocked(j, StateCancelled, "cancelled while queued", nil)
+	}
+	snap := j.snapshotLocked()
+	e.mu.Unlock()
+	j.cancel()
+	e.logger().Info("job cancel requested", "id", id, "state", snap.State)
+	return snap, nil
+}
+
+// Close stops accepting jobs, cancels everything in flight, and waits for
+// the workers to exit.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.stop() // cancels every job context derived from root
+	e.wg.Wait()
+	// Mark whatever never got picked up.
+	e.mu.Lock()
+	for {
+		select {
+		case j := <-e.queue:
+			if !j.state.Terminal() {
+				e.finishLocked(j, StateCancelled, "engine closed", nil)
+			}
+		default:
+			e.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.root.Done():
+			return
+		case j := <-e.queue:
+			e.run(j)
+			e.opts.Metrics.queueDepth(len(e.queue))
+		}
+	}
+}
+
+// run executes one job: timeout context, invocation, retry-once on
+// transient failure, terminal bookkeeping.
+func (e *Engine) run(j *job) {
+	e.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued
+		e.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	e.mu.Unlock()
+	e.opts.Metrics.workerBusy(+1)
+	defer e.opts.Metrics.workerBusy(-1)
+	e.logger().Info("job running", "id", j.id, "kind", j.kind)
+
+	rctx := j.jctx
+	if e.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(j.jctx, e.opts.Timeout)
+		defer cancel()
+	}
+
+	const maxAttempts = 2 // one retry on transient failure
+	for attempt := 1; ; attempt++ {
+		e.mu.Lock()
+		j.attempts = attempt
+		e.mu.Unlock()
+		result, err, abandoned := e.invoke(j, rctx)
+		e.mu.Lock()
+		switch {
+		case abandoned || (err != nil && rctx.Err() != nil):
+			// The context ended (cancel, shutdown or timeout) — classify.
+			reason := "timeout"
+			state := StateFailed
+			if j.cancelReq || j.jctx.Err() != nil {
+				reason, state = "cancelled", StateCancelled
+			}
+			e.finishLocked(j, state, reason, nil)
+		case err == nil:
+			e.finishLocked(j, StateDone, "", result)
+		case IsTransient(err) && attempt < maxAttempts:
+			e.mu.Unlock()
+			e.opts.Metrics.retry()
+			e.logger().Warn("job retrying after transient failure",
+				"id", j.id, "kind", j.kind, "err", err)
+			continue
+		default:
+			e.finishLocked(j, StateFailed, err.Error(), nil)
+		}
+		e.mu.Unlock()
+		return
+	}
+}
+
+// invoke runs fn under ctx, abandoning it (abandoned=true) if the context
+// ends first — the goroutine keeps running but its outcome is discarded.
+func (e *Engine) invoke(j *job, ctx context.Context) (result any, err error, abandoned bool) {
+	type outcome struct {
+		result any
+		err    error
+	}
+	done := make(chan outcome, 1)
+	launched := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{nil, fmt.Errorf("jobs: panic: %v", r)}
+			}
+		}()
+		res, ferr := j.fn(ctx)
+		done <- outcome{res, ferr}
+	}()
+	select {
+	case out := <-done:
+		return out.result, out.err, false
+	case <-ctx.Done():
+		go func() {
+			<-done // drain so the Func goroutine can exit
+			e.logger().Warn("abandoned job invocation finished",
+				"id", j.id, "kind", j.kind, "after", time.Since(launched))
+		}()
+		return nil, ctx.Err(), true
+	}
+}
+
+// finishLocked moves j to a terminal state and applies the history bound.
+func (e *Engine) finishLocked(j *job, state State, errMsg string, result any) {
+	j.state = state
+	j.err = errMsg
+	j.result = result
+	j.finished = time.Now()
+	j.cancel()
+	e.terminal = append(e.terminal, j.id)
+	for len(e.terminal) > e.opts.MaxHistory {
+		evict := e.terminal[0]
+		e.terminal = e.terminal[1:]
+		delete(e.jobs, evict)
+	}
+	var latency time.Duration
+	if !j.started.IsZero() {
+		latency = j.finished.Sub(j.started)
+	}
+	e.opts.Metrics.finished(j.kind, state, latency)
+	e.logger().Info("job finished", "id", j.id, "kind", j.kind,
+		"state", state, "err", errMsg, "latency", latency)
+}
+
+func (j *job) snapshotLocked() Snapshot {
+	s := Snapshot{
+		ID: j.id, Kind: j.kind, State: j.state, Error: j.err,
+		Attempts: j.attempts, CreatedUnix: j.created.Unix(),
+		Result: j.result,
+	}
+	if !j.started.IsZero() {
+		s.StartedUnix = j.started.Unix()
+	}
+	if !j.finished.IsZero() {
+		s.FinishedUnix = j.finished.Unix()
+	}
+	return s
+}
+
+// sortSnapshots orders newest-created first, id as tiebreaker.
+func sortSnapshots(s []Snapshot) {
+	for i := 1; i < len(s); i++ { // insertion sort: lists are small
+		for k := i; k > 0; k-- {
+			a, b := &s[k-1], &s[k]
+			if a.CreatedUnix > b.CreatedUnix ||
+				(a.CreatedUnix == b.CreatedUnix && a.ID <= b.ID) {
+				break
+			}
+			*a, *b = *b, *a
+		}
+	}
+}

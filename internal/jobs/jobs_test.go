@@ -1,0 +1,333 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dspot/internal/obs"
+)
+
+// waitState polls until the job reaches a terminal state or the deadline.
+func waitState(t *testing.T, e *Engine, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := e.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Snapshot{}
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, err := e.Submit("test", func(ctx context.Context) (any, error) {
+		return map[string]int{"answer": 42}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, e, id)
+	if snap.State != StateDone || snap.Error != "" || snap.Attempts != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if m, ok := snap.Result.(map[string]int); !ok || m["answer"] != 42 {
+		t.Fatalf("result = %#v", snap.Result)
+	}
+	if snap.StartedUnix == 0 || snap.FinishedUnix == 0 {
+		t.Fatalf("timestamps missing: %+v", snap)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, _ := e.Submit("test", func(ctx context.Context) (any, error) {
+		return nil, errors.New("boom")
+	})
+	snap := waitState(t, e, id)
+	if snap.State != StateFailed || snap.Error != "boom" || snap.Attempts != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	e := New(Options{Workers: 1, Metrics: NewMetricsOn(obs.NewRegistry())})
+	defer e.Close()
+	var mu sync.Mutex
+	calls := 0
+	id, _ := e.Submit("test", func(ctx context.Context) (any, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls == 1 {
+			return nil, Transient(errors.New("flaky disk"))
+		}
+		return "ok", nil
+	})
+	snap := waitState(t, e, id)
+	if snap.State != StateDone || snap.Attempts != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestTransientRetryOnlyOnce(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, _ := e.Submit("test", func(ctx context.Context) (any, error) {
+		return nil, Transient(errors.New("always flaky"))
+	})
+	snap := waitState(t, e, id)
+	if snap.State != StateFailed || snap.Attempts != 2 {
+		t.Fatalf("snapshot = %+v (want failed after exactly one retry)", snap)
+	}
+	if !strings.Contains(snap.Error, "always flaky") {
+		t.Fatalf("error = %q", snap.Error)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, _ := e.Submit("test", func(ctx context.Context) (any, error) {
+		return nil, errors.New("bad input")
+	})
+	if snap := waitState(t, e, id); snap.Attempts != 1 {
+		t.Fatalf("permanent failure retried: %+v", snap)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	block := make(chan struct{})
+	e := New(Options{Workers: 1, QueueDepth: 1})
+	defer func() { close(block); e.Close() }()
+	wait := func(ctx context.Context) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := e.Submit("w", wait); err != nil { // occupies the worker
+		t.Fatal(err)
+	}
+	// The worker may not have dequeued yet; fill until full.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := e.Submit("w", wait)
+		if errors.Is(err, ErrQueueFull) {
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	block := make(chan struct{})
+	e := New(Options{Workers: 1, QueueDepth: 4})
+	defer func() { close(block); e.Close() }()
+	if _, err := e.Submit("blocker", func(ctx context.Context) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the blocker start
+	id, err := e.Submit("victim", func(ctx context.Context) (any, error) {
+		t.Error("cancelled queued job ran anyway")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Cancel(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != StateCancelled {
+		t.Fatalf("queued cancel state = %s", snap.State)
+	}
+	if _, err := e.Cancel(id); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("cancel of terminal job = %v", err)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	started := make(chan struct{})
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, _ := e.Submit("test", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // cooperative: return when cancelled
+		return nil, ctx.Err()
+	})
+	<-started
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, e, id)
+	if snap.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", snap.State)
+	}
+}
+
+func TestCancelAbandonsUncooperativeJob(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, _ := e.Submit("stubborn", func(ctx context.Context) (any, error) {
+		close(started)
+		<-release // ignores ctx entirely
+		return "too late", nil
+	})
+	<-started
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, e, id) // worker must not stay stuck on the Func
+	if snap.State != StateCancelled || snap.Result != nil {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The freed worker picks up new jobs while the stubborn Func lingers.
+	id2, err := e.Submit("next", func(ctx context.Context) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := waitState(t, e, id2); snap.State != StateDone {
+		t.Fatalf("follow-up job state = %s", snap.State)
+	}
+	close(release)
+}
+
+func TestJobTimeout(t *testing.T) {
+	e := New(Options{Workers: 1, Timeout: 20 * time.Millisecond})
+	defer e.Close()
+	id, _ := e.Submit("slow", func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	snap := waitState(t, e, id)
+	if snap.State != StateFailed || snap.Error != "timeout" {
+		t.Fatalf("snapshot = %+v, want failed/timeout", snap)
+	}
+}
+
+func TestPanicIsFailure(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	id, _ := e.Submit("test", func(ctx context.Context) (any, error) {
+		panic("kaboom")
+	})
+	snap := waitState(t, e, id)
+	if snap.State != StateFailed || !strings.Contains(snap.Error, "kaboom") {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	e := New(Options{Workers: 2, MaxHistory: 3, QueueDepth: 32})
+	defer e.Close()
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, err := e.Submit("test", func(ctx context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		waitState(t, e, id)
+	}
+	if got := len(e.List()); got != 3 {
+		t.Fatalf("retained %d jobs, want 3", got)
+	}
+	if _, err := e.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest job not evicted: %v", err)
+	}
+	if _, err := e.Get(ids[len(ids)-1]); err != nil {
+		t.Fatalf("newest job evicted: %v", err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Close()
+	if _, err := e.Submit("test", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v", err)
+	}
+}
+
+func TestCloseCancelsQueuedAndRunning(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 8})
+	running := make(chan struct{})
+	idRun, _ := e.Submit("run", func(ctx context.Context) (any, error) {
+		close(running)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-running
+	idQueued, _ := e.Submit("queued", func(ctx context.Context) (any, error) { return nil, nil })
+	e.Close()
+	for _, id := range []string{idRun, idQueued} {
+		snap, err := e.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State != StateCancelled {
+			t.Fatalf("job %s state after Close = %s", snap.Kind, snap.State)
+		}
+	}
+}
+
+func TestConcurrentSubmitCancelGet(t *testing.T) {
+	e := New(Options{Workers: 4, QueueDepth: 64, Metrics: NewMetricsOn(obs.NewRegistry())})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id, err := e.Submit(fmt.Sprintf("w%d", w), func(ctx context.Context) (any, error) {
+					select {
+					case <-time.After(time.Millisecond):
+					case <-ctx.Done():
+					}
+					return i, nil
+				})
+				if errors.Is(err, ErrQueueFull) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					_, _ = e.Cancel(id)
+				}
+				_, _ = e.Get(id)
+				e.List()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

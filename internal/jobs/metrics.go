@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"time"
+
+	"dspot/internal/obs"
+)
+
+// Metrics exports the engine's load profile: queue depth, busy workers,
+// outcomes by kind and state, retries, rejections, and per-kind run
+// latency. All methods are nil-safe.
+type Metrics struct {
+	depth    *obs.Gauge        // jobs_queue_depth
+	busy     *obs.Gauge        // jobs_workers_busy
+	outcomes *obs.CounterVec   // jobs_finished_total{kind,state}
+	retries  *obs.Counter      // jobs_retries_total
+	rejects  *obs.Counter      // jobs_rejected_total
+	latency  *obs.HistogramVec // jobs_run_seconds{kind}
+}
+
+// NewMetricsOn registers the engine metrics on reg.
+func NewMetricsOn(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		depth: reg.Gauge("jobs_queue_depth",
+			"Jobs waiting in the queue."),
+		busy: reg.Gauge("jobs_workers_busy",
+			"Workers currently running a job."),
+		outcomes: reg.CounterVec("jobs_finished_total",
+			"Jobs finished, by kind and terminal state.", "kind", "state"),
+		retries: reg.Counter("jobs_retries_total",
+			"Retries after transient failures."),
+		rejects: reg.Counter("jobs_rejected_total",
+			"Submissions rejected because the queue was full."),
+		latency: reg.HistogramVec("jobs_run_seconds",
+			"Job run latency in seconds (excludes queue wait), by kind.",
+			obs.DefBuckets(), "kind"),
+	}
+}
+
+func (m *Metrics) queueDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.depth.Set(float64(n))
+}
+
+func (m *Metrics) workerBusy(delta int) {
+	if m == nil {
+		return
+	}
+	m.busy.Add(float64(delta))
+}
+
+func (m *Metrics) finished(kind string, state State, latency time.Duration) {
+	if m == nil {
+		return
+	}
+	m.outcomes.With(kind, string(state)).Inc()
+	if latency > 0 {
+		m.latency.With(kind).Observe(latency.Seconds())
+	}
+}
+
+func (m *Metrics) retry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *Metrics) rejected() {
+	if m == nil {
+		return
+	}
+	m.rejects.Inc()
+}

@@ -1,0 +1,43 @@
+package registry
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeManifest hammers the boot-time trust boundary: whatever bytes
+// end up in manifest.json, the decoder must either reject them or return a
+// manifest whose every entry upholds the invariants the registry assumes
+// (valid unique ids, local file paths, positive versions).
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add([]byte(`{"version":1,"models":[]}`))
+	f.Add([]byte(`{"version":1,"models":[{"id":"a","version":1,"file":"models/a.json",` +
+		`"created_unix":1,"updated_unix":2,"keywords":1,"locations":4,"ticks":300}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"models":[{"id":"../x","version":1,"file":"models/x.json"}]}`))
+	f.Add([]byte(`{"version":1,"models":[{"id":"a","version":1,"file":"/etc/passwd"}]}`))
+	f.Add([]byte(`{"version":1,"models":[{"id":"a","version":0,"file":"m.json"}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mf, err := decodeManifest(data)
+		if err != nil {
+			return
+		}
+		seen := map[string]bool{}
+		for _, e := range mf.Models {
+			if err := ValidateID(e.ID); err != nil {
+				t.Fatalf("decoder admitted bad id %q", e.ID)
+			}
+			if seen[e.ID] {
+				t.Fatalf("decoder admitted duplicate id %q", e.ID)
+			}
+			seen[e.ID] = true
+			if e.Version < 1 {
+				t.Fatalf("decoder admitted version %d", e.Version)
+			}
+			if e.File == "" || filepath.IsAbs(e.File) || !filepath.IsLocal(e.File) {
+				t.Fatalf("decoder admitted unsafe path %q", e.File)
+			}
+		}
+	})
+}

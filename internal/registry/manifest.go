@@ -1,0 +1,101 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestVersion is the on-disk format version; bump on incompatible
+// changes so old binaries refuse new directories instead of misreading them.
+const manifestVersion = 1
+
+// manifest is the registry's on-disk index: one entry per persisted model.
+// The manifest is the source of truth on boot — a model file without an
+// entry is ignored, an entry without a file is dropped with a warning.
+// Stream snapshots are deliberately not indexed here: each stream file is
+// self-describing and the streams/ directory is scanned instead.
+type manifest struct {
+	Version int             `json:"version"`
+	Models  []manifestEntry `json:"models"`
+}
+
+// manifestEntry records one model's identity and where its JSON lives,
+// plus enough shape metadata to list models without loading them.
+type manifestEntry struct {
+	ID          string `json:"id"`
+	Version     int    `json:"version"`
+	File        string `json:"file"` // relative to the data dir
+	CreatedUnix int64  `json:"created_unix"`
+	UpdatedUnix int64  `json:"updated_unix"`
+	Keywords    int    `json:"keywords"`
+	Locations   int    `json:"locations"`
+	Ticks       int    `json:"ticks"`
+}
+
+// decodeManifest parses and validates manifest JSON. Every structural
+// invariant the registry later relies on is checked here — the decoder is
+// the trust boundary for a data dir that may have been hand-edited or
+// corrupted, and it is fuzzed (FuzzDecodeManifest).
+func decodeManifest(data []byte) (*manifest, error) {
+	var mf manifest
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("registry: decoding manifest: %w", err)
+	}
+	if mf.Version != manifestVersion {
+		return nil, fmt.Errorf("registry: manifest version %d, want %d", mf.Version, manifestVersion)
+	}
+	seen := make(map[string]bool, len(mf.Models))
+	for i := range mf.Models {
+		e := &mf.Models[i]
+		if err := ValidateID(e.ID); err != nil {
+			return nil, fmt.Errorf("registry: manifest entry %d: %w", i, err)
+		}
+		if seen[e.ID] {
+			return nil, fmt.Errorf("registry: manifest lists %q twice", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Version < 1 {
+			return nil, fmt.Errorf("registry: manifest entry %q: version %d < 1", e.ID, e.Version)
+		}
+		if e.File == "" || filepath.IsAbs(e.File) || !filepath.IsLocal(e.File) {
+			return nil, fmt.Errorf("registry: manifest entry %q: unsafe file path %q", e.ID, e.File)
+		}
+		if e.Keywords < 0 || e.Locations < 0 || e.Ticks < 0 {
+			return nil, fmt.Errorf("registry: manifest entry %q: negative shape", e.ID)
+		}
+	}
+	return &mf, nil
+}
+
+// encodeManifest renders the manifest as indented JSON.
+func encodeManifest(mf *manifest) ([]byte, error) {
+	return json.MarshalIndent(mf, "", "  ")
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// plus rename, so readers (and a crash at any point) see either the old or
+// the new content, never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

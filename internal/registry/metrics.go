@@ -1,0 +1,70 @@
+package registry
+
+import "dspot/internal/obs"
+
+// Metrics exports the registry's health: how many models it indexes, how
+// many are resident in memory, stream count, incremental refits, LRU
+// evictions and persistence failures. All methods are nil-safe so the
+// registry can run unmetered.
+type Metrics struct {
+	models        *obs.Gauge   // registry_models
+	loaded        *obs.Gauge   // registry_models_loaded
+	streams       *obs.Gauge   // registry_streams
+	evictions     *obs.Counter // registry_evictions_total
+	refits        *obs.Counter // registry_stream_refits_total
+	persistErrors *obs.Counter // registry_persist_errors_total
+}
+
+// NewMetricsOn registers the registry metrics on reg.
+func NewMetricsOn(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		models: reg.Gauge("registry_models",
+			"Models indexed by the registry (loaded or evicted)."),
+		loaded: reg.Gauge("registry_models_loaded",
+			"Models currently resident in memory."),
+		streams: reg.Gauge("registry_streams",
+			"Named incremental streams."),
+		evictions: reg.Counter("registry_evictions_total",
+			"Models evicted from memory by the LRU bound."),
+		refits: reg.Counter("registry_stream_refits_total",
+			"Incremental stream refits performed."),
+		persistErrors: reg.Counter("registry_persist_errors_total",
+			"Failed writes of model, stream or manifest files."),
+	}
+}
+
+func (m *Metrics) setModelSizes(models, loaded int) {
+	if m == nil {
+		return
+	}
+	m.models.Set(float64(models))
+	m.loaded.Set(float64(loaded))
+}
+
+func (m *Metrics) setStreams(n int) {
+	if m == nil {
+		return
+	}
+	m.streams.Set(float64(n))
+}
+
+func (m *Metrics) eviction() {
+	if m == nil {
+		return
+	}
+	m.evictions.Inc()
+}
+
+func (m *Metrics) streamRefit() {
+	if m == nil {
+		return
+	}
+	m.refits.Inc()
+}
+
+func (m *Metrics) persistError() {
+	if m == nil {
+		return
+	}
+	m.persistErrors.Inc()
+}

@@ -1,0 +1,416 @@
+// Package registry is the stateful heart of the serving layer: a versioned
+// store of fitted Δ-SPOT models plus named incremental streams, shared by
+// every request instead of round-tripping model JSON through clients.
+//
+// Models live in an in-memory map guarded by a mutex, with an LRU bound on
+// how many stay loaded. When a data directory is configured every Put is
+// persisted atomically (model JSON written temp-then-rename, then a small
+// manifest indexing all models), so a restarted server reopens the
+// directory and serves the same models; evicted models reload from disk on
+// demand. Streams wrap core.Stream: clients append ticks and the registry
+// refits incrementally, snapshotting the stream state after every append.
+//
+// Concurrency contract: *core.Model values returned by Get are shared and
+// must be treated as read-only (every Model method used for serving is).
+// Stream appends serialise per stream but run concurrently across streams
+// and never hold the registry lock during a fit.
+package registry
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dspot/internal/core"
+	"dspot/internal/dataset"
+)
+
+// Registry errors recognised by callers (the HTTP layer maps them to
+// status codes).
+var (
+	ErrNotFound = errors.New("registry: not found")
+	ErrBadID    = errors.New("registry: bad id")
+)
+
+// DefaultMaxLoaded bounds in-memory models when Options.MaxLoaded is 0.
+const DefaultMaxLoaded = 64
+
+// Options configures Open.
+type Options struct {
+	// DataDir is the persistence root ("" keeps everything in memory; the
+	// LRU bound is then ignored, since evicting would lose data).
+	DataDir string
+	// MaxLoaded bounds models held in memory at once (default
+	// DefaultMaxLoaded). Only effective with a DataDir.
+	MaxLoaded int
+	// Logger, when non-nil, reports loads, evictions and persistence
+	// problems.
+	Logger *slog.Logger
+	// Metrics, when non-nil, exports registry gauges and counters.
+	Metrics *Metrics
+	// StreamFit are the fitting options applied to stream (re)fits.
+	StreamFit core.FitOptions
+	// RefitEvery is the default stream refit cadence in ticks (0 selects
+	// core.NewStream's default).
+	RefitEvery int
+}
+
+// Info describes one stored model without loading it.
+type Info struct {
+	ID          string `json:"id"`
+	Version     int    `json:"version"`
+	CreatedUnix int64  `json:"created_unix"`
+	UpdatedUnix int64  `json:"updated_unix"`
+	Keywords    int    `json:"keywords"`
+	Locations   int    `json:"locations"`
+	Ticks       int    `json:"ticks"`
+	Loaded      bool   `json:"loaded"`
+}
+
+// entry is one model slot: metadata always, the model itself only while
+// loaded (elem tracks its LRU position; both nil when evicted).
+type entry struct {
+	info  Info
+	model *core.Model
+	elem  *list.Element
+}
+
+// Registry is a concurrent, optionally persistent model and stream store.
+type Registry struct {
+	opts Options
+	dir  string // "" = memory only
+
+	mu     sync.Mutex
+	models map[string]*entry
+	lru    *list.List // of *entry; front = most recently used
+	loaded int
+
+	streamMu sync.Mutex
+	streams  map[string]*stream
+}
+
+// ValidateID checks a model or stream identifier: 1–64 characters from
+// [a-zA-Z0-9._-], not starting with a dot (ids double as file names).
+func ValidateID(id string) error {
+	if id == "" || len(id) > 64 || id[0] == '.' {
+		return fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("%w: %q", ErrBadID, id)
+		}
+	}
+	return nil
+}
+
+// Open builds a registry. With a DataDir it creates the layout
+// (models/, streams/, manifest.json), reads the manifest, and registers
+// every surviving model unloaded — load-on-boot means the index is restored
+// immediately while model JSON loads lazily on first Get. Stream snapshots
+// are restored eagerly (they must accept appends at once).
+func Open(opts Options) (*Registry, error) {
+	if opts.MaxLoaded <= 0 {
+		opts.MaxLoaded = DefaultMaxLoaded
+	}
+	r := &Registry{
+		opts:    opts,
+		dir:     opts.DataDir,
+		models:  make(map[string]*entry),
+		lru:     list.New(),
+		streams: make(map[string]*stream),
+	}
+	if r.dir == "" {
+		r.gauges()
+		return r, nil
+	}
+	for _, sub := range []string{modelsDir, streamsDir} {
+		if err := os.MkdirAll(filepath.Join(r.dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("registry: creating layout: %w", err)
+		}
+	}
+	if err := r.loadManifest(); err != nil {
+		return nil, err
+	}
+	if err := r.loadStreams(); err != nil {
+		return nil, err
+	}
+	r.gauges()
+	return r, nil
+}
+
+const (
+	modelsDir    = "models"
+	streamsDir   = "streams"
+	manifestFile = "manifest.json"
+)
+
+func (r *Registry) modelPath(id string) string {
+	return filepath.Join(r.dir, modelsDir, id+".json")
+}
+
+// nopLogger swallows log records when no Logger is configured.
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.Level(127), // above every level: nothing is ever emitted
+}))
+
+func (r *Registry) logger() *slog.Logger {
+	if r.opts.Logger != nil {
+		return r.opts.Logger
+	}
+	return nopLogger
+}
+
+// loadManifest restores the model index from disk. Entries whose model file
+// vanished are dropped with a warning rather than failing the boot: a
+// half-deleted model must not take the whole service down.
+func (r *Registry) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(r.dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // fresh directory
+	}
+	if err != nil {
+		return fmt.Errorf("registry: reading manifest: %w", err)
+	}
+	mf, err := decodeManifest(data)
+	if err != nil {
+		return err
+	}
+	for _, e := range mf.Models {
+		path := filepath.Join(r.dir, filepath.FromSlash(e.File))
+		if _, statErr := os.Stat(path); statErr != nil {
+			r.logger().Warn("registry: dropping manifest entry, model file missing",
+				"id", e.ID, "file", e.File, "err", statErr)
+			continue
+		}
+		r.models[e.ID] = &entry{info: Info{
+			ID: e.ID, Version: e.Version,
+			CreatedUnix: e.CreatedUnix, UpdatedUnix: e.UpdatedUnix,
+			Keywords: e.Keywords, Locations: e.Locations, Ticks: e.Ticks,
+		}}
+	}
+	return nil
+}
+
+// saveManifestLocked rewrites the manifest from the current index.
+func (r *Registry) saveManifestLocked() error {
+	mf := &manifest{Version: manifestVersion}
+	ids := make([]string, 0, len(r.models))
+	for id := range r.models {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		info := r.models[id].info
+		mf.Models = append(mf.Models, manifestEntry{
+			ID: info.ID, Version: info.Version,
+			File:        modelsDir + "/" + info.ID + ".json",
+			CreatedUnix: info.CreatedUnix, UpdatedUnix: info.UpdatedUnix,
+			Keywords: info.Keywords, Locations: info.Locations, Ticks: info.Ticks,
+		})
+	}
+	data, err := encodeManifest(mf)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(r.dir, manifestFile), data); err != nil {
+		r.opts.Metrics.persistError()
+		return fmt.Errorf("registry: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// Put stores (or replaces) a model under id, bumping its version, and
+// persists it before updating the in-memory index so a crash between the
+// two leaves the previous manifest pointing at the previous content.
+func (r *Registry) Put(id string, m *core.Model) (Info, error) {
+	if err := ValidateID(id); err != nil {
+		return Info{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Info{}, fmt.Errorf("registry: rejecting model %q: %w", id, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now().Unix()
+	e, exists := r.models[id]
+	if !exists {
+		e = &entry{info: Info{ID: id, CreatedUnix: now}}
+	}
+	next := e.info
+	next.Version++
+	next.UpdatedUnix = now
+	next.Keywords, next.Locations, next.Ticks = len(m.Keywords), len(m.Locations), m.Ticks
+	if r.dir != "" {
+		var buf strings.Builder
+		if err := dataset.WriteModel(&buf, m); err != nil {
+			return Info{}, fmt.Errorf("registry: encoding model %q: %w", id, err)
+		}
+		if err := writeFileAtomic(r.modelPath(id), []byte(buf.String())); err != nil {
+			r.opts.Metrics.persistError()
+			return Info{}, fmt.Errorf("registry: persisting model %q: %w", id, err)
+		}
+	}
+	// Point of no return: install in memory, then index on disk.
+	if !exists {
+		r.models[id] = e
+	}
+	wasLoaded := e.elem != nil
+	e.info = next
+	e.model = m
+	r.touchLocked(e)
+	if !wasLoaded {
+		r.loaded++
+	}
+	r.evictLocked(e)
+	if r.dir != "" {
+		if err := r.saveManifestLocked(); err != nil {
+			return Info{}, err
+		}
+	}
+	r.gaugesLocked()
+	e.info.Loaded = true
+	return e.info, nil
+}
+
+// Get returns the model stored under id, reloading it from disk when the
+// LRU bound had evicted it. The returned model is shared: read-only.
+func (r *Registry) Get(id string) (*core.Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: model %q", ErrNotFound, id)
+	}
+	if e.model == nil {
+		m, err := dataset.LoadModel(r.modelPath(id))
+		if err != nil {
+			return nil, fmt.Errorf("registry: reloading model %q: %w", id, err)
+		}
+		r.logger().Debug("registry: reloaded model from disk", "id", id)
+		e.model = m
+		r.loaded++
+	}
+	r.touchLocked(e)
+	r.evictLocked(e)
+	r.gaugesLocked()
+	return e.model, nil
+}
+
+// Stat returns a model's metadata without loading it.
+func (r *Registry) Stat(id string) (Info, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: model %q", ErrNotFound, id)
+	}
+	info := e.info
+	info.Loaded = e.model != nil
+	return info, nil
+}
+
+// Delete removes a model from memory and disk.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[id]
+	if !ok {
+		return fmt.Errorf("%w: model %q", ErrNotFound, id)
+	}
+	delete(r.models, id)
+	if e.elem != nil {
+		r.lru.Remove(e.elem)
+		e.elem = nil
+		r.loaded--
+	}
+	if r.dir != "" {
+		if err := os.Remove(r.modelPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			r.logger().Warn("registry: removing model file", "id", id, "err", err)
+		}
+		if err := r.saveManifestLocked(); err != nil {
+			return err
+		}
+	}
+	r.gaugesLocked()
+	return nil
+}
+
+// List returns metadata for every stored model, sorted by id.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, len(r.models))
+	for _, e := range r.models {
+		info := e.info
+		info.Loaded = e.model != nil
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of stored models (loaded or not).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models)
+}
+
+// touchLocked moves e to the front of the LRU (inserting if absent).
+func (r *Registry) touchLocked(e *entry) {
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+		return
+	}
+	e.elem = r.lru.PushFront(e)
+}
+
+// evictLocked drops least-recently-used models beyond the bound. keep is
+// never evicted (it is the entry the caller is about to hand out).
+// Memory-only registries never evict: there is no disk to reload from.
+func (r *Registry) evictLocked(keep *entry) {
+	if r.dir == "" {
+		return
+	}
+	for r.loaded > r.opts.MaxLoaded {
+		back := r.lru.Back()
+		if back == nil {
+			return
+		}
+		victim := back.Value.(*entry)
+		if victim == keep {
+			// keep is the oldest but must stay; nothing older to evict.
+			return
+		}
+		r.lru.Remove(back)
+		victim.elem = nil
+		victim.model = nil
+		r.loaded--
+		r.opts.Metrics.eviction()
+		r.logger().Debug("registry: evicted model", "id", victim.info.ID)
+	}
+}
+
+// gauges refreshes the exported registry gauges.
+func (r *Registry) gauges() {
+	r.mu.Lock()
+	r.gaugesLocked()
+	r.mu.Unlock()
+}
+
+// gaugesLocked refreshes the model gauges (r.mu held). The stream gauge is
+// maintained separately under streamMu — never take both locks at once.
+func (r *Registry) gaugesLocked() {
+	r.opts.Metrics.setModelSizes(len(r.models), r.loaded)
+}

@@ -1,0 +1,291 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dspot/internal/core"
+	"dspot/internal/tensor"
+)
+
+// stream is one named incremental series. Its mutex serialises appends and
+// snapshots per stream; fits run under it but never under the registry
+// lock, so long refits on one stream do not stall the rest of the server.
+type stream struct {
+	id string
+
+	mu     sync.Mutex
+	s      *core.Stream
+	refits int
+}
+
+// StreamStatus is the client-visible state of a stream.
+type StreamStatus struct {
+	ID       string `json:"id"`
+	Len      int    `json:"len"`
+	Ready    bool   `json:"ready"`
+	Refits   int    `json:"refits"`
+	Refitted bool   `json:"refitted,omitempty"` // set by AppendStream only
+}
+
+// streamJSON is the persisted snapshot. JSON cannot carry NaN, so the
+// sequence is encoded with null marking missing ticks.
+type streamJSON struct {
+	RefitEvery int                   `json:"refit_every"`
+	Seq        []*float64            `json:"seq"`
+	Fitted     bool                  `json:"fitted"`
+	Result     *core.GlobalFitResult `json:"result,omitempty"`
+	SinceRefit int                   `json:"since_refit"`
+	Refits     int                   `json:"refits"`
+}
+
+func (r *Registry) streamPath(id string) string {
+	return filepath.Join(r.dir, streamsDir, id+".json")
+}
+
+// AppendStream appends ticks to the named stream, creating it on first
+// use (refitEvery applies only then; 0 selects the registry default). The
+// incremental refit — when one triggers — runs outside the registry lock.
+// With a data dir the post-append state is snapshotted atomically so a
+// restart resumes the stream mid-series.
+func (r *Registry) AppendStream(id string, values []float64, refitEvery int) (StreamStatus, error) {
+	if err := ValidateID(id); err != nil {
+		return StreamStatus{}, err
+	}
+	if len(values) == 0 {
+		return StreamStatus{}, errors.New("registry: empty append")
+	}
+	st := r.getOrCreateStream(id, refitEvery)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	refitted, err := st.s.Append(values...)
+	if err != nil {
+		return StreamStatus{}, fmt.Errorf("registry: stream %q: %w", id, err)
+	}
+	if refitted {
+		st.refits++
+		r.opts.Metrics.streamRefit()
+	}
+	status := StreamStatus{ID: id, Len: st.s.Len(), Ready: st.s.Ready(),
+		Refits: st.refits, Refitted: refitted}
+	if r.dir != "" {
+		if perr := r.saveStream(st); perr != nil {
+			r.opts.Metrics.persistError()
+			r.logger().Error("registry: persisting stream", "id", id, "err", perr)
+			return status, fmt.Errorf("registry: persisting stream %q: %w", id, perr)
+		}
+	}
+	return status, nil
+}
+
+func (r *Registry) getOrCreateStream(id string, refitEvery int) *stream {
+	r.streamMu.Lock()
+	defer r.streamMu.Unlock()
+	if st, ok := r.streams[id]; ok {
+		return st
+	}
+	if refitEvery <= 0 {
+		refitEvery = r.opts.RefitEvery
+	}
+	st := &stream{id: id, s: core.NewStream(r.opts.StreamFit, refitEvery)}
+	r.streams[id] = st
+	r.opts.Metrics.setStreams(len(r.streams))
+	return st
+}
+
+// StreamStatusFor returns the named stream's state.
+func (r *Registry) StreamStatusFor(id string) (StreamStatus, error) {
+	st, err := r.lookupStream(id)
+	if err != nil {
+		return StreamStatus{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return StreamStatus{ID: id, Len: st.s.Len(), Ready: st.s.Ready(), Refits: st.refits}, nil
+}
+
+// StreamModel materialises the named stream's current model (nil until the
+// first fit). The model is a deep copy — safe to hand to encoders.
+func (r *Registry) StreamModel(id string) (*core.Model, error) {
+	st, err := r.lookupStream(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.s.Model(), nil
+}
+
+// StreamForecast extrapolates h ticks past the stream head (nil until the
+// first fit).
+func (r *Registry) StreamForecast(id string, h int) ([]float64, error) {
+	st, err := r.lookupStream(id)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.s.Forecast(h), nil
+}
+
+// DeleteStream removes a stream from memory and disk.
+func (r *Registry) DeleteStream(id string) error {
+	r.streamMu.Lock()
+	_, ok := r.streams[id]
+	if ok {
+		delete(r.streams, id)
+		r.opts.Metrics.setStreams(len(r.streams))
+	}
+	r.streamMu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: stream %q", ErrNotFound, id)
+	}
+	if r.dir != "" {
+		if err := os.Remove(r.streamPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("registry: removing stream %q: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// ListStreams returns the status of every stream, sorted by id.
+func (r *Registry) ListStreams() []StreamStatus {
+	r.streamMu.Lock()
+	streams := make([]*stream, 0, len(r.streams))
+	for _, st := range r.streams {
+		streams = append(streams, st)
+	}
+	r.streamMu.Unlock()
+	out := make([]StreamStatus, 0, len(streams))
+	for _, st := range streams {
+		st.mu.Lock()
+		out = append(out, StreamStatus{ID: st.id, Len: st.s.Len(),
+			Ready: st.s.Ready(), Refits: st.refits})
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *Registry) lookupStream(id string) (*stream, error) {
+	r.streamMu.Lock()
+	defer r.streamMu.Unlock()
+	st, ok := r.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: stream %q", ErrNotFound, id)
+	}
+	return st, nil
+}
+
+// saveStream snapshots one stream atomically (st.mu held by the caller).
+func (r *Registry) saveStream(st *stream) error {
+	state := st.s.State()
+	sj := streamJSON{
+		RefitEvery: state.RefitEvery,
+		Seq:        encodeSeq(state.Seq),
+		Fitted:     state.Fitted,
+		SinceRefit: state.SinceRefit,
+		Refits:     st.refits,
+	}
+	if state.Fitted {
+		res := state.Result
+		sj.Result = &res
+	}
+	data, err := json.Marshal(sj)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(r.streamPath(st.id), data)
+}
+
+// loadStreams restores every snapshot under streams/. A corrupt snapshot is
+// skipped with a warning — one bad stream must not block the boot.
+func (r *Registry) loadStreams() error {
+	entries, err := os.ReadDir(filepath.Join(r.dir, streamsDir))
+	if err != nil {
+		return fmt.Errorf("registry: scanning streams: %w", err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if err := ValidateID(id); err != nil {
+			r.logger().Warn("registry: skipping stream file with bad id", "file", name)
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(r.dir, streamsDir, name))
+		if err != nil {
+			return fmt.Errorf("registry: reading stream %q: %w", id, err)
+		}
+		var sj streamJSON
+		if err := json.Unmarshal(data, &sj); err != nil {
+			r.logger().Warn("registry: skipping corrupt stream snapshot", "id", id, "err", err)
+			continue
+		}
+		state := core.StreamState{
+			RefitEvery: sj.RefitEvery,
+			Seq:        decodeSeq(sj.Seq),
+			Fitted:     sj.Fitted,
+			SinceRefit: sj.SinceRefit,
+		}
+		if sj.Result != nil {
+			state.Result = *sj.Result
+		}
+		if state.Fitted {
+			if err := validateStreamState(&state); err != nil {
+				r.logger().Warn("registry: skipping invalid stream snapshot", "id", id, "err", err)
+				continue
+			}
+		}
+		r.streams[id] = &stream{id: id,
+			s:      core.RestoreStream(r.opts.StreamFit, state),
+			refits: sj.Refits}
+	}
+	r.opts.Metrics.setStreams(len(r.streams))
+	return nil
+}
+
+// validateStreamState sanity-checks a fitted snapshot by materialising its
+// model through the same validation Put applies.
+func validateStreamState(state *core.StreamState) error {
+	probe := core.RestoreStream(core.FitOptions{}, *state)
+	m := probe.Model()
+	if m == nil {
+		return errors.New("fitted snapshot has no model")
+	}
+	return m.Validate()
+}
+
+// encodeSeq maps missing ticks to JSON null.
+func encodeSeq(seq []float64) []*float64 {
+	out := make([]*float64, len(seq))
+	for i, v := range seq {
+		if tensor.IsMissing(v) {
+			continue
+		}
+		v := v
+		out[i] = &v
+	}
+	return out
+}
+
+// decodeSeq maps JSON null back to the missing sentinel.
+func decodeSeq(seq []*float64) []float64 {
+	out := make([]float64, len(seq))
+	for i, p := range seq {
+		if p == nil {
+			out[i] = tensor.Missing
+			continue
+		}
+		out[i] = *p
+	}
+	return out
+}

@@ -11,6 +11,10 @@
 //	POST /v1/anomalies  {"model":…, "series":[…], "keyword":…, "threshold":…}
 //	GET  /healthz       liveness
 //	GET  /metrics       Prometheus text exposition (when Metrics is set)
+//
+// With a Registry (and optionally a jobs Engine) the server additionally
+// exposes the stateful serving layer — async fit jobs, server-side models
+// and incremental streams; see stateful.go for the endpoint set.
 package service
 
 import (
@@ -24,6 +28,8 @@ import (
 
 	"dspot/internal/core"
 	"dspot/internal/dataset"
+	"dspot/internal/jobs"
+	"dspot/internal/registry"
 )
 
 // MaxBodyBytes is the default request-body bound (tensors can be large but
@@ -43,6 +49,13 @@ type Server struct {
 	// Logger, when non-nil, emits one structured line per request plus
 	// fit summaries.
 	Logger *slog.Logger
+	// Registry, when non-nil, enables the stateful model/stream endpoints
+	// (GET/DELETE /v1/models/{id}, forecasts and events served from stored
+	// models, POST /v1/streams/{id}/append).
+	Registry *registry.Registry
+	// Jobs, when non-nil alongside Registry, enables the async fit-job
+	// endpoints (POST /v1/jobs/fit and friends).
+	Jobs *jobs.Engine
 }
 
 // Handler returns the routed http.Handler, instrumented when Metrics
@@ -57,6 +70,7 @@ func (s *Server) Handler() http.Handler {
 	route("/v1/events", s.handleEvents)
 	route("/v1/forecast", s.handleForecast)
 	route("/v1/anomalies", s.handleAnomalies)
+	s.statefulRoutes(route)
 	if s.Metrics != nil {
 		// Not instrumented: scrapes should not move the request metrics.
 		mux.Handle("/metrics", s.Metrics.Registry.Handler())
@@ -96,11 +110,14 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes v as the response body. Encode failures after the
+// header is sent cannot be reported to the client, but silently swallowing
+// them made truncated responses undiagnosable — log them when a Logger is
+// configured.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing more to do than drop the connection.
-		return
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.Logger != nil {
+		s.Logger.Error("response encode failed", "err", err)
 	}
 }
 
@@ -123,7 +140,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, map[string]string{"status": "ok"})
+	s.writeJSON(w, map[string]string{"status": "ok"})
 }
 
 func boolParam(r *http.Request, name string) bool {
@@ -214,6 +231,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.writeJSON(w, map[string]any{"events": eventsOf(m)})
+}
+
+// eventsOf renders a model's shocks in wire form.
+func eventsOf(m *core.Model) []EventJSON {
 	out := make([]EventJSON, 0, len(m.Shocks))
 	for _, sh := range m.Shocks {
 		out = append(out, EventJSON{
@@ -222,7 +244,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			Strength: sh.Strength, Cyclic: sh.Period > 0,
 		})
 	}
-	writeJSON(w, map[string]any{"events": out})
+	return out
 }
 
 // ForecastJSON is the forecast wire form.
@@ -241,29 +263,52 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	i := 0
-	if name := r.URL.Query().Get("keyword"); name != "" {
-		i = -1
-		for k, kw := range m.Keywords {
-			if kw == name {
-				i = k
-			}
-		}
-		if i == -1 {
-			httpError(w, http.StatusBadRequest, "unknown keyword %q", name)
-			return
-		}
+	s.writeForecast(w, r, m)
+}
+
+// keywordParam resolves the optional ?keyword= query against the model's
+// keyword axis (first match wins; default index 0), answering 400 itself on
+// an unknown name.
+func keywordParam(w http.ResponseWriter, r *http.Request, m *core.Model) (int, bool) {
+	name := r.URL.Query().Get("keyword")
+	if name == "" {
+		return 0, true
 	}
-	horizon := 52
-	if hs := r.URL.Query().Get("horizon"); hs != "" {
-		h, err := strconv.Atoi(hs)
-		if err != nil || h < 1 || h > 100000 {
-			httpError(w, http.StatusBadRequest, "bad horizon %q", hs)
-			return
-		}
-		horizon = h
+	i, ok := m.KeywordIndex(name)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown keyword %q", name)
+		return 0, false
 	}
-	writeJSON(w, ForecastJSON{
+	return i, true
+}
+
+// horizonParam parses the optional ?horizon= query (default 52), answering
+// 400 itself when out of range.
+func horizonParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	hs := r.URL.Query().Get("horizon")
+	if hs == "" {
+		return 52, true
+	}
+	h, err := strconv.Atoi(hs)
+	if err != nil || h < 1 || h > 100000 {
+		httpError(w, http.StatusBadRequest, "bad horizon %q", hs)
+		return 0, false
+	}
+	return h, true
+}
+
+// writeForecast answers a forecast request for m using the shared query
+// conventions (?keyword=, ?horizon=).
+func (s *Server) writeForecast(w http.ResponseWriter, r *http.Request, m *core.Model) {
+	i, ok := keywordParam(w, r, m)
+	if !ok {
+		return
+	}
+	horizon, ok := horizonParam(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, ForecastJSON{
 		Keyword: m.Keywords[i], Horizon: horizon,
 		Forecast: m.ForecastGlobal(i, horizon),
 		Events:   m.PredictedEvents(i, horizon),
@@ -299,18 +344,13 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 	}
 	i := 0
 	if req.Keyword != "" {
-		i = -1
-		for k, kw := range m.Keywords {
-			if kw == req.Keyword {
-				i = k
-			}
-		}
-		if i == -1 {
+		var ok bool
+		if i, ok = m.KeywordIndex(req.Keyword); !ok {
 			httpError(w, http.StatusBadRequest, "unknown keyword %q", req.Keyword)
 			return
 		}
 	}
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"anomalies": m.AnomaliesGlobal(i, req.Series, req.Threshold),
 	})
 }

@@ -1,0 +1,351 @@
+// Stateful serving layer: models live server-side in a registry, fits run
+// asynchronously on a jobs engine, and streams absorb ticks incrementally.
+//
+//	POST   /v1/jobs/fit             text/csv tensor → 202 {job_id, model_id}
+//	                                ?model_id=ID&global_only=1&no_growth=1&…
+//	GET    /v1/jobs                 list retained job snapshots
+//	GET    /v1/jobs/{id}            job snapshot (state, error, result)
+//	DELETE /v1/jobs/{id}            cancel → 202 (409 once terminal)
+//	GET    /v1/models               list stored models
+//	GET    /v1/models/{id}          model JSON
+//	DELETE /v1/models/{id}          → 204
+//	GET    /v1/models/{id}/forecast ?keyword=NAME&horizon=H
+//	GET    /v1/models/{id}/events   detected events
+//	POST   /v1/streams/{id}/append  {"values":[…]} (null = missing tick)
+//	                                ?refit_every=N (first append only)
+//	GET    /v1/streams              list streams
+//	GET    /v1/streams/{id}         stream status
+//	GET    /v1/streams/{id}/forecast ?horizon=H (409 until first fit)
+//	DELETE /v1/streams/{id}         → 204
+package service
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"dspot/internal/core"
+	"dspot/internal/dataset"
+	"dspot/internal/jobs"
+	"dspot/internal/registry"
+	"dspot/internal/tensor"
+)
+
+// statefulRoutes registers the registry- and jobs-backed endpoints on route
+// (a no-op without a Registry; job endpoints additionally need Jobs).
+func (s *Server) statefulRoutes(route func(string, http.HandlerFunc)) {
+	if s.Registry == nil {
+		return
+	}
+	if s.Jobs != nil {
+		route("POST /v1/jobs/fit", s.handleJobFit)
+		route("GET /v1/jobs", s.handleJobList)
+		route("GET /v1/jobs/{id}", s.handleJobGet)
+		route("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
+	route("GET /v1/models", s.handleModelList)
+	route("GET /v1/models/{id}", s.handleModelGet)
+	route("DELETE /v1/models/{id}", s.handleModelDelete)
+	route("GET /v1/models/{id}/forecast", s.handleModelForecast)
+	route("GET /v1/models/{id}/events", s.handleModelEvents)
+	route("POST /v1/streams/{id}/append", s.handleStreamAppend)
+	route("GET /v1/streams", s.handleStreamList)
+	route("GET /v1/streams/{id}", s.handleStreamGet)
+	route("GET /v1/streams/{id}/forecast", s.handleStreamForecast)
+	route("DELETE /v1/streams/{id}", s.handleStreamDelete)
+}
+
+// registryError maps registry errors onto status codes.
+func registryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, registry.ErrBadID):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// newModelID generates a model id for jobs that did not name one.
+func newModelID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: randomness unavailable: %v", err))
+	}
+	return "m-" + hex.EncodeToString(b[:])
+}
+
+// FitJobResult is the stored result of a completed fit job.
+type FitJobResult struct {
+	ModelID        string `json:"model_id"`
+	Version        int    `json:"version"`
+	Keywords       int    `json:"keywords"`
+	Locations      int    `json:"locations"`
+	Ticks          int    `json:"ticks"`
+	Shocks         int    `json:"shocks"`
+	LMIterations   int    `json:"lm_iterations"`
+	ShocksTried    int    `json:"shocks_tried"`
+	ShocksAccepted int    `json:"shocks_accepted"`
+	FitSeconds     float64 `json:"fit_seconds"`
+}
+
+// handleJobFit parses the tensor synchronously (bad input fails fast with a
+// 400, before consuming a queue slot) and enqueues the fit. The fit itself
+// runs on the jobs engine and installs its model into the registry.
+func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
+	x, err := dataset.ReadCSV(body)
+	if err != nil {
+		httpError(w, bodyError(err), "parsing tensor: %v", err)
+		return
+	}
+	modelID := r.URL.Query().Get("model_id")
+	if modelID == "" {
+		modelID = newModelID()
+	} else if err := registry.ValidateID(modelID); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := core.FitOptions{
+		Workers:       s.workers(),
+		DisableGrowth: boolParam(r, "no_growth"),
+		DisableShocks: boolParam(r, "no_shocks"),
+		DisableCycles: boolParam(r, "no_cycles"),
+	}
+	globalOnly := boolParam(r, "global_only")
+
+	jobID, err := s.Jobs.Submit("fit", func(ctx context.Context) (any, error) {
+		return s.runFitJob(ctx, x, opts, globalOnly, modelID)
+	})
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			w.Header().Set("Retry-After", "5")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "submitting job: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	s.writeJSON(w, map[string]string{"job_id": jobID, "model_id": modelID})
+}
+
+// runFitJob is the body of one async fit: fit, observe, store. It checks
+// ctx at phase boundaries (the fitters themselves run to completion once
+// started; see jobs.Engine on abandonment).
+func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitOptions, globalOnly bool, modelID string) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	trace := core.NewFitTrace()
+	opts.Progress = trace.Hook()
+	var m *core.Model
+	var err error
+	if globalOnly {
+		m, err = core.FitGlobal(x, opts)
+	} else {
+		m, err = core.FitGlobal(x, opts)
+		if err == nil && ctx.Err() == nil {
+			err = core.FitLocal(x, m, opts)
+		}
+	}
+	rep := trace.Report()
+	s.Metrics.ObserveFitReport(rep)
+	if s.Logger != nil {
+		s.Logger.Info("job fit",
+			"model_id", modelID, "keywords", x.D(), "locations", x.L(),
+			"ticks", x.N(), "lm_iterations", rep.LMIterations,
+			"shocks_accepted", rep.ShocksAccepted, "err", err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fitting: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	info, err := s.Registry.Put(modelID, m)
+	if err != nil {
+		// Model is fine, the disk write failed — worth one retry.
+		return nil, jobs.Transient(err)
+	}
+	return FitJobResult{
+		ModelID: info.ID, Version: info.Version,
+		Keywords: info.Keywords, Locations: info.Locations, Ticks: info.Ticks,
+		Shocks:         len(m.Shocks),
+		LMIterations:   rep.LMIterations,
+		ShocksTried:    rep.ShocksTried,
+		ShocksAccepted: rep.ShocksAccepted,
+		FitSeconds:     rep.TotalDuration().Seconds(),
+	}, nil
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{"jobs": s.Jobs.List()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Jobs.Get(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.writeJSON(w, snap)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, jobs.ErrTerminal):
+		httpError(w, http.StatusConflict, "job %s already %s", snap.ID, snap.State)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		w.WriteHeader(http.StatusAccepted)
+		s.writeJSON(w, snap)
+	}
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{"models": s.Registry.List()})
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	m, err := s.Registry.Get(r.PathValue("id"))
+	if err != nil {
+		registryError(w, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteModel(&buf, m); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding model: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Registry.Delete(r.PathValue("id")); err != nil {
+		registryError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleModelForecast(w http.ResponseWriter, r *http.Request) {
+	m, err := s.Registry.Get(r.PathValue("id"))
+	if err != nil {
+		registryError(w, err)
+		return
+	}
+	s.writeForecast(w, r, m)
+}
+
+func (s *Server) handleModelEvents(w http.ResponseWriter, r *http.Request) {
+	m, err := s.Registry.Get(r.PathValue("id"))
+	if err != nil {
+		registryError(w, err)
+		return
+	}
+	s.writeJSON(w, map[string]any{"events": eventsOf(m)})
+}
+
+// appendRequest is the /v1/streams/{id}/append body. Values uses null for
+// missing ticks (JSON cannot carry NaN).
+type appendRequest struct {
+	Values []*float64 `json:"values"`
+}
+
+func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body := http.MaxBytesReader(w, r.Body, s.maxBody())
+	var req appendRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, bodyError(err), "parsing request: %v", err)
+		return
+	}
+	if len(req.Values) == 0 {
+		httpError(w, http.StatusBadRequest, "empty values")
+		return
+	}
+	values := make([]float64, len(req.Values))
+	for i, p := range req.Values {
+		if p == nil {
+			values[i] = tensor.Missing
+			continue
+		}
+		if *p < 0 || math.IsInf(*p, 0) || math.IsNaN(*p) {
+			httpError(w, http.StatusBadRequest, "bad value %g at index %d", *p, i)
+			return
+		}
+		values[i] = *p
+	}
+	refitEvery := 0
+	if re := r.URL.Query().Get("refit_every"); re != "" {
+		n, err := strconv.Atoi(re)
+		if err != nil || n < 1 || n > 1_000_000 {
+			httpError(w, http.StatusBadRequest, "bad refit_every %q", re)
+			return
+		}
+		refitEvery = n
+	}
+	status, err := s.Registry.AppendStream(id, values, refitEvery)
+	if err != nil {
+		if errors.Is(err, registry.ErrBadID) {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, status)
+}
+
+func (s *Server) handleStreamList(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, map[string]any{"streams": s.Registry.ListStreams()})
+}
+
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	status, err := s.Registry.StreamStatusFor(r.PathValue("id"))
+	if err != nil {
+		registryError(w, err)
+		return
+	}
+	s.writeJSON(w, status)
+}
+
+func (s *Server) handleStreamForecast(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	horizon, ok := horizonParam(w, r)
+	if !ok {
+		return
+	}
+	fc, err := s.Registry.StreamForecast(id, horizon)
+	if err != nil {
+		registryError(w, err)
+		return
+	}
+	if fc == nil {
+		httpError(w, http.StatusConflict, "stream %q has no fitted model yet", id)
+		return
+	}
+	s.writeJSON(w, map[string]any{"id": id, "horizon": horizon, "forecast": fc})
+}
+
+func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Registry.DeleteStream(r.PathValue("id")); err != nil {
+		registryError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
