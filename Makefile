@@ -18,9 +18,10 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent' ./internal/core/
-	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic' ./internal/service/ ./internal/obs/
+	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent|TestFitGlobalSequenceCancel|TestFitCtx|TestFitCancel|TestFitLocalBoundsGoroutines' ./internal/core/
+	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic|TestJobFitCancel' ./internal/service/ ./internal/obs/
 	$(GO) test -race ./internal/registry/ ./internal/jobs/
+	$(GO) test -race ./internal/lm/ ./internal/optimize/
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

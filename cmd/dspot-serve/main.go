@@ -3,7 +3,7 @@
 //	dspot-serve [-addr :8080] [-workers N] [-log-level info] [-log-json]
 //	            [-pprof] [-shutdown-timeout 30s]
 //	            [-data-dir DIR] [-fit-workers N] [-queue-depth N]
-//	            [-job-timeout 15m] [-max-models N]
+//	            [-job-timeout 15m] [-abandon-grace 2s] [-max-models N]
 //
 // Endpoints (see internal/service):
 //
@@ -25,8 +25,10 @@
 // -log-json) and counted in the /metrics registry; fits additionally record
 // per-stage timings, LM iteration totals, and MDL shock verdicts. On
 // SIGINT/SIGTERM the listener closes, in-flight fits drain for up to
-// -shutdown-timeout, then the job engine stops (cancelling queued and
-// running jobs) before the process exits.
+// -shutdown-timeout, then the job engine stops. Cancellation is cooperative
+// all the way down: cancelled or timed-out fit jobs, disconnected /v1/fit
+// clients, and shutdown all stop the underlying compute within about one LM
+// iteration (abandonment after -abandon-grace is only a backstop).
 package main
 
 import (
@@ -63,6 +65,8 @@ func main() {
 		"async fit-job queue bound (full queue answers 503)")
 	jobTimeout := flag.Duration("job-timeout", jobs.DefaultTimeout,
 		"per-job run timeout for async fits")
+	abandonGrace := flag.Duration("abandon-grace", jobs.DefaultAbandonGrace,
+		"wait for a cancelled fit to stop cooperatively before abandoning it")
 	maxModels := flag.Int("max-models", registry.DefaultMaxLoaded,
 		"models kept in memory at once (persisted models reload on demand)")
 	flag.Parse()
@@ -86,11 +90,12 @@ func main() {
 		os.Exit(1)
 	}
 	engine := jobs.New(jobs.Options{
-		Workers:    *fitWorkers,
-		QueueDepth: *queueDepth,
-		Timeout:    *jobTimeout,
-		Logger:     logger,
-		Metrics:    jobs.NewMetricsOn(metrics.Registry),
+		Workers:      *fitWorkers,
+		QueueDepth:   *queueDepth,
+		Timeout:      *jobTimeout,
+		AbandonGrace: *abandonGrace,
+		Logger:       logger,
+		Metrics:      jobs.NewMetricsOn(metrics.Registry),
 	})
 
 	handler := (&service.Server{

@@ -29,6 +29,7 @@
 package dspot
 
 import (
+	"context"
 	"os"
 
 	"dspot/internal/arima"
@@ -68,7 +69,8 @@ type KeywordParams = core.KeywordParams
 type PredictedEvent = core.PredictedEvent
 
 // Options tunes fitting. The zero value enables the full automatic model;
-// the Disable* switches reproduce the paper's Fig. 4 ablation.
+// the Disable* switches reproduce the paper's Fig. 4 ablation. Set Context
+// (or use FitCtx) to cancel a long fit cooperatively.
 type Options = core.FitOptions
 
 // NonCyclic is the Shock.Period value of one-shot events.
@@ -81,6 +83,15 @@ const NoGrowth = core.NoGrowth
 // sequences x̄_i = Σ_j x_ij, then LocalFit over all d×l local sequences.
 func Fit(x *Tensor, opts Options) (*Model, error) {
 	return core.Fit(x, opts)
+}
+
+// FitCtx is Fit under a cancellation context — shorthand for setting
+// Options.Context. Once ctx ends, every fitting layer (LM iterations,
+// golden-section and grid searches, shock discovery, local cells) stops
+// cooperatively and the call returns an error wrapping context.Canceled or
+// context.DeadlineExceeded, within about one LM iteration of the cancel.
+func FitCtx(ctx context.Context, x *Tensor, opts Options) (*Model, error) {
+	return core.FitCtx(ctx, x, opts)
 }
 
 // Observability: set Options.Progress to receive FitEvents at stage

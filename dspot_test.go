@@ -1,11 +1,35 @@
 package dspot
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dspot/internal/stats"
 )
+
+func TestFacadeFitCtxCancelled(t *testing.T) {
+	truth, err := SyntheticGoogleTrendsKeyword("grammy",
+		SyntheticConfig{Locations: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	m, err := FitCtx(ctx, truth.Tensor, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m != nil {
+		t.Fatal("cancelled fit returned a model")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pre-cancelled fit still ran for %v", elapsed)
+	}
+}
 
 func TestFacadeFitSequenceAndForecast(t *testing.T) {
 	truth, err := SyntheticGoogleTrendsKeyword("grammy",

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -26,6 +27,35 @@ func Fit(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// FitCtx is Fit under a cancellation context: once ctx ends, every fitting
+// layer stops cooperatively and the call returns an error wrapping
+// context.Canceled or context.DeadlineExceeded within about one LM
+// iteration. It is shorthand for setting FitOptions.Context.
+func FitCtx(ctx context.Context, x *tensor.Tensor, opts FitOptions) (*Model, error) {
+	opts.Context = ctx
+	return Fit(x, opts)
+}
+
+// FitGlobalCtx is FitGlobal under a cancellation context (see FitCtx).
+func FitGlobalCtx(ctx context.Context, x *tensor.Tensor, opts FitOptions) (*Model, error) {
+	opts.Context = ctx
+	return FitGlobal(x, opts)
+}
+
+// FitLocalCtx is FitLocal under a cancellation context (see FitCtx).
+func FitLocalCtx(ctx context.Context, x *tensor.Tensor, m *Model, opts FitOptions) error {
+	opts.Context = ctx
+	return FitLocal(x, m, opts)
+}
+
+// ctxErr surfaces the configured fit context's error, if any.
+func (o FitOptions) ctxErr() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 // FitWithReport runs Fit with tracing enabled and returns the aggregated
@@ -87,18 +117,37 @@ func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 
 	results := make([]GlobalFitResult, d)
 	errs := make([]error, d)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i := 0; i < d; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = FitGlobalSequence(x.Global(i), i, opts)
-		}(i)
+	// Fixed worker pool: exactly min(Workers, d) goroutines exist at any
+	// moment, each draining keyword indices from a channel. Workers observe
+	// the fit context between keywords (and FitGlobalSequence observes it
+	// within each fit), so a cancel stops the whole phase promptly.
+	workers := opts.Workers
+	if workers > d {
+		workers = d
 	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := opts.ctxErr(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = FitGlobalSequence(x.Global(i), i, opts)
+			}
+		}()
+	}
+	for i := 0; i < d; i++ {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
+	if err := opts.ctxErr(); err != nil {
+		return nil, fmt.Errorf("core: global fit cancelled: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: keyword %q: %w", x.Keywords[i], err)
@@ -141,15 +190,27 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 		byKeyword[k] = append(byKeyword[k], si)
 	}
 
+	// Fixed worker pool over a cell channel: spawning all d×l goroutines up
+	// front (even gated by a semaphore) allocates a goroutine per cell — a
+	// 1000×100 tensor would create 100k goroutines with Workers=1. Exactly
+	// min(Workers, d×l) goroutines exist here, draining cells as they go,
+	// and each checks the fit context before starting a cell.
+	type cell struct{ i, j int }
+	workers := opts.Workers
+	if total := d * l; workers > total {
+		workers = total
+	}
+	cells := make(chan cell)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opts.Workers)
-	for i := 0; i < d; i++ {
-		for j := 0; j < l; j++ {
-			wg.Add(1)
-			go func(i, j int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cells {
+				if opts.ctxErr() != nil {
+					continue // drain remaining cells without fitting
+				}
+				i, j := c.i, c.j
 				var cellStart time.Time
 				if opts.Progress != nil {
 					cellStart = time.Now()
@@ -159,7 +220,7 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 				for p, si := range byKeyword[i] {
 					shocks[p] = m.Shocks[si]
 				}
-				nij, rij, strengths := m.localFitKeywordLocation(i, j, x.Local(i, j), shocks)
+				nij, rij, strengths := m.localFitKeywordLocation(i, j, x.Local(i, j), shocks, opts.Context)
 				m.LocalN[i][j] = nij
 				m.LocalR[i][j] = rij
 				for p, si := range byKeyword[i] {
@@ -171,10 +232,19 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 					opts.Progress(FitEvent{Stage: StageLocalCell, Keyword: i,
 						Location: j, Duration: time.Since(cellStart)})
 				}
-			}(i, j)
+			}
+		}()
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < l; j++ {
+			cells <- cell{i, j}
 		}
 	}
+	close(cells)
 	wg.Wait()
+	if err := opts.ctxErr(); err != nil {
+		return fmt.Errorf("core: local fit cancelled: %w", err)
+	}
 	emitPhase(opts, StageLocal, phase)
 	return nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -40,6 +42,15 @@ type FitOptions struct {
 	// Workers bounds fitting concurrency across keywords/locations
 	// (default: 4; 1 disables parallelism).
 	Workers int
+	// Context, when non-nil, cancels the fit cooperatively: every layer of
+	// the pipeline — the outer alternation rounds, each LM iteration, each
+	// golden-section/grid step, each shock-candidate evaluation, and each
+	// local cell — checks it and returns an error wrapping context.Canceled
+	// or context.DeadlineExceeded promptly once it is done. Cancel-to-stop
+	// latency is bounded by one LM iteration, not one fit. The ctx-first
+	// wrappers (FitCtx, FitGlobalCtx, FitLocalCtx, Stream.AppendCtx) set
+	// this field for you. Nil means the fit runs to completion.
+	Context context.Context
 	// Progress, when non-nil, receives a FitEvent at every stage boundary:
 	// per-keyword LM iteration counts and residuals, each shock candidate's
 	// MDL cost delta and verdict, growth decisions, and per-stage wall-clock
@@ -85,7 +96,7 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitRe
 	norm, scale := tensor.Normalize(seq)
 	n := len(norm)
 
-	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts}
+	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts, ctx: opts.Context}
 	start := st.traceNow()
 	st.params = KeywordParams{TEta: NoGrowth}
 	st.fitBase(true)
@@ -93,7 +104,7 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitRe
 	best := st.snapshot()
 	bestCost := st.cost()
 	rounds := 0
-	for iter := 0; iter < opts.MaxOuterIter; iter++ {
+	for iter := 0; iter < opts.MaxOuterIter && !st.cancelled(); iter++ {
 		rounds = iter + 1
 		st.fitBase(iter == 0)
 		if !opts.DisableGrowth {
@@ -102,6 +113,9 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitRe
 		if !opts.DisableShocks {
 			st.detectShocks()
 			st.refineStrengths()
+		}
+		if st.cancelled() {
+			break
 		}
 		c := st.cost()
 		if opts.AcceptAllShocks {
@@ -119,6 +133,9 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitRe
 		}
 	}
 
+	if err := st.cancelErr(); err != nil {
+		return GlobalFitResult{}, fmt.Errorf("core: fit cancelled: %w", err)
+	}
 	params, shocks := best.params, best.shocks
 	params.N *= scale // back to raw counts
 	if opts.Progress != nil {
@@ -135,11 +152,44 @@ type gfit struct {
 	n       int
 	keyword int
 	opts    FitOptions
+	ctx     context.Context // cooperative cancellation; nil = never cancelled
+	ctxErr  error           // sticky: first ctx.Err() observed
 
 	params KeywordParams
 	shocks []Shock
 
 	lmIters int // LM iterations spent on this keyword so far
+}
+
+// cancelled reports whether the fit's context has ended. The first
+// observation is sticky, so every stage sees a consistent verdict even if
+// the context races with the check.
+func (g *gfit) cancelled() bool {
+	if g.ctxErr != nil {
+		return true
+	}
+	if g.ctx == nil {
+		return false
+	}
+	if err := g.ctx.Err(); err != nil {
+		g.ctxErr = err
+		return true
+	}
+	return false
+}
+
+// cancelErr returns the sticky context error (nil while the fit is live).
+func (g *gfit) cancelErr() error {
+	if g.cancelled() {
+		return g.ctxErr
+	}
+	return nil
+}
+
+// lmOpts builds the LM options for this fit's sub-problems, carrying the
+// cancellation context so a mid-fit cancel stops within one LM iteration.
+func (g *gfit) lmOpts(maxIter int, lo, hi []float64) lm.Options {
+	return lm.Options{MaxIter: maxIter, Lower: lo, Upper: hi, Ctx: g.ctx}
 }
 
 type gsnapshot struct {
@@ -252,8 +302,11 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 	bestSSE := math.Inf(1)
 	var bestParams []float64
 	for _, s0 := range starts {
+		if g.cancelled() {
+			break
+		}
 		p0 := []float64{s0[0], s0[1], s0[2], s0[3], s0[4]}
-		res, err := lm.Fit(resid, p0, lm.Options{MaxIter: maxIter, Lower: lo, Upper: hi})
+		res, err := lm.Fit(resid, p0, g.lmOpts(maxIter, lo, hi))
 		if err != nil {
 			continue
 		}
@@ -289,7 +342,7 @@ func sinceIfTraced(g *gfit, start time.Time) time.Duration {
 // which charges the two extra floats {η₀, t_η} — improves.
 func (g *gfit) fitGrowth() {
 	lo, hi := g.n/20+1, g.n-g.n/20-1
-	if hi <= lo {
+	if hi <= lo || g.cancelled() {
 		return
 	}
 	start := g.traceNow()
@@ -334,11 +387,14 @@ func (g *gfit) fitGrowth() {
 		cache[tEta] = p
 		return p
 	}
-	tEta, _ := optimize.RefiningGrid(func(t int) float64 {
+	tEta, _, err := optimize.RefiningGridCtx(g.ctx, func(t int) float64 {
 		p := jointAt(t)
 		sim := Simulate(&p, g.n, eps, -1)
 		return stats.SSE(g.seq, sim)
 	}, lo, hi, 16)
+	if err != nil {
+		return // cancelled mid-scan: keep the current (growth-free) params
+	}
 
 	p := jointAt(tEta)
 	sim := Simulate(&p, g.n, eps, -1)
@@ -368,7 +424,7 @@ func (g *gfit) jointGrowthFit(tEta int) KeywordParams {
 	}
 	lo := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7, 0}
 	hi := []float64{20, 5, 2, 2, 1, 10}
-	eta0, _ := optimize.Golden(func(e float64) float64 {
+	eta0, _, _ := optimize.GoldenCtx(g.ctx, func(e float64) float64 {
 		cand := g.params
 		cand.TEta, cand.Eta0 = tEta, e
 		return stats.SSE(g.seq, Simulate(&cand, g.n, eps, -1))
@@ -378,7 +434,10 @@ func (g *gfit) jointGrowthFit(tEta int) KeywordParams {
 	bestSSE := math.Inf(1)
 	best := build(start)
 	for _, s0 := range [][]float64{start, {0.3, 0.5, 0.45, 0.5, 1e-3, 0.3}} {
-		res, err := lm.Fit(resid, s0, lm.Options{MaxIter: 80, Lower: lo, Upper: hi})
+		if g.cancelled() {
+			break
+		}
+		res, err := lm.Fit(resid, s0, g.lmOpts(80, lo, hi))
 		if err != nil {
 			continue
 		}
@@ -406,7 +465,7 @@ func (g *gfit) detectShocks() {
 // the incremental refit path, which keeps the previously discovered shocks.
 func (g *gfit) growShocks() {
 	cur := g.cost()
-	for len(g.shocks) < g.opts.MaxShocks {
+	for len(g.shocks) < g.opts.MaxShocks && !g.cancelled() {
 		start := g.traceNow()
 		cand, params, cost, ok := g.bestShockCandidate()
 		if !ok {
@@ -595,6 +654,9 @@ func (g *gfit) bestShockCandidate() (Shock, KeywordParams, float64, bool) {
 	found := false
 	savedParams := g.params
 	for _, cfg := range configs {
+		if g.cancelled() {
+			break
+		}
 		g.params = savedParams
 		cand, params, c := g.evaluateCandidate(cfg.shock)
 		if c < bestCost {
@@ -715,7 +777,10 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 	}
 	consider(p0) // the un-refit warm start is itself a valid candidate
 	for _, st := range starts {
-		res, err := lm.Fit(resid, st, lm.Options{MaxIter: 60, Lower: lo, Upper: hi})
+		if g.cancelled() {
+			break
+		}
+		res, err := lm.Fit(resid, st, g.lmOpts(60, lo, hi))
 		if err != nil {
 			continue
 		}
@@ -767,9 +832,17 @@ func anchorCandidates(start, period int) []int {
 func (g *gfit) fitShockStrengths(s *Shock) {
 	occ := s.Occurrences(g.n)
 	s.Strength = make([]float64, occ)
-	working := append(g.shocks, *s)
+	// Explicit copy, never append: when g.shocks has spare capacity an
+	// append would write the candidate into the live backing array, where
+	// later appends to the accepted-shock set would resurrect it.
+	working := make([]Shock, len(g.shocks)+1)
+	copy(working, g.shocks)
+	working[len(working)-1] = *s
 	self := &working[len(working)-1]
 	for m := 0; m < occ; m++ {
+		if g.cancelled() {
+			break
+		}
 		// SSE over the window influenced by occurrence m: from its start to
 		// the next occurrence (or a decay horizon for the last one).
 		wstart := s.OccurrenceStart(m)
@@ -784,7 +857,7 @@ func (g *gfit) fitShockStrengths(s *Shock) {
 			sim := Simulate(&g.params, g.n, epsilonFromShocks(working, g.n), -1)
 			return stats.SSE(g.seq[wstart:wend], sim[wstart:wend])
 		}
-		strength, _ := optimize.Golden(obj, 0, 60, 1e-3, 60)
+		strength, _, _ := optimize.GoldenCtx(g.ctx, obj, 0, 60, 1e-3, 60)
 		if strength < 1e-3 {
 			strength = 0
 		}
@@ -820,7 +893,7 @@ func (g *gfit) refineStrengths() {
 		}
 		return g.residuals()
 	}
-	res, err := lm.Fit(resid, p0, lm.Options{MaxIter: 60, Lower: lo, Upper: hi})
+	res, err := lm.Fit(resid, p0, g.lmOpts(60, lo, hi))
 	if err != nil {
 		resid(p0) // restore
 		return
@@ -845,17 +918,11 @@ func (g *gfit) maskedBaseParams(s *Shock) KeywordParams {
 	}
 	subOpts := g.opts
 	subOpts.Progress = nil // inner helper fit: no stage events of its own
-	sub := &gfit{seq: seqMasked, n: g.n, keyword: g.keyword, opts: subOpts}
+	sub := &gfit{seq: seqMasked, n: g.n, keyword: g.keyword, opts: subOpts, ctx: g.ctx}
 	sub.params = KeywordParams{TEta: g.params.TEta, Eta0: g.params.Eta0}
 	sub.fitBaseIter(true, 40)
 	g.lmIters += sub.lmIters
 	return sub.params
-}
-
-// goldenStrength is the canonical golden search for one shock strength.
-func goldenStrength(obj func(float64) float64) float64 {
-	best, _ := optimize.Golden(obj, 0, 60, 1e-3, 60)
-	return best
 }
 
 // sortShocks orders shocks deterministically (keyword, start, period).

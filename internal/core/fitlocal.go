@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"dspot/internal/mdl"
 	"dspot/internal/optimize"
 	"dspot/internal/stats"
@@ -16,7 +18,12 @@ import (
 // occurrence m of shock si as seen in this location; it starts at the global
 // values and is refined here. The accepted values are written into the
 // model's shock Local matrices (column j) by the caller.
-func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock) (nij, rij float64, strengths [][]float64) {
+//
+// ctx (which may be nil) cancels the cell cooperatively: each golden-section
+// search observes it, so a cancel stops the cell within one objective
+// evaluation. A cancelled cell returns whatever it had refined so far — the
+// caller discards the whole fit on cancellation.
+func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock, ctx context.Context) (nij, rij float64, strengths [][]float64) {
 	n := m.Ticks
 	p := m.Global[i]
 
@@ -66,9 +73,11 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock)
 		maxN = 1
 	}
 
-	for round := 0; round < 2; round++ {
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
+
+	for round := 0; round < 2 && !cancelled(); round++ {
 		// (a) Potential population b^(L)_ij.
-		nij, _ = optimize.Golden(func(v float64) float64 {
+		nij, _, _ = optimize.GoldenCtx(ctx, func(v float64) float64 {
 			save := nij
 			nij = v
 			sse := stats.SSE(seq, localSim())
@@ -78,7 +87,7 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock)
 
 		// (b) Growth rate r^(L)_ij.
 		if p.HasGrowth() {
-			rij, _ = optimize.Golden(func(v float64) float64 {
+			rij, _, _ = optimize.GoldenCtx(ctx, func(v float64) float64 {
 				save := rij
 				rij = v
 				sse := stats.SSE(seq, localSim())
@@ -91,8 +100,14 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock)
 		entryCost := mdl.IntCost(len(m.Keywords)) + mdl.IntCost(len(m.Locations)) +
 			mdl.IntCost(n) + mdl.FloatCost
 		for si := range shocks {
+			if cancelled() {
+				break
+			}
 			s := &shocks[si]
 			for occ := range strengths[si] {
+				if cancelled() {
+					break
+				}
 				wstart := s.OccurrenceStart(occ)
 				if wstart >= n {
 					continue
@@ -117,7 +132,7 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock)
 					r := window(str)
 					return stats.SSE(r, make([]float64, len(r)))
 				}
-				best, _ := optimize.Golden(fit, 0, 80, 1e-3, 60)
+				best, _, _ := optimize.GoldenCtx(ctx, fit, 0, 80, 1e-3, 60)
 				// MDL gate: a non-zero entry must repay its description cost
 				// relative to not participating at all.
 				_, sigma2 := mdl.ResidualNoise(residuals(seq, localSim()))

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"time"
 
+	"dspot/internal/optimize"
 	"dspot/internal/tensor"
 )
 
@@ -27,7 +30,7 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 	norm, scale := tensor.Normalize(seq)
 	n := len(norm)
 
-	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts}
+	st := &gfit{seq: norm, n: n, keyword: keyword, opts: opts, ctx: opts.Context}
 	start := st.traceNow()
 	st.params = prev.Params
 	if scale > 0 {
@@ -57,7 +60,7 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 	best := st.snapshot()
 	bestCost := st.cost()
 	rounds := 0
-	for iter := 0; iter < opts.MaxOuterIter; iter++ {
+	for iter := 0; iter < opts.MaxOuterIter && !st.cancelled(); iter++ {
 		rounds = iter + 1
 		st.fitBase(iter == 0)
 		if !opts.DisableGrowth {
@@ -70,6 +73,9 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 			st.consolidateShocks() // merge phase-aligned one-shots into cycles
 			st.refineStrengths()
 		}
+		if st.cancelled() {
+			break
+		}
 		c := st.cost()
 		if c < bestCost-1e-9 {
 			bestCost = c
@@ -77,6 +83,9 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 		} else {
 			break
 		}
+	}
+	if err := st.cancelErr(); err != nil {
+		return GlobalFitResult{}, fmt.Errorf("core: refit cancelled: %w", err)
 	}
 
 	params, shocks := best.params, best.shocks
@@ -93,8 +102,14 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 // search — cheap polish for strengths seeded from historical means.
 func (g *gfit) refineStrengthsAll() {
 	for si := range g.shocks {
+		if g.cancelled() {
+			return
+		}
 		s := &g.shocks[si]
 		for m := range s.Strength {
+			if g.cancelled() {
+				return
+			}
 			wstart := s.OccurrenceStart(m)
 			if wstart >= g.n {
 				continue
@@ -136,6 +151,17 @@ func NewStream(opts FitOptions, refitEvery int) *Stream {
 // the first time, incrementally afterwards) once enough ticks accumulated,
 // and reports whether a refit happened.
 func (s *Stream) Append(values ...float64) (refitted bool, err error) {
+	return s.AppendCtx(nil, values...)
+}
+
+// AppendCtx is Append under a cancellation context covering any refit the
+// append triggers (nil behaves like Append; a non-nil ctx overrides the
+// stream options' Context for this call). The appended ticks are always
+// kept. When the refit fails — including a cancelled or timed-out refit —
+// the last good fit is preserved: Model, Forecast and the next incremental
+// warm start all keep using it, and the refit is retried on the next
+// trigger.
+func (s *Stream) AppendCtx(ctx context.Context, values ...float64) (refitted bool, err error) {
 	s.seq = append(s.seq, values...)
 	s.sinceRefit += len(values)
 	if tensor.ObservedCount(s.seq) < 8 {
@@ -144,14 +170,23 @@ func (s *Stream) Append(values ...float64) (refitted bool, err error) {
 	if s.fitted && s.sinceRefit < s.refitEvery {
 		return false, nil
 	}
+	opts := s.opts
+	if ctx != nil {
+		opts.Context = ctx
+	}
+	// Fit into a temporary: assigning s.result directly would clobber the
+	// warm-start state with the zero GlobalFitResult on error while fitted
+	// stayed true, leaving Model()/Forecast() serving a zero-params model.
+	var res GlobalFitResult
 	if !s.fitted {
-		s.result, err = FitGlobalSequence(s.seq, 0, s.opts)
+		res, err = FitGlobalSequence(s.seq, 0, opts)
 	} else {
-		s.result, err = ContinueGlobalSequence(s.seq, 0, s.result, s.opts)
+		res, err = ContinueGlobalSequence(s.seq, 0, s.result, opts)
 	}
 	if err != nil {
 		return false, err
 	}
+	s.result = res
 	s.fitted = true
 	s.sinceRefit = 0
 	return true, nil
@@ -171,12 +206,28 @@ func (s *Stream) Model() *Model {
 	if !s.fitted {
 		return nil
 	}
+	shocks := CopyShocks(s.result.Shocks)
+	// Ticks spans the whole appended sequence, which can run past the last
+	// (re)fit window: a cyclic shock may owe more occurrences than the fit
+	// observed strengths for, and such a model fails Validate — which is
+	// how persisted stream snapshots taken mid-window used to be rejected
+	// on reload. Pad with the projected future strength, the same estimate
+	// the forecaster applies to unseen occurrences.
+	for i := range shocks {
+		sh := &shocks[i]
+		if occ := sh.Occurrences(len(s.seq)); occ > len(sh.Strength) {
+			future := futureStrength(sh)
+			for len(sh.Strength) < occ {
+				sh.Strength = append(sh.Strength, future)
+			}
+		}
+	}
 	return &Model{
 		Keywords:  []string{"stream"},
 		Locations: []string{"all"},
 		Ticks:     len(s.seq),
 		Global:    []KeywordParams{s.result.Params},
-		Shocks:    CopyShocks(s.result.Shocks),
+		Shocks:    shocks,
 		Scale:     []float64{s.result.Scale},
 	}
 }
@@ -265,7 +316,7 @@ func fitOneStrength(g *gfit, s *Shock, m, wstart, wend int) float64 {
 		}
 		return sse
 	}
-	best := goldenStrength(obj)
+	best, _, _ := optimize.GoldenCtx(g.ctx, obj, 0, 60, 1e-3, 60)
 	if best < 1e-3 {
 		return 0
 	}

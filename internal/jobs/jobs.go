@@ -10,10 +10,15 @@
 //	queued → running → done | failed | cancelled
 //
 // and its terminal snapshot (including the Func's result) stays queryable
-// until evicted by the history bound. Cancelling a queued job is immediate;
-// cancelling a running job cancels its context and the worker abandons the
-// invocation — the Func keeps running in the background until it notices,
-// so long Funcs should check ctx at natural checkpoints.
+// until evicted by the history bound. Cancelling a queued job is immediate.
+// Cancelling a running job cancels its context and expects the Func to
+// return cooperatively — the core fitters observe their context inside
+// every optimisation loop, so a cancelled fit stops computing within about
+// one LM iteration and finishes through the normal path as cancelled.
+// Abandonment is only a backstop for truly uncooperative Funcs: if the Func
+// still has not returned AbandonGrace after its context ended, the worker
+// abandons the invocation (the goroutine keeps running until it notices,
+// its outcome discarded) and moves on.
 package jobs
 
 import (
@@ -79,10 +84,11 @@ func IsTransient(err error) bool {
 
 // Defaults applied by New when the corresponding Options field is zero.
 const (
-	DefaultWorkers    = 2
-	DefaultQueueDepth = 16
-	DefaultTimeout    = 15 * time.Minute
-	DefaultMaxHistory = 256
+	DefaultWorkers      = 2
+	DefaultQueueDepth   = 16
+	DefaultTimeout      = 15 * time.Minute
+	DefaultMaxHistory   = 256
+	DefaultAbandonGrace = 2 * time.Second
 )
 
 // Options configures New.
@@ -98,6 +104,13 @@ type Options struct {
 	// MaxHistory bounds retained terminal jobs (default DefaultMaxHistory);
 	// the oldest finished snapshots are evicted first.
 	MaxHistory int
+	// AbandonGrace is how long a worker waits, after a job's context ends,
+	// for the Func to return cooperatively before abandoning the invocation
+	// (default DefaultAbandonGrace; negative abandons immediately). A
+	// cooperative Func that returns inside the grace window finishes
+	// through the normal path — cancelled or timed out, never abandoned —
+	// and frees no lingering goroutine.
+	AbandonGrace time.Duration
 	// Logger, when non-nil, reports job transitions and abandoned Funcs.
 	Logger *slog.Logger
 	// Metrics, when non-nil, exports queue depth, busy workers, outcomes
@@ -165,6 +178,9 @@ func New(opts Options) *Engine {
 	}
 	if opts.MaxHistory <= 0 {
 		opts.MaxHistory = DefaultMaxHistory
+	}
+	if opts.AbandonGrace == 0 {
+		opts.AbandonGrace = DefaultAbandonGrace
 	}
 	root, stop := context.WithCancel(context.Background())
 	e := &Engine{
@@ -375,8 +391,11 @@ func (e *Engine) run(j *job) {
 	}
 }
 
-// invoke runs fn under ctx, abandoning it (abandoned=true) if the context
-// ends first — the goroutine keeps running but its outcome is discarded.
+// invoke runs fn under ctx. When the context ends first, the worker waits
+// up to AbandonGrace for fn to return cooperatively (the normal case: the
+// fitters observe ctx and come back within one LM iteration); only a Func
+// that outlives the grace window is abandoned (abandoned=true) — its
+// goroutine keeps running until it notices, with the outcome discarded.
 func (e *Engine) invoke(j *job, ctx context.Context) (result any, err error, abandoned bool) {
 	type outcome struct {
 		result any
@@ -397,13 +416,31 @@ func (e *Engine) invoke(j *job, ctx context.Context) (result any, err error, aba
 	case out := <-done:
 		return out.result, out.err, false
 	case <-ctx.Done():
-		go func() {
-			<-done // drain so the Func goroutine can exit
-			e.logger().Warn("abandoned job invocation finished",
-				"id", j.id, "kind", j.kind, "after", time.Since(launched))
-		}()
-		return nil, ctx.Err(), true
 	}
+	if grace := e.opts.AbandonGrace; grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case out := <-done:
+			if out.err == nil {
+				// The Func raced a successful return against the cancel;
+				// the context verdict wins so a cancelled job never
+				// resurfaces as done.
+				return out.result, ctx.Err(), false
+			}
+			return out.result, out.err, false
+		case <-t.C:
+		}
+	}
+	e.opts.Metrics.abandoned()
+	e.logger().Warn("abandoning uncooperative job invocation",
+		"id", j.id, "kind", j.kind, "grace", e.opts.AbandonGrace)
+	go func() {
+		<-done // drain so the Func goroutine can exit
+		e.logger().Warn("abandoned job invocation finished",
+			"id", j.id, "kind", j.kind, "after", time.Since(launched))
+	}()
+	return nil, ctx.Err(), true
 }
 
 // finishLocked moves j to a terminal state and applies the history bound.

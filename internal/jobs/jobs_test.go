@@ -194,7 +194,10 @@ func TestCancelRunningJob(t *testing.T) {
 func TestCancelAbandonsUncooperativeJob(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
-	e := New(Options{Workers: 1})
+	// Short grace: the Func below never checks ctx, so waiting the default
+	// two seconds would only slow the test down.
+	e := New(Options{Workers: 1, AbandonGrace: 20 * time.Millisecond,
+		Metrics: NewMetricsOn(obs.NewRegistry())})
 	defer e.Close()
 	id, _ := e.Submit("stubborn", func(ctx context.Context) (any, error) {
 		close(started)
@@ -209,6 +212,9 @@ func TestCancelAbandonsUncooperativeJob(t *testing.T) {
 	if snap.State != StateCancelled || snap.Result != nil {
 		t.Fatalf("snapshot = %+v", snap)
 	}
+	if got := e.opts.Metrics.abandons.Value(); got != 1 {
+		t.Fatalf("jobs_abandoned_total = %g, want 1", got)
+	}
 	// The freed worker picks up new jobs while the stubborn Func lingers.
 	id2, err := e.Submit("next", func(ctx context.Context) (any, error) { return 1, nil })
 	if err != nil {
@@ -218,6 +224,61 @@ func TestCancelAbandonsUncooperativeJob(t *testing.T) {
 		t.Fatalf("follow-up job state = %s", snap.State)
 	}
 	close(release)
+}
+
+func TestCooperativeCancelIsNotAbandoned(t *testing.T) {
+	started := make(chan struct{})
+	e := New(Options{Workers: 1, Metrics: NewMetricsOn(obs.NewRegistry())})
+	defer e.Close()
+	id, _ := e.Submit("coop", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		// A real fit needs a moment between the ctx firing and the return
+		// (it finishes the current LM iteration); the grace window must
+		// absorb that without abandoning the invocation.
+		time.Sleep(30 * time.Millisecond)
+		return nil, fmt.Errorf("fit stopped: %w", ctx.Err())
+	})
+	<-started
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, e, id)
+	if snap.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", snap.State)
+	}
+	if got := e.opts.Metrics.abandons.Value(); got != 0 {
+		t.Fatalf("jobs_abandoned_total = %g for a cooperative cancel, want 0", got)
+	}
+}
+
+func TestAbandonGraceNegativeSkipsWait(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	e := New(Options{Workers: 1, AbandonGrace: -1,
+		Metrics: NewMetricsOn(obs.NewRegistry())})
+	defer e.Close()
+	id, _ := e.Submit("stubborn", func(ctx context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+	cancelAt := time.Now()
+	if _, err := e.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, e, id)
+	if snap.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", snap.State)
+	}
+	if waited := time.Since(cancelAt); waited > 5*time.Second {
+		t.Fatalf("immediate abandon took %v", waited)
+	}
+	if got := e.opts.Metrics.abandons.Value(); got != 1 {
+		t.Fatalf("jobs_abandoned_total = %g, want 1", got)
+	}
 }
 
 func TestJobTimeout(t *testing.T) {

@@ -15,6 +15,7 @@ type Metrics struct {
 	outcomes *obs.CounterVec   // jobs_finished_total{kind,state}
 	retries  *obs.Counter      // jobs_retries_total
 	rejects  *obs.Counter      // jobs_rejected_total
+	abandons *obs.Counter      // jobs_abandoned_total
 	latency  *obs.HistogramVec // jobs_run_seconds{kind}
 }
 
@@ -31,6 +32,9 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Retries after transient failures."),
 		rejects: reg.Counter("jobs_rejected_total",
 			"Submissions rejected because the queue was full."),
+		abandons: reg.Counter("jobs_abandoned_total",
+			"Invocations abandoned because the Func ignored its context "+
+				"past the grace window. Cooperative fits never count here."),
 		latency: reg.HistogramVec("jobs_run_seconds",
 			"Job run latency in seconds (excludes queue wait), by kind.",
 			obs.DefBuckets(), "kind"),
@@ -73,4 +77,11 @@ func (m *Metrics) rejected() {
 		return
 	}
 	m.rejects.Inc()
+}
+
+func (m *Metrics) abandoned() {
+	if m == nil {
+		return
+	}
+	m.abandons.Inc()
 }

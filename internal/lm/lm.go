@@ -7,7 +7,9 @@
 package lm
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -28,6 +30,13 @@ type Options struct {
 	Upper     []float64 // optional per-parameter upper bounds
 	FDStep    float64   // relative finite-difference step (default 1e-6)
 	MaxLambda float64   // damping ceiling before giving up (default 1e10)
+
+	// Ctx, when non-nil, is checked at the top of every outer iteration:
+	// once it is done Fit stops and returns the best parameters found so
+	// far together with an error wrapping ctx.Err(). An objective function
+	// is a full simulation, so this bounds cancel-to-stop latency by one
+	// LM iteration (one Jacobian plus the damped trial steps).
+	Ctx context.Context
 }
 
 // Result reports the outcome of a Fit run.
@@ -120,6 +129,14 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 
 	res := Result{Params: append([]float64(nil), p...), SSE: cur}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				res.Params = append(res.Params[:0], p...)
+				res.SSE = cur
+				return res, fmt.Errorf("lm: stopped after %d iterations: %w",
+					res.Iterations, err)
+			}
+		}
 		res.Iterations = iter + 1
 
 		// Forward-difference Jacobian of the residuals.

@@ -1,0 +1,105 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestGoldenCtxNilMatchesGolden(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.2) * (x - 3.2) }
+	x0, fx0 := Golden(f, -10, 10, 1e-9, 0)
+	x1, fx1, err := GoldenCtx(nil, f, -10, 10, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x0 != x1 || fx0 != fx1 {
+		t.Fatalf("GoldenCtx(nil) = (%g,%g), Golden = (%g,%g)", x1, fx1, x0, fx0)
+	}
+}
+
+func TestGoldenCtxCancelStopsWithinOneEval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	f := func(x float64) float64 {
+		evals++
+		if evals == 5 {
+			cancel()
+		}
+		return (x - 2) * (x - 2)
+	}
+	x, fx, err := GoldenCtx(ctx, f, 0, 100, 1e-12, 500)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// ctx is checked before every shrink step; at most the in-flight
+	// evaluation completes after cancel fires.
+	if evals > 6 {
+		t.Fatalf("objective evaluated %d times after cancel at eval 5", evals)
+	}
+	// The best point seen so far is still returned, inside the bracket.
+	if x < 0 || x > 100 || math.IsInf(fx, 0) || math.IsNaN(fx) {
+		t.Fatalf("cancelled GoldenCtx = (%g, %g)", x, fx)
+	}
+}
+
+func TestGoldenCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	evals := 0
+	f := func(x float64) float64 { evals++; return x * x }
+	_, _, err := GoldenCtx(ctx, f, -4, 4, 1e-9, 100)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Only the two bracket seeds run before the first check.
+	if evals > 2 {
+		t.Fatalf("objective evaluated %d times after pre-cancel", evals)
+	}
+}
+
+func TestRefiningGridCtxNilMatchesRefiningGrid(t *testing.T) {
+	f := func(c int) float64 { return float64((c - 137) * (c - 137)) }
+	b0, f0 := RefiningGrid(f, 0, 1000, 20)
+	b1, f1, err := RefiningGridCtx(nil, f, 0, 1000, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0 != b1 || f0 != f1 {
+		t.Fatalf("RefiningGridCtx(nil) = (%d,%g), RefiningGrid = (%d,%g)", b1, f1, b0, f0)
+	}
+}
+
+func TestRefiningGridCtxCancelStopsScan(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	evals := 0
+	f := func(c int) float64 {
+		evals++
+		if evals == 4 {
+			cancel()
+		}
+		return float64((c - 500) * (c - 500))
+	}
+	_, _, err := RefiningGridCtx(ctx, f, 0, 1000, 50)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The check runs before every candidate: the eval that fired cancel is
+	// the last one.
+	if evals > 4 {
+		t.Fatalf("grid evaluated %d candidates after cancel at eval 4", evals)
+	}
+}
+
+func TestGridMinCtxPreCancelledReportsInf(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, fbest, err := gridMinCtx(ctx, func(c int) float64 { return 0 }, []int{1, 2, 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !math.IsInf(fbest, 1) {
+		t.Fatalf("fbest = %g with no candidates evaluated, want +Inf", fbest)
+	}
+}

@@ -6,7 +6,11 @@
 // TBATS smoothing constants).
 package optimize
 
-import "math"
+import (
+	"context"
+	"fmt"
+	"math"
+)
 
 const invPhi = 0.6180339887498949 // 1/φ
 
@@ -14,6 +18,16 @@ const invPhi = 0.6180339887498949 // 1/φ
 // minimising x and f(x). tol is the absolute interval tolerance; maxIter
 // bounds the number of shrink steps (each shrinks the interval by 1/φ).
 func Golden(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx float64) {
+	x, fx, _ = GoldenCtx(nil, f, lo, hi, tol, maxIter)
+	return x, fx
+}
+
+// GoldenCtx is Golden under a context: ctx (which may be nil for "never
+// cancelled") is checked before every shrink step, and once it is done the
+// search stops and returns the best point evaluated so far together with an
+// error wrapping ctx.Err(). Each step costs one objective evaluation, so
+// cancel-to-stop latency is bounded by a single evaluation of f.
+func GoldenCtx(ctx context.Context, f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx float64, err error) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
@@ -25,6 +39,15 @@ func Golden(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx fl
 	d := a + (b-a)*invPhi
 	fc, fd := f(c), f(d)
 	for i := 0; i < maxIter && (b-a) > tol; i++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				x, fx = c, fc
+				if fd < fc {
+					x, fx = d, fd
+				}
+				return x, fx, fmt.Errorf("optimize: golden stopped: %w", cerr)
+			}
+		}
 		if fc < fd {
 			b, d, fd = d, c, fc
 			c = b - (b-a)*invPhi
@@ -44,7 +67,7 @@ func Golden(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx fl
 	if fd < fx {
 		x, fx = d, fd
 	}
-	return x, fx
+	return x, fx, nil
 }
 
 // GridMin evaluates f at each candidate and returns the argmin and minimum.
@@ -76,6 +99,15 @@ func GridMinFloat(f func(float64) float64, candidates []float64) (best, fbest fl
 // neighbourhood. It is exact when hi-lo+1 <= width and otherwise trades a
 // small risk of missing a narrow optimum for O(width + stride) evaluations.
 func RefiningGrid(f func(int) float64, lo, hi, width int) (best int, fbest float64) {
+	best, fbest, _ = RefiningGridCtx(nil, f, lo, hi, width)
+	return best, fbest
+}
+
+// RefiningGridCtx is RefiningGrid under a context: ctx (which may be nil) is
+// checked before every candidate evaluation, and once it is done the scan
+// stops and returns the best candidate evaluated so far together with an
+// error wrapping ctx.Err().
+func RefiningGridCtx(ctx context.Context, f func(int) float64, lo, hi, width int) (best int, fbest float64, err error) {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
@@ -94,7 +126,10 @@ func RefiningGrid(f func(int) float64, lo, hi, width int) (best int, fbest float
 	if coarse[len(coarse)-1] != hi {
 		coarse = append(coarse, hi)
 	}
-	center, _ := GridMin(f, coarse)
+	center, fcenter, err := gridMinCtx(ctx, f, coarse)
+	if err != nil {
+		return center, fcenter, err
+	}
 	flo, fhi := center-stride, center+stride
 	if flo < lo {
 		flo = lo
@@ -106,5 +141,23 @@ func RefiningGrid(f func(int) float64, lo, hi, width int) (best int, fbest float
 	for c := flo; c <= fhi; c++ {
 		fine = append(fine, c)
 	}
-	return GridMin(f, fine)
+	return gridMinCtx(ctx, f, fine)
+}
+
+// gridMinCtx is GridMin with a per-candidate context check. It returns the
+// best of the candidates evaluated before cancellation; fbest is +Inf when
+// no candidate was evaluated at all.
+func gridMinCtx(ctx context.Context, f func(int) float64, candidates []int) (best int, fbest float64, err error) {
+	fbest = math.Inf(1)
+	for _, c := range candidates {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return best, fbest, fmt.Errorf("optimize: grid stopped: %w", cerr)
+			}
+		}
+		if v := f(c); v < fbest {
+			best, fbest = c, v
+		}
+	}
+	return best, fbest, nil
 }

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,10 +52,12 @@ func (r *Registry) streamPath(id string) string {
 
 // AppendStream appends ticks to the named stream, creating it on first
 // use (refitEvery applies only then; 0 selects the registry default). The
-// incremental refit — when one triggers — runs outside the registry lock.
-// With a data dir the post-append state is snapshotted atomically so a
-// restart resumes the stream mid-series.
-func (r *Registry) AppendStream(id string, values []float64, refitEvery int) (StreamStatus, error) {
+// incremental refit — when one triggers — runs outside the registry lock
+// and under ctx (nil = never cancelled): a cancelled or timed-out refit
+// stops cooperatively, keeps the stream's last good fit, and is retried on
+// the next trigger. With a data dir the post-append state is snapshotted
+// atomically so a restart resumes the stream mid-series.
+func (r *Registry) AppendStream(ctx context.Context, id string, values []float64, refitEvery int) (StreamStatus, error) {
 	if err := ValidateID(id); err != nil {
 		return StreamStatus{}, err
 	}
@@ -64,7 +67,7 @@ func (r *Registry) AppendStream(id string, values []float64, refitEvery int) (St
 	st := r.getOrCreateStream(id, refitEvery)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	refitted, err := st.s.Append(values...)
+	refitted, err := st.s.AppendCtx(ctx, values...)
 	if err != nil {
 		return StreamStatus{}, fmt.Errorf("registry: stream %q: %w", id, err)
 	}

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dspot/internal/datagen"
+	"dspot/internal/dataset"
+	"dspot/internal/jobs"
+	"dspot/internal/obs"
+)
+
+// TestJobFitCancelIsCooperative cancels an in-flight fit job over HTTP and
+// asserts it finishes as cancelled through the normal path: prompt stop
+// (within the cooperative latency bound, not the job deadline) and no
+// abandonment recorded in the jobs metrics.
+func TestJobFitCancelIsCooperative(t *testing.T) {
+	mreg := obs.NewRegistry()
+	srv, _, _ := statefulServer(t, "", jobs.Options{
+		Workers: 1,
+		Metrics: jobs.NewMetricsOn(mreg),
+	})
+
+	// A deliberately heavy fit — full pipeline with growth and shock
+	// discovery over the natural GoogleTrends length — so the cancel lands
+	// mid-run with plenty of work still ahead.
+	truth, err := datagen.GoogleTrendsKeyword("grammy",
+		datagen.Config{Locations: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, truth.Tensor); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, srv.URL+"/v1/jobs/fit", "text/csv", buf.String())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("jobs/fit status %d: %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal([]byte(body), &acc); err != nil {
+		t.Fatalf("unmarshal accept body: %v: %s", err, body)
+	}
+
+	// Wait until the fit is actually running, then give it a moment to get
+	// into the optimisation loops before pulling the plug.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var snap jobs.Snapshot
+		getJSON(t, srv.URL+"/v1/jobs/"+acc.JobID, &snap)
+		if snap.State == jobs.StateRunning {
+			break
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job finished before it could be cancelled: %+v", snap)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	cancelAt := time.Now()
+	cresp, cbody := doRequest(t, http.MethodDelete, srv.URL+"/v1/jobs/"+acc.JobID)
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d: %s", cresp.StatusCode, cbody)
+	}
+	snap := waitJob(t, srv.URL, acc.JobID)
+	stopLag := time.Since(cancelAt)
+	if snap.State != jobs.StateCancelled {
+		t.Fatalf("state = %s, want cancelled (%+v)", snap.State, snap)
+	}
+	// Cooperative stop is bounded by one LM iteration — milliseconds. Allow
+	// slack for slow machines but stay far below the 15m job timeout and
+	// clearly under any free-running fit of this tensor.
+	if stopLag > 10*time.Second {
+		t.Fatalf("cancelled fit took %v to stop", stopLag)
+	}
+
+	// The fit returned on its own: nothing was abandoned.
+	rec := httptest.NewRecorder()
+	mreg.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	metrics := rec.Body.String()
+	if !strings.Contains(metrics, "jobs_abandoned_total 0") {
+		t.Fatalf("expected jobs_abandoned_total 0 after cooperative cancel; metrics:\n%s", metrics)
+	}
+}

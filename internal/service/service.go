@@ -163,6 +163,9 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		DisableGrowth: boolParam(r, "no_growth"),
 		DisableShocks: boolParam(r, "no_shocks"),
 		DisableCycles: boolParam(r, "no_cycles"),
+		// A disconnecting client (or server shutdown draining this
+		// request) cancels the fit instead of leaking it to completion.
+		Context: r.Context(),
 	}
 	var trace *core.FitTrace
 	if s.Metrics != nil || s.Logger != nil {

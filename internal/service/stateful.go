@@ -138,23 +138,26 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]string{"job_id": jobID, "model_id": modelID})
 }
 
-// runFitJob is the body of one async fit: fit, observe, store. It checks
-// ctx at phase boundaries (the fitters themselves run to completion once
-// started; see jobs.Engine on abandonment).
+// runFitJob is the body of one async fit: fit, observe, store. The job
+// context rides down through FitOptions.Context into every fitting layer,
+// so a cancel, job timeout, or server shutdown stops the compute itself
+// within about one LM iteration — the job then finishes as cancelled
+// through the engine's normal path, not by abandonment.
 func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitOptions, globalOnly bool, modelID string) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	trace := core.NewFitTrace()
 	opts.Progress = trace.Hook()
+	opts.Context = ctx
 	var m *core.Model
 	var err error
 	if globalOnly {
-		m, err = core.FitGlobal(x, opts)
+		m, err = core.FitGlobalCtx(ctx, x, opts)
 	} else {
-		m, err = core.FitGlobal(x, opts)
-		if err == nil && ctx.Err() == nil {
-			err = core.FitLocal(x, m, opts)
+		m, err = core.FitGlobalCtx(ctx, x, opts)
+		if err == nil {
+			err = core.FitLocalCtx(ctx, x, m, opts)
 		}
 	}
 	rep := trace.Report()
@@ -299,7 +302,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		refitEvery = n
 	}
-	status, err := s.Registry.AppendStream(id, values, refitEvery)
+	status, err := s.Registry.AppendStream(r.Context(), id, values, refitEvery)
 	if err != nil {
 		if errors.Is(err, registry.ErrBadID) {
 			httpError(w, http.StatusBadRequest, "%v", err)
