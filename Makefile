@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz examples experiments clean
+.PHONY: all build test vet bench fuzz chaos examples experiments clean
 
 all: build vet test
 
@@ -18,18 +18,31 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent|TestFitGlobalSequenceCancel|TestFitCtx|TestFitCancel|TestFitLocalBoundsGoroutines' ./internal/core/
-	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic|TestJobFitCancel' ./internal/service/ ./internal/obs/
-	$(GO) test -race ./internal/registry/ ./internal/jobs/
-	$(GO) test -race ./internal/lm/ ./internal/optimize/
+	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent|TestFitGlobalSequenceCancel|TestFitCtx|TestFitCancel|TestFitLocalBoundsGoroutines|TestFitGlobalContainsWorkerPanic|TestFitLocalContainsCellPanic' ./internal/core/
+	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic|TestJobFitCancel|TestReadyz' ./internal/service/ ./internal/obs/
+	$(GO) test -race ./internal/registry/ ./internal/jobs/ ./internal/faultfs/
+	$(GO) test -race ./internal/lm/ ./internal/optimize/ ./internal/numcheck/
+
+# Fault-injection suite: fit robustness plus the registry's crash/corruption
+# chaos tests, under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestWriteFileAtomicCleansUp|TestLegacyManifestWithoutChecksumsLoads' ./internal/registry/
+	$(GO) test -race ./internal/faultfs/
+	$(GO) test -race -run 'Rejects|ContainsPanic|ContainsWorkerPanic|ContainsCellPanic|TestSimulateSanitises|TestFitGlobalValidatesTensor' ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
-# go test runs one fuzz target per invocation.
+# go test runs one fuzz target per invocation. The fit fuzzer bounds each
+# exec with a 300ms cooperative deadline; -fuzzminimizetime keeps the
+# minimiser from replaying slow candidates for the default 60s.
 fuzz:
-	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+	$(GO) test -fuzz=FuzzReadCSV$$ -fuzztime=30s ./internal/dataset/
+	$(GO) test -fuzz=FuzzReadWideCSV -fuzztime=30s ./internal/dataset/
+	$(GO) test -fuzz=FuzzReadModel -fuzztime=30s ./internal/dataset/
 	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=30s ./internal/registry/
+	$(GO) test -fuzz=FuzzRestoreState -fuzztime=30s -fuzzminimizetime=5s ./internal/registry/
+	$(GO) test -fuzz=FuzzFitSequence -fuzztime=30s -fuzzminimizetime=5s ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

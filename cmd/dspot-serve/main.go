@@ -11,7 +11,9 @@
 //	POST /v1/events     model JSON → detected events
 //	POST /v1/forecast   model JSON → forecast + predicted events
 //	POST /v1/anomalies  model + series → flagged ticks
-//	GET  /healthz
+//	GET  /healthz       liveness (up as soon as the listener binds)
+//	GET  /readyz        readiness (503 while the registry loads in the
+//	                    background or the job queue is saturated)
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/pprof/  net/http/pprof profiles (with -pprof)
 //
@@ -40,6 +42,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -79,32 +83,21 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 	metrics := service.NewMetrics()
 
-	reg, err := registry.Open(registry.Options{
-		DataDir:   *dataDir,
-		MaxLoaded: *maxModels,
-		Logger:    logger,
-		Metrics:   registry.NewMetricsOn(metrics.Registry),
+	// The listener comes up immediately; the registry (which may have many
+	// models and stream snapshots to verify) loads in the background. Until
+	// it finishes, a minimal handler serves /healthz (alive) and /readyz
+	// (503 "registry loading") so orchestrators can tell "starting" from
+	// "dead" — then the full handler is swapped in atomically.
+	var current atomic.Value // http.Handler
+	current.Store((&service.Server{
+		Workers: *workers,
+		Metrics: metrics,
+		Logger:  logger,
+		Ready:   func() error { return errors.New("registry loading") },
+	}).Handler())
+	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().(http.Handler).ServeHTTP(w, r)
 	})
-	if err != nil {
-		logger.Error("opening registry", "data_dir", *dataDir, "err", err)
-		os.Exit(1)
-	}
-	engine := jobs.New(jobs.Options{
-		Workers:      *fitWorkers,
-		QueueDepth:   *queueDepth,
-		Timeout:      *jobTimeout,
-		AbandonGrace: *abandonGrace,
-		Logger:       logger,
-		Metrics:      jobs.NewMetricsOn(metrics.Registry),
-	})
-
-	handler := (&service.Server{
-		Workers:  *workers,
-		Metrics:  metrics,
-		Logger:   logger,
-		Registry: reg,
-		Jobs:     engine,
-	}).Handler()
 	if *pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -115,6 +108,52 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
+
+	// engine is installed by the boot goroutine; shutdown must tolerate it
+	// not existing yet (boot still running, or boot failed).
+	var engineMu sync.Mutex
+	var engine *jobs.Engine
+	closeEngine := func() {
+		engineMu.Lock()
+		e := engine
+		engineMu.Unlock()
+		if e != nil {
+			e.Close()
+		}
+	}
+
+	fatal := make(chan error, 1)
+	go func() {
+		reg, err := registry.Open(registry.Options{
+			DataDir:   *dataDir,
+			MaxLoaded: *maxModels,
+			Logger:    logger,
+			Metrics:   registry.NewMetricsOn(metrics.Registry),
+		})
+		if err != nil {
+			fatal <- fmt.Errorf("opening registry (data_dir %q): %w", *dataDir, err)
+			return
+		}
+		e := jobs.New(jobs.Options{
+			Workers:      *fitWorkers,
+			QueueDepth:   *queueDepth,
+			Timeout:      *jobTimeout,
+			AbandonGrace: *abandonGrace,
+			Logger:       logger,
+			Metrics:      jobs.NewMetricsOn(metrics.Registry),
+		})
+		engineMu.Lock()
+		engine = e
+		engineMu.Unlock()
+		current.Store((&service.Server{
+			Workers:  *workers,
+			Metrics:  metrics,
+			Logger:   logger,
+			Registry: reg,
+			Jobs:     e,
+		}).Handler())
+		logger.Info("registry ready", "data_dir", *dataDir, "models", reg.Len())
+	}()
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -131,7 +170,7 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("dspot-serve listening",
 		"addr", *addr, "workers", *workers, "pprof", *pprofOn,
-		"data_dir", *dataDir, "models", reg.Len(),
+		"data_dir", *dataDir,
 		"fit_workers", *fitWorkers, "queue_depth", *queueDepth)
 
 	select {
@@ -140,6 +179,9 @@ func main() {
 			logger.Error("serve failed", "err", err)
 			os.Exit(1)
 		}
+	case err := <-fatal:
+		logger.Error("boot failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
 		logger.Info("shutting down, draining in-flight requests",
@@ -148,12 +190,12 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
 			logger.Error("shutdown incomplete", "err", err)
-			engine.Close()
+			closeEngine()
 			os.Exit(1)
 		}
 		// HTTP is drained; stop the job engine last so accepted jobs had
 		// their chance to finish queueing, then cancel what remains.
-		engine.Close()
+		closeEngine()
 		logger.Info("shutdown complete")
 	}
 }

@@ -83,6 +83,35 @@ func FitGlobalWithReport(x *tensor.Tensor, opts FitOptions) (*Model, *FitReport,
 	return m, tr.Report(), nil
 }
 
+// recoverFitPanic is the deferred panic boundary of every fitting worker.
+// A panic inside one keyword's (or one cell's) fit must not take down the
+// process — jobs already recovers, but the sync HTTP path, the CLI, and
+// Stream.Append call the fitters on their own goroutines where an escaped
+// panic is fatal. The panic becomes an error in *dst (kept only when the
+// slot has no earlier error) and a StagePanic event so FitReport.Panics
+// surfaces the containment.
+func recoverFitPanic(opts FitOptions, keyword, location int, dst *error) {
+	rec := recover()
+	if rec == nil {
+		return
+	}
+	if *dst == nil {
+		*dst = fmt.Errorf("core: fit panicked: %v", rec)
+	}
+	emitPanic(opts, keyword, location)
+}
+
+// emitPanic reports a contained panic through the Progress hook. The hook
+// itself may be the panicker (it runs inside the fitters), so the emit is
+// guarded by its own recover rather than re-entering recoverFitPanic.
+func emitPanic(opts FitOptions, keyword, location int) {
+	if opts.Progress == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	opts.Progress(FitEvent{Stage: StagePanic, Keyword: keyword, Location: location})
+}
+
 // emitPhase reports a whole-phase boundary (StageGlobal/StageLocal).
 func emitPhase(opts FitOptions, stage string, start time.Time) {
 	if opts.Progress == nil {
@@ -104,6 +133,13 @@ func phaseStart(opts FitOptions) time.Time {
 // whose local matrices are nil. Useful when only world-level analysis or
 // forecasting is needed — it is l times cheaper than the full fit.
 func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
+	// Validate here, not only in Fit: FitGlobal is itself a public entry
+	// point (and the one the HTTP fit handlers reach), and an Inf count
+	// that slips into a worker costs a whole keyword fit before the
+	// optimiser guards reject every candidate.
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	start := phaseStart(opts)
 	d := x.D()
@@ -136,7 +172,10 @@ func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 					errs[i] = err
 					continue
 				}
-				results[i], errs[i] = FitGlobalSequence(x.Global(i), i, opts)
+				func() {
+					defer recoverFitPanic(opts, i, -1, &errs[i])
+					results[i], errs[i] = FitGlobalSequence(x.Global(i), i, opts)
+				}()
 			}
 		}()
 	}
@@ -200,6 +239,7 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 	if total := d * l; workers > total {
 		workers = total
 	}
+	cellErrs := make([]error, d*l) // each worker writes only its own slots
 	cells := make(chan cell)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -211,27 +251,30 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 					continue // drain remaining cells without fitting
 				}
 				i, j := c.i, c.j
-				var cellStart time.Time
-				if opts.Progress != nil {
-					cellStart = time.Now()
-				}
-				// Worker-local copies of the keyword's shocks.
-				shocks := make([]Shock, len(byKeyword[i]))
-				for p, si := range byKeyword[i] {
-					shocks[p] = m.Shocks[si]
-				}
-				nij, rij, strengths := m.localFitKeywordLocation(i, j, x.Local(i, j), shocks, opts.Context)
-				m.LocalN[i][j] = nij
-				m.LocalR[i][j] = rij
-				for p, si := range byKeyword[i] {
-					for occ, v := range strengths[p] {
-						m.Shocks[si].Local[occ][j] = v
+				func() {
+					defer recoverFitPanic(opts, i, j, &cellErrs[i*l+j])
+					var cellStart time.Time
+					if opts.Progress != nil {
+						cellStart = time.Now()
 					}
-				}
-				if opts.Progress != nil {
-					opts.Progress(FitEvent{Stage: StageLocalCell, Keyword: i,
-						Location: j, Duration: time.Since(cellStart)})
-				}
+					// Worker-local copies of the keyword's shocks.
+					shocks := make([]Shock, len(byKeyword[i]))
+					for p, si := range byKeyword[i] {
+						shocks[p] = m.Shocks[si]
+					}
+					nij, rij, strengths := m.localFitKeywordLocation(i, j, x.Local(i, j), shocks, opts.Context)
+					m.LocalN[i][j] = nij
+					m.LocalR[i][j] = rij
+					for p, si := range byKeyword[i] {
+						for occ, v := range strengths[p] {
+							m.Shocks[si].Local[occ][j] = v
+						}
+					}
+					if opts.Progress != nil {
+						opts.Progress(FitEvent{Stage: StageLocalCell, Keyword: i,
+							Location: j, Duration: time.Since(cellStart)})
+					}
+				}()
 			}
 		}()
 	}
@@ -244,6 +287,12 @@ func FitLocal(x *tensor.Tensor, m *Model, opts FitOptions) error {
 	wg.Wait()
 	if err := opts.ctxErr(); err != nil {
 		return fmt.Errorf("core: local fit cancelled: %w", err)
+	}
+	for ci, err := range cellErrs {
+		if err != nil {
+			return fmt.Errorf("core: keyword %q location %q: %w",
+				x.Keywords[ci/l], x.Locations[ci%l], err)
+		}
 	}
 	emitPhase(opts, StageLocal, phase)
 	return nil

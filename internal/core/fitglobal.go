@@ -10,6 +10,7 @@ import (
 
 	"dspot/internal/lm"
 	"dspot/internal/mdl"
+	"dspot/internal/numcheck"
 	"dspot/internal/optimize"
 	"dspot/internal/stats"
 	"dspot/internal/tensor"
@@ -88,8 +89,17 @@ type GlobalFitResult struct {
 // paper) to one global sequence x̄ by the alternating GlobalFit algorithm
 // (Algorithm 2): LM base fit, MDL-gated growth fit, and greedy MDL-gated
 // shock discovery, repeated while the total cost improves.
-func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (GlobalFitResult, error) {
+func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (res GlobalFitResult, err error) {
 	opts = opts.withDefaults()
+	// Entry-point boundary: this is where FitSequence, the FitGlobal
+	// workers, and the stream refit path all funnel through, so validation
+	// and panic containment live here. NaN entries pass (they are the
+	// missing-value sentinel); Inf and negative counts are rejected with a
+	// typed numcheck error before any optimiser sees them.
+	defer recoverFitPanic(opts, keyword, -1, &err)
+	if verr := numcheck.Sequence("core: sequence", seq); verr != nil {
+		return GlobalFitResult{}, verr
+	}
 	if tensor.ObservedCount(seq) < 8 {
 		return GlobalFitResult{}, errors.New("core: sequence too short to fit")
 	}

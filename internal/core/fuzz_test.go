@@ -1,0 +1,65 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzFitSequence drives arbitrary float series — including NaN, Inf,
+// negatives, denormals and adversarial bit patterns — through the full
+// single-sequence GlobalFit. The contract under fuzzing is narrow but
+// absolute: the fit returns an error or a model, it never panics, and a
+// returned model carries only finite parameters.
+func FuzzFitSequence(f *testing.F) {
+	mk := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	// Seeds: a fittable bumpy series, degenerate values, and boundary sizes.
+	bumpy := make([]float64, 24)
+	for i := range bumpy {
+		bumpy[i] = 2 + math.Sin(float64(i)/3)
+	}
+	bumpy[12] += 9
+	f.Add(mk(bumpy...))
+	f.Add(mk(1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add(mk(math.Inf(1), 1, 2, 3, 4, 5, 6, 7))
+	f.Add(mk(math.NaN(), math.NaN(), math.NaN(), 1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add(mk(-1, 1, 2, 3, 4, 5, 6, 7, 8))
+	f.Add(mk(0, 0, 0, 0, 0, 0, 0, 0, 0))
+	f.Add(mk(1e308, 1e308, 1, 2, 3, 4, 5, 6))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8*48 {
+			data = data[:8*48] // bound fit cost, not coverage
+		}
+		seq := make([]float64, len(data)/8)
+		for i := range seq {
+			seq[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+		}
+		// Adversarial series can make the optimisers grind (legitimately —
+		// more starts, more shock candidates); the cooperative-cancellation
+		// deadline keeps fuzz throughput up without masking panics. It also
+		// bounds input-minimisation cost, which reruns candidates serially.
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		defer cancel()
+		opts := FitOptions{Workers: 1, MaxOuterIter: 1, MaxShocks: 1, Context: ctx}
+		res, err := FitGlobalSequence(seq, 0, opts)
+		if err != nil {
+			return
+		}
+		for _, v := range []float64{res.Params.N, res.Params.Beta, res.Params.Delta,
+			res.Params.Gamma, res.Params.I0, res.Params.Eta0, res.Scale} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("fit accepted degenerate input and produced non-finite params %+v", res.Params)
+			}
+		}
+	})
+}

@@ -334,11 +334,26 @@ func Simulate(p *KeywordParams, n int, eps []float64, growthRate float64) []floa
 	if growthRate >= 0 {
 		eta = growthRate
 	}
+	// The fractions are self-containing (clamp01 + renormalisation), so the
+	// only values that can leak a non-finite or negative count into the
+	// output are the population scale, the growth rate, and the shock
+	// profile. Sanitise them here so an optimiser probing a degenerate
+	// parameter vector gets a finite (merely terrible) cost back.
+	N := p.N
+	if math.IsNaN(N) || math.IsInf(N, 0) || N < 0 {
+		N = 0
+	}
+	if math.IsNaN(eta) || math.IsInf(eta, 0) {
+		eta = 0
+	}
 	for t := 0; t < n; t++ {
-		out[t] = p.N * i
+		out[t] = N * i
 		e := 1.0
 		if eps != nil {
 			e = eps[t]
+			if math.IsNaN(e) || math.IsInf(e, 0) {
+				e = 1
+			}
 		}
 		g := 0.0
 		if p.TEta != NoGrowth && t >= p.TEta {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"dspot/internal/numcheck"
 	"dspot/internal/optimize"
 	"dspot/internal/tensor"
 )
@@ -22,8 +23,12 @@ import (
 // FitGlobalSequence on a prefix). The sequence may have grown and may have
 // revised recent values; it must be at least as long as it was when prev
 // was fitted.
-func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, opts FitOptions) (GlobalFitResult, error) {
+func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, opts FitOptions) (res GlobalFitResult, err error) {
 	opts = opts.withDefaults()
+	defer recoverFitPanic(opts, keyword, -1, &err)
+	if verr := numcheck.Sequence("core: sequence", seq); verr != nil {
+		return GlobalFitResult{}, verr
+	}
 	if tensor.ObservedCount(seq) < 8 {
 		return GlobalFitResult{}, errors.New("core: sequence too short to fit")
 	}

@@ -25,6 +25,7 @@ const (
 	StageGlobal    = "global"     // the whole GlobalFit phase
 	StageLocal     = "local"      // the whole LocalFit phase
 	StageLocalCell = "local_cell" // one (keyword, location) local fit
+	StagePanic     = "panic"      // a contained worker panic (see FitReport.Panics)
 )
 
 // FitEvent is one fit-progress observation emitted at a stage boundary.
@@ -96,6 +97,7 @@ type FitReport struct {
 	GrowthTried    int                      `json:"growth_tried"`
 	GrowthAccepted int                      `json:"growth_accepted"`
 	LocalCells     int                      `json:"local_cells"`
+	Panics         int                      `json:"panics"` // contained worker panics
 	GlobalDuration time.Duration            `json:"global_duration_ns"`
 	LocalDuration  time.Duration            `json:"local_duration_ns"`
 	StageDurations map[string]time.Duration `json:"stage_durations_ns"`
@@ -115,6 +117,9 @@ func (r *FitReport) String() string {
 		r.Keywords, r.LMIterations, r.ShocksTried, r.ShocksAccepted)
 	if r.GrowthTried > 0 {
 		fmt.Fprintf(&b, ", growth %d tried / %d accepted", r.GrowthTried, r.GrowthAccepted)
+	}
+	if r.Panics > 0 {
+		fmt.Fprintf(&b, ", %d PANICS CONTAINED", r.Panics)
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "  phases: global %v", r.GlobalDuration.Round(time.Millisecond))
@@ -204,6 +209,8 @@ func (t *FitTrace) observe(ev FitEvent) {
 		t.report.LocalDuration += ev.Duration
 	case StageLocalCell:
 		t.report.LocalCells++
+	case StagePanic:
+		t.report.Panics++
 	}
 }
 

@@ -1,0 +1,124 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	f, err := fsys.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "final")
+	if err := fsys.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(dst)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	des, err := fsys.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("ReadDir = %v, %v", des, err)
+	}
+	if _, err := fsys.Stat(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorFailNth(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{})
+	in.FailNth(OpWrite, 2, nil)
+
+	f, err := in.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2 = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3 should pass (rule consumed): %v", err)
+	}
+	if got := in.Count(OpWrite); got != 3 {
+		t.Fatalf("Count(write) = %d, want 3", got)
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{})
+	in.ShortWriteNth(1)
+	f, err := in.CreateTemp(dir, "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	f.Close()
+	if !errors.Is(werr, ErrNoSpace) || !errors.Is(werr, ErrInjected) || !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("short write err = %v, want ErrNoSpace (ENOSPC, injected)", werr)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("on-disk torn content = %q, %v", data, err)
+	}
+}
+
+func TestInjectorOpAny(t *testing.T) {
+	in := NewInjector(OS{})
+	in.FailNth(OpAny, 3, nil)
+	if err := in.MkdirAll(filepath.Join(t.TempDir(), "a"), 0o755); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if _, err := in.Stat("/"); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if _, err := in.ReadFile("/does-not-matter"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 3 = %v, want ErrInjected", err)
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	in := NewInjector(nil)
+	in.FailNth(OpRename, 1, nil)
+	in.Reset()
+	a := filepath.Join(t.TempDir(), "a")
+	if err := os.WriteFile(a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(a, a+"2"); err != nil {
+		t.Fatalf("Rename after Reset = %v, want nil", err)
+	}
+	if in.Count(OpRename) != 1 {
+		t.Fatalf("Count after Reset = %d, want 1", in.Count(OpRename))
+	}
+}

@@ -247,6 +247,13 @@ func (e *Engine) Submit(kind string, fn Func) (string, error) {
 	return j.id, nil
 }
 
+// Saturated reports whether the queue is at capacity — the next Submit
+// would fail with ErrQueueFull. Readiness probes use it to steer load away
+// before requests start bouncing.
+func (e *Engine) Saturated() bool {
+	return len(e.queue) == cap(e.queue)
+}
+
 // Get returns the job's snapshot.
 func (e *Engine) Get(id string) (Snapshot, error) {
 	e.mu.Lock()

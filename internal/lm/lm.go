@@ -78,11 +78,17 @@ func (o *Options) fill(dim int) error {
 	return nil
 }
 
+// sse sums squared residuals; NaN entries are missing observations and
+// contribute zero, while an Inf entry drives the sum to +Inf so the damped
+// step that produced it is rejected like any other worse trial.
 func sse(r []float64) float64 {
 	s := 0.0
 	for _, v := range r {
 		if math.IsNaN(v) {
 			continue
+		}
+		if math.IsInf(v, 0) {
+			return math.Inf(1)
 		}
 		s += v * v
 	}
@@ -120,6 +126,13 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 		return Result{}, errors.New("lm: empty residual vector")
 	}
 	cur := sse(r)
+	if math.IsInf(cur, 0) || math.IsNaN(cur) {
+		// A non-finite starting cost gives the damped steps nothing to
+		// improve against; report it so multi-start callers can skip this
+		// start instead of looping on rejected trials.
+		return Result{Params: append([]float64(nil), p...), SSE: cur},
+			errors.New("lm: non-finite cost at initial parameters")
+	}
 
 	lambda := opts.Lambda0
 	jac := make([]float64, m*dim) // row-major m×dim
@@ -165,7 +178,14 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 					jac[i*dim+j] = 0
 					continue
 				}
-				jac[i*dim+j] = (rji - ri) * inv
+				d := (rji - ri) * inv
+				if math.IsInf(d, 0) || math.IsNaN(d) {
+					// A perturbed simulation that blew up says nothing
+					// about the local slope; treat the entry as missing
+					// rather than poisoning the normal equations.
+					d = 0
+				}
+				jac[i*dim+j] = d
 			}
 		}
 
@@ -207,6 +227,17 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 			}
 			delta, err := solveSPD(damped, jtr, dim)
 			if err != nil {
+				lambda *= opts.LambdaUp
+				continue
+			}
+			finite := true
+			for a := 0; a < dim; a++ {
+				if math.IsInf(delta[a], 0) || math.IsNaN(delta[a]) {
+					finite = false
+					break
+				}
+			}
+			if !finite {
 				lambda *= opts.LambdaUp
 				continue
 			}

@@ -1,0 +1,107 @@
+// Package numcheck validates numeric inputs at the boundaries of the
+// fitting pipeline. Real social-activity streams arrive ragged — missing
+// cells, zero-variance keywords, hand-edited CSV exports with Inf or
+// negative counts — and a degenerate value that slips past the boundary
+// either poisons an optimiser (NaN comparisons are always false, so a
+// golden-section bracket silently stops shrinking) or surfaces as a panic
+// deep inside a worker goroutine. Every dspot.Fit* entry point and the HTTP
+// fit/append handlers validate through this package, so callers can rely on
+// typed errors (errors.Is against ErrNaN/ErrInf/ErrNegative) to map
+// violations to 400s instead of 500s.
+//
+// Convention: NaN is the tensor package's missing-value sentinel, so
+// Sequence treats NaN as an allowed "missing" marker and rejects only Inf
+// and negative values; Value and StrictSequence reject NaN too, for
+// contexts where missingness is encoded out-of-band (JSON null) and a raw
+// NaN can only be a bug.
+package numcheck
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed causes carried by ValueError; test with errors.Is.
+var (
+	ErrNaN      = errors.New("numcheck: NaN value")
+	ErrInf      = errors.New("numcheck: non-finite value")
+	ErrNegative = errors.New("numcheck: negative value")
+)
+
+// ValueError pinpoints the first offending entry of a validated input.
+type ValueError struct {
+	Name  string  // what was being validated ("sequence", "count", …)
+	Index int     // offending index; -1 for scalars
+	Value float64 // the offending value
+	Cause error   // ErrNaN, ErrInf or ErrNegative
+}
+
+func (e *ValueError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("%s: %v (%g)", e.Name, e.Cause, e.Value)
+	}
+	return fmt.Sprintf("%s: %v at index %d (%g)", e.Name, e.Cause, e.Index, e.Value)
+}
+
+func (e *ValueError) Unwrap() error { return e.Cause }
+
+// classify returns the violation of v, if any. allowNaN admits NaN (the
+// missing-value sentinel).
+func classify(v float64, allowNaN bool) error {
+	switch {
+	case math.IsNaN(v):
+		if allowNaN {
+			return nil
+		}
+		return ErrNaN
+	case math.IsInf(v, 0):
+		return ErrInf
+	case v < 0:
+		return ErrNegative
+	}
+	return nil
+}
+
+// Value checks one scalar count: it must be finite and non-negative.
+func Value(name string, v float64) error {
+	if cause := classify(v, false); cause != nil {
+		return &ValueError{Name: name, Index: -1, Value: v, Cause: cause}
+	}
+	return nil
+}
+
+// Sequence checks a count sequence in the tensor convention: NaN marks a
+// missing tick and is allowed; Inf and negative values are rejected.
+func Sequence(name string, seq []float64) error {
+	for i, v := range seq {
+		if cause := classify(v, true); cause != nil {
+			return &ValueError{Name: name, Index: i, Value: v, Cause: cause}
+		}
+	}
+	return nil
+}
+
+// StrictSequence is Sequence with NaN also rejected — for inputs whose
+// missing ticks are encoded out-of-band (e.g. JSON null), where a raw NaN
+// can only be an encoding bug.
+func StrictSequence(name string, seq []float64) error {
+	for i, v := range seq {
+		if cause := classify(v, false); cause != nil {
+			return &ValueError{Name: name, Index: i, Value: v, Cause: cause}
+		}
+	}
+	return nil
+}
+
+// Finite checks that v is neither NaN nor Inf (negative allowed) — for
+// parameters like residuals or phases that may legitimately be negative.
+func Finite(name string, v float64) error {
+	if math.IsNaN(v) {
+		return &ValueError{Name: name, Index: -1, Value: v, Cause: ErrNaN}
+	}
+	if math.IsInf(v, 0) {
+		return &ValueError{Name: name, Index: -1, Value: v, Cause: ErrInf}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package numcheck
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValue(t *testing.T) {
+	cases := []struct {
+		name string
+		v    float64
+		want error // nil = accept
+	}{
+		{"zero", 0, nil},
+		{"positive", 3.5, nil},
+		{"nan", math.NaN(), ErrNaN},
+		{"plus-inf", math.Inf(1), ErrInf},
+		{"minus-inf", math.Inf(-1), ErrInf},
+		{"negative", -1e-9, ErrNegative},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Value("count", c.v)
+			if c.want == nil {
+				if err != nil {
+					t.Fatalf("Value(%g) = %v, want nil", c.v, err)
+				}
+				return
+			}
+			if !errors.Is(err, c.want) {
+				t.Fatalf("Value(%g) = %v, want errors.Is %v", c.v, err, c.want)
+			}
+		})
+	}
+}
+
+func TestSequenceAllowsNaNAsMissing(t *testing.T) {
+	if err := Sequence("seq", []float64{1, math.NaN(), 2, 0}); err != nil {
+		t.Fatalf("Sequence with NaN (missing) = %v, want nil", err)
+	}
+	if err := StrictSequence("seq", []float64{1, math.NaN(), 2}); !errors.Is(err, ErrNaN) {
+		t.Fatalf("StrictSequence with NaN = %v, want ErrNaN", err)
+	}
+}
+
+func TestSequenceRejections(t *testing.T) {
+	if err := Sequence("seq", []float64{1, 2, math.Inf(1)}); !errors.Is(err, ErrInf) {
+		t.Fatalf("Sequence with +Inf = %v, want ErrInf", err)
+	}
+	if err := Sequence("seq", []float64{1, -3, 2}); !errors.Is(err, ErrNegative) {
+		t.Fatalf("Sequence with negative = %v, want ErrNegative", err)
+	}
+}
+
+func TestValueErrorDetail(t *testing.T) {
+	err := Sequence("myseq", []float64{0, 1, math.Inf(-1)})
+	var ve *ValueError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %v is not a *ValueError", err)
+	}
+	if ve.Index != 2 || ve.Name != "myseq" || !math.IsInf(ve.Value, -1) {
+		t.Fatalf("ValueError = %+v, want index 2, name myseq, -Inf", ve)
+	}
+	if !strings.Contains(err.Error(), "myseq") || !strings.Contains(err.Error(), "index 2") {
+		t.Fatalf("error text %q should name the input and the index", err.Error())
+	}
+}
+
+func TestFinite(t *testing.T) {
+	if err := Finite("resid", -4.2); err != nil {
+		t.Fatalf("Finite(-4.2) = %v, want nil (negatives allowed)", err)
+	}
+	if err := Finite("resid", math.NaN()); !errors.Is(err, ErrNaN) {
+		t.Fatalf("Finite(NaN) = %v, want ErrNaN", err)
+	}
+	if err := Finite("resid", math.Inf(1)); !errors.Is(err, ErrInf) {
+		t.Fatalf("Finite(+Inf) = %v, want ErrInf", err)
+	}
+}

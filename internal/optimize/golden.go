@@ -14,6 +14,17 @@ import (
 
 const invPhi = 0.6180339887498949 // 1/φ
 
+// finiteMin maps a NaN objective value to +Inf. Every comparison against
+// NaN is false, so a single NaN evaluation would otherwise freeze a
+// golden-section bracket or win a grid tie it never earned; +Inf makes a
+// degenerate candidate lose every comparison instead.
+func finiteMin(v float64) float64 {
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return v
+}
+
 // Golden minimises f over [lo, hi] with golden-section search, returning the
 // minimising x and f(x). tol is the absolute interval tolerance; maxIter
 // bounds the number of shrink steps (each shrinks the interval by 1/φ).
@@ -37,7 +48,7 @@ func GoldenCtx(ctx context.Context, f func(float64) float64, lo, hi, tol float64
 	a, b := lo, hi
 	c := b - (b-a)*invPhi
 	d := a + (b-a)*invPhi
-	fc, fd := f(c), f(d)
+	fc, fd := finiteMin(f(c)), finiteMin(f(d))
 	for i := 0; i < maxIter && (b-a) > tol; i++ {
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
@@ -51,15 +62,15 @@ func GoldenCtx(ctx context.Context, f func(float64) float64, lo, hi, tol float64
 		if fc < fd {
 			b, d, fd = d, c, fc
 			c = b - (b-a)*invPhi
-			fc = f(c)
+			fc = finiteMin(f(c))
 		} else {
 			a, c, fc = c, d, fd
 			d = a + (b-a)*invPhi
-			fd = f(d)
+			fd = finiteMin(f(d))
 		}
 	}
 	x = (a + b) / 2
-	fx = f(x)
+	fx = finiteMin(f(x))
 	// Return the best point actually evaluated, not just the midpoint.
 	if fc < fx {
 		x, fx = c, fc
@@ -76,7 +87,7 @@ func GoldenCtx(ctx context.Context, f func(float64) float64, lo, hi, tol float64
 func GridMin(f func(int) float64, candidates []int) (best int, fbest float64) {
 	fbest = math.Inf(1)
 	for _, c := range candidates {
-		if v := f(c); v < fbest {
+		if v := finiteMin(f(c)); v < fbest {
 			best, fbest = c, v
 		}
 	}
@@ -87,7 +98,7 @@ func GridMin(f func(int) float64, candidates []int) (best int, fbest float64) {
 func GridMinFloat(f func(float64) float64, candidates []float64) (best, fbest float64) {
 	fbest = math.Inf(1)
 	for _, c := range candidates {
-		if v := f(c); v < fbest {
+		if v := finiteMin(f(c)); v < fbest {
 			best, fbest = c, v
 		}
 	}
@@ -155,7 +166,7 @@ func gridMinCtx(ctx context.Context, f func(int) float64, candidates []int) (bes
 				return best, fbest, fmt.Errorf("optimize: grid stopped: %w", cerr)
 			}
 		}
-		if v := f(c); v < fbest {
+		if v := finiteMin(f(c)); v < fbest {
 			best, fbest = c, v
 		}
 	}

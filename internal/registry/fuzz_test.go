@@ -1,8 +1,12 @@
 package registry
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
+
+	"dspot/internal/core"
+	"dspot/internal/tensor"
 )
 
 // FuzzDecodeManifest hammers the boot-time trust boundary: whatever bytes
@@ -39,5 +43,46 @@ func FuzzDecodeManifest(f *testing.F) {
 				t.Fatalf("decoder admitted unsafe path %q", e.File)
 			}
 		}
+	})
+}
+
+// FuzzRestoreState hammers the other persisted trust boundary: stream
+// snapshot JSON. Whatever bytes land in a streams/*.json file, decoding
+// must either reject them or produce a state that restores into a stream
+// whose Model/Forecast/State paths work without panicking, with no Inf or
+// negative counts smuggled into the sequence.
+func FuzzRestoreState(f *testing.F) {
+	f.Add([]byte(`{"refit_every":30,"seq":[1,2,null,3],"fitted":false}`))
+	f.Add([]byte(`{"refit_every":30,"seq":[],"fitted":true}`))
+	f.Add([]byte(`{"refit_every":-5,"seq":[1],"since_refit":-9,"refits":-1}`))
+	f.Add([]byte(`{"refit_every":10,"seq":[1e999]}`))
+	f.Add([]byte(`{"refit_every":10,"seq":[-4,1,2]}`))
+	f.Add([]byte(`{"refit_every":30,"seq":[1,2,3],"fitted":true,` +
+		`"result":{"params":{"n":5,"beta":0.6,"delta":0.4,"gamma":0.3,"i0":0.01,` +
+		`"t_eta":-1},"scale":1}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		state, refits, err := decodeStreamState(data)
+		if err != nil {
+			return
+		}
+		if refits < 0 {
+			refits = 0 // refit counter is cosmetic; the stream must still work
+		}
+		for i, v := range state.Seq {
+			if tensor.IsMissing(v) {
+				continue
+			}
+			if math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("decoder admitted seq[%d] = %v", i, v)
+			}
+		}
+		s := core.RestoreStream(core.FitOptions{Workers: 1, MaxOuterIter: 1, MaxShocks: 1}, state)
+		_ = s.Len()
+		_ = s.Ready()
+		_ = s.Model()
+		_ = s.Forecast(3)
+		_ = s.State()
 	})
 }

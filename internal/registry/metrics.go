@@ -13,6 +13,7 @@ type Metrics struct {
 	evictions     *obs.Counter // registry_evictions_total
 	refits        *obs.Counter // registry_stream_refits_total
 	persistErrors *obs.Counter // registry_persist_errors_total
+	corrupt       *obs.Counter // registry_corrupt_total
 }
 
 // NewMetricsOn registers the registry metrics on reg.
@@ -30,6 +31,8 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Incremental stream refits performed."),
 		persistErrors: reg.Counter("registry_persist_errors_total",
 			"Failed writes of model, stream or manifest files."),
+		corrupt: reg.Counter("registry_corrupt_total",
+			"Persisted files found missing or corrupt (checksum mismatch, bad JSON) and quarantined."),
 	}
 }
 
@@ -67,4 +70,11 @@ func (m *Metrics) persistError() {
 		return
 	}
 	m.persistErrors.Inc()
+}
+
+func (m *Metrics) corruptFile() {
+	if m == nil {
+		return
+	}
+	m.corrupt.Inc()
 }

@@ -17,12 +17,13 @@
 package registry
 
 import (
+	"bytes"
 	"container/list"
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ import (
 
 	"dspot/internal/core"
 	"dspot/internal/dataset"
+	"dspot/internal/faultfs"
 )
 
 // Registry errors recognised by callers (the HTTP layer maps them to
@@ -61,6 +63,9 @@ type Options struct {
 	// RefitEvery is the default stream refit cadence in ticks (0 selects
 	// core.NewStream's default).
 	RefitEvery int
+	// FS abstracts the persistence filesystem (nil selects the real one).
+	// Chaos tests pass a faultfs.Injector to schedule write faults.
+	FS faultfs.FS
 }
 
 // Info describes one stored model without loading it.
@@ -76,9 +81,12 @@ type Info struct {
 }
 
 // entry is one model slot: metadata always, the model itself only while
-// loaded (elem tracks its LRU position; both nil when evicted).
+// loaded (elem tracks its LRU position; both nil when evicted). sum is the
+// manifest checksum of the persisted JSON ("" for memory-only registries
+// and legacy entries persisted before checksums existed).
 type entry struct {
 	info  Info
+	sum   string
 	model *core.Model
 	elem  *list.Element
 }
@@ -87,6 +95,7 @@ type entry struct {
 type Registry struct {
 	opts Options
 	dir  string // "" = memory only
+	fs   faultfs.FS
 
 	mu     sync.Mutex
 	models map[string]*entry
@@ -123,9 +132,13 @@ func Open(opts Options) (*Registry, error) {
 	if opts.MaxLoaded <= 0 {
 		opts.MaxLoaded = DefaultMaxLoaded
 	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS{}
+	}
 	r := &Registry{
 		opts:    opts,
 		dir:     opts.DataDir,
+		fs:      opts.FS,
 		models:  make(map[string]*entry),
 		lru:     list.New(),
 		streams: make(map[string]*stream),
@@ -135,7 +148,7 @@ func Open(opts Options) (*Registry, error) {
 		return r, nil
 	}
 	for _, sub := range []string{modelsDir, streamsDir} {
-		if err := os.MkdirAll(filepath.Join(r.dir, sub), 0o755); err != nil {
+		if err := r.fs.MkdirAll(filepath.Join(r.dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("registry: creating layout: %w", err)
 		}
 	}
@@ -171,12 +184,32 @@ func (r *Registry) logger() *slog.Logger {
 	return nopLogger
 }
 
-// loadManifest restores the model index from disk. Entries whose model file
-// vanished are dropped with a warning rather than failing the boot: a
-// half-deleted model must not take the whole service down.
+// quarantine renames a bad persisted file to <path>.corrupt so it is out of
+// the registry's way but still on disk for post-mortem, and counts it. A
+// rename failure is logged but not fatal: the entry is dropped either way,
+// so the bad file can at worst be re-quarantined on the next boot.
+func (r *Registry) quarantine(path, kind, id string, cause error) {
+	r.opts.Metrics.corruptFile()
+	dst := path + ".corrupt"
+	if err := r.fs.Rename(path, dst); err != nil {
+		r.logger().Error("registry: quarantining corrupt file failed",
+			"kind", kind, "id", id, "file", path, "cause", cause, "err", err)
+		return
+	}
+	r.logger().Warn("registry: quarantined corrupt file",
+		"kind", kind, "id", id, "file", dst, "cause", cause)
+}
+
+// loadManifest restores the model index from disk, verifying every listed
+// file against its manifest checksum. A missing file is dropped; a file
+// that fails its checksum (torn write, bit rot, hand edit) is quarantined
+// as <file>.corrupt and dropped. Either way the boot proceeds — one bad
+// model must not take the whole service down — and the manifest is
+// rewritten atomically so the on-disk index matches what actually survived
+// recovery.
 func (r *Registry) loadManifest() error {
-	data, err := os.ReadFile(filepath.Join(r.dir, manifestFile))
-	if errors.Is(err, os.ErrNotExist) {
+	data, err := r.fs.ReadFile(filepath.Join(r.dir, manifestFile))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil // fresh directory
 	}
 	if err != nil {
@@ -186,18 +219,42 @@ func (r *Registry) loadManifest() error {
 	if err != nil {
 		return err
 	}
+	dropped := 0
 	for _, e := range mf.Models {
 		path := filepath.Join(r.dir, filepath.FromSlash(e.File))
-		if _, statErr := os.Stat(path); statErr != nil {
-			r.logger().Warn("registry: dropping manifest entry, model file missing",
-				"id", e.ID, "file", e.File, "err", statErr)
+		body, readErr := r.fs.ReadFile(path)
+		if readErr != nil {
+			dropped++
+			if errors.Is(readErr, fs.ErrNotExist) {
+				r.opts.Metrics.corruptFile()
+				r.logger().Warn("registry: dropping manifest entry, model file missing",
+					"id", e.ID, "file", e.File, "err", readErr)
+			} else {
+				r.quarantine(path, "model", e.ID, readErr)
+			}
 			continue
 		}
-		r.models[e.ID] = &entry{info: Info{
+		if e.Checksum != "" {
+			if got := checksumOf(body); got != e.Checksum {
+				dropped++
+				r.quarantine(path, "model", e.ID,
+					fmt.Errorf("checksum %s, manifest says %s", got, e.Checksum))
+				continue
+			}
+		}
+		r.models[e.ID] = &entry{sum: e.Checksum, info: Info{
 			ID: e.ID, Version: e.Version,
 			CreatedUnix: e.CreatedUnix, UpdatedUnix: e.UpdatedUnix,
 			Keywords: e.Keywords, Locations: e.Locations, Ticks: e.Ticks,
 		}}
+	}
+	if dropped > 0 {
+		// Recovery rewrite: the manifest must never keep promising entries
+		// that were dropped, or every future boot re-reports the same
+		// corruption and List keeps serving ghosts.
+		if err := r.saveManifestLocked(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -211,10 +268,12 @@ func (r *Registry) saveManifestLocked() error {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		info := r.models[id].info
+		e := r.models[id]
+		info := e.info
 		mf.Models = append(mf.Models, manifestEntry{
 			ID: info.ID, Version: info.Version,
 			File:        modelsDir + "/" + info.ID + ".json",
+			Checksum:    e.sum,
 			CreatedUnix: info.CreatedUnix, UpdatedUnix: info.UpdatedUnix,
 			Keywords: info.Keywords, Locations: info.Locations, Ticks: info.Ticks,
 		})
@@ -223,7 +282,7 @@ func (r *Registry) saveManifestLocked() error {
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(filepath.Join(r.dir, manifestFile), data); err != nil {
+	if err := writeFileAtomic(r.fs, filepath.Join(r.dir, manifestFile), data); err != nil {
 		r.opts.Metrics.persistError()
 		return fmt.Errorf("registry: writing manifest: %w", err)
 	}
@@ -251,12 +310,15 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	next.Version++
 	next.UpdatedUnix = now
 	next.Keywords, next.Locations, next.Ticks = len(m.Keywords), len(m.Locations), m.Ticks
+	sum := ""
 	if r.dir != "" {
 		var buf strings.Builder
 		if err := dataset.WriteModel(&buf, m); err != nil {
 			return Info{}, fmt.Errorf("registry: encoding model %q: %w", id, err)
 		}
-		if err := writeFileAtomic(r.modelPath(id), []byte(buf.String())); err != nil {
+		body := []byte(buf.String())
+		sum = checksumOf(body)
+		if err := writeFileAtomic(r.fs, r.modelPath(id), body); err != nil {
 			r.opts.Metrics.persistError()
 			return Info{}, fmt.Errorf("registry: persisting model %q: %w", id, err)
 		}
@@ -267,6 +329,7 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	}
 	wasLoaded := e.elem != nil
 	e.info = next
+	e.sum = sum
 	e.model = m
 	r.touchLocked(e)
 	if !wasLoaded {
@@ -293,7 +356,27 @@ func (r *Registry) Get(id string) (*core.Model, error) {
 		return nil, fmt.Errorf("%w: model %q", ErrNotFound, id)
 	}
 	if e.model == nil {
-		m, err := dataset.LoadModel(r.modelPath(id))
+		path := r.modelPath(id)
+		body, err := r.fs.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: reloading model %q: %w", id, err)
+		}
+		if e.sum != "" {
+			if got := checksumOf(body); got != e.sum {
+				// The file changed under us since it was persisted. Quarantine
+				// and forget the entry: serving a silently-corrupted model is
+				// strictly worse than a clean not-found.
+				r.quarantine(path, "model", id,
+					fmt.Errorf("checksum %s, manifest says %s", got, e.sum))
+				delete(r.models, id)
+				if err := r.saveManifestLocked(); err != nil {
+					r.logger().Error("registry: rewriting manifest after quarantine", "err", err)
+				}
+				r.gaugesLocked()
+				return nil, fmt.Errorf("%w: model %q (quarantined: checksum mismatch)", ErrNotFound, id)
+			}
+		}
+		m, err := dataset.ReadModel(bytes.NewReader(body))
 		if err != nil {
 			return nil, fmt.Errorf("registry: reloading model %q: %w", id, err)
 		}
@@ -335,7 +418,7 @@ func (r *Registry) Delete(id string) error {
 		r.loaded--
 	}
 	if r.dir != "" {
-		if err := os.Remove(r.modelPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := r.fs.Remove(r.modelPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			r.logger().Warn("registry: removing model file", "id", id, "err", err)
 		}
 		if err := r.saveManifestLocked(); err != nil {

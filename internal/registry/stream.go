@@ -5,13 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 
 	"dspot/internal/core"
+	"dspot/internal/numcheck"
 	"dspot/internal/tensor"
 )
 
@@ -150,7 +151,7 @@ func (r *Registry) DeleteStream(id string) error {
 		return fmt.Errorf("%w: stream %q", ErrNotFound, id)
 	}
 	if r.dir != "" {
-		if err := os.Remove(r.streamPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := r.fs.Remove(r.streamPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			return fmt.Errorf("registry: removing stream %q: %w", id, err)
 		}
 	}
@@ -204,13 +205,45 @@ func (r *Registry) saveStream(st *stream) error {
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(r.streamPath(st.id), data)
+	return writeFileAtomic(r.fs, r.streamPath(st.id), data)
 }
 
-// loadStreams restores every snapshot under streams/. A corrupt snapshot is
-// skipped with a warning — one bad stream must not block the boot.
+// decodeStreamState parses and validates one persisted snapshot. It is the
+// trust boundary for stream files (fuzzed by FuzzRestoreState): the decoded
+// sequence must contain no Inf or negative counts (NaN is the missing
+// sentinel and fine), and a fitted snapshot must materialise a model that
+// passes the same validation Put applies.
+func decodeStreamState(data []byte) (core.StreamState, int, error) {
+	var sj streamJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return core.StreamState{}, 0, err
+	}
+	state := core.StreamState{
+		RefitEvery: sj.RefitEvery,
+		Seq:        decodeSeq(sj.Seq),
+		Fitted:     sj.Fitted,
+		SinceRefit: sj.SinceRefit,
+	}
+	if err := numcheck.Sequence("stream snapshot", state.Seq); err != nil {
+		return core.StreamState{}, 0, err
+	}
+	if sj.Result != nil {
+		state.Result = *sj.Result
+	}
+	if state.Fitted {
+		if err := validateStreamState(&state); err != nil {
+			return core.StreamState{}, 0, err
+		}
+	}
+	return state, sj.Refits, nil
+}
+
+// loadStreams restores every snapshot under streams/. A corrupt or invalid
+// snapshot is quarantined as <file>.corrupt and skipped — one bad stream
+// must not block the boot, but leaving the bad file in place would re-fail
+// (and previously silently re-skip) on every restart.
 func (r *Registry) loadStreams() error {
-	entries, err := os.ReadDir(filepath.Join(r.dir, streamsDir))
+	entries, err := r.fs.ReadDir(filepath.Join(r.dir, streamsDir))
 	if err != nil {
 		return fmt.Errorf("registry: scanning streams: %w", err)
 	}
@@ -220,37 +253,23 @@ func (r *Registry) loadStreams() error {
 			continue
 		}
 		id := strings.TrimSuffix(name, ".json")
+		path := filepath.Join(r.dir, streamsDir, name)
 		if err := ValidateID(id); err != nil {
-			r.logger().Warn("registry: skipping stream file with bad id", "file", name)
+			r.quarantine(path, "stream", id, err)
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(r.dir, streamsDir, name))
+		data, err := r.fs.ReadFile(path)
 		if err != nil {
 			return fmt.Errorf("registry: reading stream %q: %w", id, err)
 		}
-		var sj streamJSON
-		if err := json.Unmarshal(data, &sj); err != nil {
-			r.logger().Warn("registry: skipping corrupt stream snapshot", "id", id, "err", err)
+		state, refits, err := decodeStreamState(data)
+		if err != nil {
+			r.quarantine(path, "stream", id, err)
 			continue
-		}
-		state := core.StreamState{
-			RefitEvery: sj.RefitEvery,
-			Seq:        decodeSeq(sj.Seq),
-			Fitted:     sj.Fitted,
-			SinceRefit: sj.SinceRefit,
-		}
-		if sj.Result != nil {
-			state.Result = *sj.Result
-		}
-		if state.Fitted {
-			if err := validateStreamState(&state); err != nil {
-				r.logger().Warn("registry: skipping invalid stream snapshot", "id", id, "err", err)
-				continue
-			}
 		}
 		r.streams[id] = &stream{id: id,
 			s:      core.RestoreStream(r.opts.StreamFit, state),
-			refits: sj.Refits}
+			refits: refits}
 	}
 	r.opts.Metrics.setStreams(len(r.streams))
 	return nil

@@ -10,6 +10,8 @@
 //	                    ?keyword=NAME&horizon=H
 //	POST /v1/anomalies  {"model":…, "series":[…], "keyword":…, "threshold":…}
 //	GET  /healthz       liveness
+//	GET  /readyz        readiness: 503 + JSON reason while booting or the
+//	                    job queue is saturated
 //	GET  /metrics       Prometheus text exposition (when Metrics is set)
 //
 // With a Registry (and optionally a jobs Engine) the server additionally
@@ -56,6 +58,11 @@ type Server struct {
 	// Jobs, when non-nil alongside Registry, enables the async fit-job
 	// endpoints (POST /v1/jobs/fit and friends).
 	Jobs *jobs.Engine
+	// Ready, when non-nil, gates GET /readyz: a non-nil return means the
+	// server is alive but should not receive traffic yet (registry still
+	// loading, dependencies warming up). Independently of Ready, /readyz
+	// also reports unready while the job queue is saturated.
+	Ready func() error
 }
 
 // Handler returns the routed http.Handler, instrumented when Metrics
@@ -66,6 +73,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(path, instrument(path, s.Metrics, s.Logger, h))
 	}
 	route("/healthz", s.handleHealth)
+	route("/readyz", s.handleReady)
 	route("/v1/fit", s.handleFit)
 	route("/v1/events", s.handleEvents)
 	route("/v1/forecast", s.handleForecast)
@@ -143,6 +151,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]string{"status": "ok"})
 }
 
+// handleReady is the readiness probe, distinct from /healthz liveness: a
+// live process may still be loading its registry or have a saturated job
+// queue, and routing traffic to it then only turns into 5xxs downstream.
+// Unready answers 503 with a JSON reason so operators see *why* from the
+// probe output alone.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.Ready != nil {
+		if err := s.Ready(); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"status": "unavailable", "reason": err.Error(),
+			})
+			return
+		}
+	}
+	if s.Jobs != nil && s.Jobs.Saturated() {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"status": "unavailable", "reason": "job queue saturated",
+		})
+		return
+	}
+	s.writeJSON(w, map[string]string{"status": "ready"})
+}
+
 func boolParam(r *http.Request, name string) bool {
 	v := r.URL.Query().Get(name)
 	return v == "1" || v == "true"
@@ -156,6 +195,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	x, err := dataset.ReadCSV(body)
 	if err != nil {
 		httpError(w, bodyError(err), "parsing tensor: %v", err)
+		return
+	}
+	// Validate at the boundary so degenerate numbers (Inf, negative counts)
+	// answer 400 bad input, not 422 fit-failed.
+	if err := x.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid tensor: %v", err)
 		return
 	}
 	opts := core.FitOptions{

@@ -107,6 +107,12 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyError(err), "parsing tensor: %v", err)
 		return
 	}
+	// Same boundary validation as the sync endpoint: reject degenerate
+	// numbers before the tensor consumes a queue slot.
+	if err := x.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid tensor: %v", err)
+		return
+	}
 	modelID := r.URL.Query().Get("model_id")
 	if modelID == "" {
 		modelID = newModelID()

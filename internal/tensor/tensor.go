@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"dspot/internal/numcheck"
 )
 
 // Missing marks an unobserved cell. Sums and fits skip missing entries.
@@ -293,23 +295,19 @@ func (x *Tensor) Max() float64 {
 }
 
 // Validate checks structural invariants (dimension/storage agreement, no
-// negative counts) and returns a descriptive error on the first violation.
+// negative or infinite counts; NaN marks a missing cell and is allowed) and
+// returns a descriptive error on the first violation. Value violations are
+// numcheck errors, so callers can errors.Is against numcheck.ErrInf /
+// numcheck.ErrNegative to classify bad input at an API boundary.
 func (x *Tensor) Validate() error {
 	if want := x.D() * x.L() * x.N(); len(x.data) != want {
 		return fmt.Errorf("tensor: storage %d != d*l*n %d", len(x.data), want)
 	}
 	for i := 0; i < x.D(); i++ {
 		for j := 0; j < x.L(); j++ {
-			for t, v := range x.Local(i, j) {
-				if IsMissing(v) {
-					continue
-				}
-				if v < 0 {
-					return fmt.Errorf("tensor: negative count %g at (%d,%d,%d)", v, i, j, t)
-				}
-				if math.IsInf(v, 0) {
-					return fmt.Errorf("tensor: infinite count at (%d,%d,%d)", i, j, t)
-				}
+			if err := numcheck.Sequence("tensor", x.Local(i, j)); err != nil {
+				return fmt.Errorf("tensor: keyword %q location %q: %w",
+					x.Keywords[i], x.Locations[j], err)
 			}
 		}
 	}
