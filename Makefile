@@ -26,7 +26,7 @@ race:
 # Fault-injection suite: fit robustness plus the registry's crash/corruption
 # chaos tests, under the race detector.
 chaos:
-	$(GO) test -race -run 'TestChaos|TestWriteFileAtomicCleansUp|TestLegacyManifestWithoutChecksumsLoads' ./internal/registry/
+	$(GO) test -race -run 'TestChaos|TestWriteFileAtomicCleansUp|TestLegacy' ./internal/registry/
 	$(GO) test -race ./internal/faultfs/
 	$(GO) test -race -run 'Rejects|ContainsPanic|ContainsWorkerPanic|ContainsCellPanic|TestSimulateSanitises|TestFitGlobalValidatesTensor' ./internal/core/
 

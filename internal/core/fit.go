@@ -15,8 +15,11 @@ import (
 // parallel across keywords and locations but fully deterministic: every
 // worker writes only its own slots.
 func Fit(x *tensor.Tensor, opts FitOptions) (*Model, error) {
-	if err := x.Validate(); err != nil {
-		return nil, err
+	if !opts.Prevalidated {
+		if err := x.Validate(); err != nil {
+			return nil, err
+		}
+		opts.Prevalidated = true
 	}
 	opts = opts.withDefaults()
 	m, err := FitGlobal(x, opts)
@@ -134,11 +137,14 @@ func phaseStart(opts FitOptions) time.Time {
 // forecasting is needed — it is l times cheaper than the full fit.
 func FitGlobal(x *tensor.Tensor, opts FitOptions) (*Model, error) {
 	// Validate here, not only in Fit: FitGlobal is itself a public entry
-	// point (and the one the HTTP fit handlers reach), and an Inf count
-	// that slips into a worker costs a whole keyword fit before the
-	// optimiser guards reject every candidate.
-	if err := x.Validate(); err != nil {
-		return nil, err
+	// point, and an Inf count that slips into a worker costs a whole
+	// keyword fit before the optimiser guards reject every candidate.
+	// Prevalidated callers (Fit, the HTTP handlers) already paid for the
+	// scan once.
+	if !opts.Prevalidated {
+		if err := x.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	opts = opts.withDefaults()
 	start := phaseStart(opts)

@@ -43,6 +43,14 @@ type FitOptions struct {
 	// Workers bounds fitting concurrency across keywords/locations
 	// (default: 4; 1 disables parallelism).
 	Workers int
+	// Prevalidated asserts the caller already ran x.Validate() on this
+	// exact tensor, letting Fit/FitGlobal skip the redundant O(d·l·n)
+	// rescan. The HTTP boundary sets it after validating at parse time (so
+	// degenerate input answers 400 before consuming fit workers or queue
+	// slots); Fit sets it before delegating to FitGlobal. Never set it for
+	// a tensor you did not just validate — the non-finite guards deeper in
+	// the optimisers then become the only line of defence.
+	Prevalidated bool
 	// Context, when non-nil, cancels the fit cooperatively: every layer of
 	// the pipeline — the outer alternation rounds, each LM iteration, each
 	// golden-section/grid step, each shock-candidate evaluation, and each

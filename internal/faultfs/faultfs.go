@@ -173,23 +173,31 @@ func (in *Injector) Reset() {
 }
 
 // check counts one occurrence of op and returns the fault scheduled for it,
-// if any. The matched rule is consumed.
+// if any. Every matching rule is decremented for this occurrence — never
+// only the one that fires, or two schedules on the same op would drift
+// apart by one occurrence each time one fired — and the first rule whose
+// count is exhausted is consumed and returned. A second rule exhausted on
+// the same occurrence fires on the next one.
 func (in *Injector) check(op string) (error, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.counts[op]++
+	fired := -1
 	for i, r := range in.rules {
 		if r.op != op && r.op != OpAny {
 			continue
 		}
 		r.nth--
-		if r.nth > 0 {
-			continue
+		if r.nth <= 0 && fired < 0 {
+			fired = i
 		}
-		in.rules = append(in.rules[:i], in.rules[i+1:]...)
-		return r.err, r.short
 	}
-	return nil, false
+	if fired < 0 {
+		return nil, false
+	}
+	r := in.rules[fired]
+	in.rules = append(in.rules[:fired], in.rules[fired+1:]...)
+	return r.err, r.short
 }
 
 func (in *Injector) CreateTemp(dir, pattern string) (File, error) {

@@ -122,3 +122,31 @@ func TestInjectorReset(t *testing.T) {
 		t.Fatalf("Count after Reset = %d, want 1", in.Count(OpRename))
 	}
 }
+
+// TestInjectorConcurrentSchedulesDoNotDrift pins the counting semantics
+// when two rules watch the same op: every occurrence decrements every
+// matching rule, so "fail the 2nd read" and "fail the 3rd read" fire on
+// the 2nd and 3rd reads — not on the 2nd and 4th, which is what happens
+// if a firing rule swallows the occurrence before later rules see it.
+func TestInjectorConcurrentSchedulesDoNotDrift(t *testing.T) {
+	in := NewInjector(nil)
+	in.FailNth(OpRead, 2, nil)
+	in.FailNth(OpRead, 3, nil)
+
+	tmp := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ReadFile(tmp); err != nil {
+		t.Fatalf("read 1 should pass: %v", err)
+	}
+	if _, err := in.ReadFile(tmp); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2 = %v, want ErrInjected (first rule)", err)
+	}
+	if _, err := in.ReadFile(tmp); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 3 = %v, want ErrInjected (second rule, no drift)", err)
+	}
+	if _, err := in.ReadFile(tmp); err != nil {
+		t.Fatalf("read 4 should pass (both rules consumed): %v", err)
+	}
+}

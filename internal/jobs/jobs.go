@@ -84,11 +84,12 @@ func IsTransient(err error) bool {
 
 // Defaults applied by New when the corresponding Options field is zero.
 const (
-	DefaultWorkers      = 2
-	DefaultQueueDepth   = 16
-	DefaultTimeout      = 15 * time.Minute
-	DefaultMaxHistory   = 256
-	DefaultAbandonGrace = 2 * time.Second
+	DefaultWorkers         = 2
+	DefaultQueueDepth      = 16
+	DefaultTimeout         = 15 * time.Minute
+	DefaultMaxHistory      = 256
+	DefaultAbandonGrace    = 2 * time.Second
+	DefaultSaturationGrace = 5 * time.Second
 )
 
 // Options configures New.
@@ -111,6 +112,13 @@ type Options struct {
 	// through the normal path — cancelled or timed out, never abandoned —
 	// and frees no lingering goroutine.
 	AbandonGrace time.Duration
+	// SaturationGrace is how long the queue must stay continuously full
+	// before Saturated reports it (default DefaultSaturationGrace; negative
+	// reports instantaneously). Submissions still bounce with ErrQueueFull
+	// the moment the queue is full — the grace only keeps a momentary burst
+	// from failing the whole instance's readiness probe and flapping it out
+	// of load-balancer rotation.
+	SaturationGrace time.Duration
 	// Logger, when non-nil, reports job transitions and abandoned Funcs.
 	Logger *slog.Logger
 	// Metrics, when non-nil, exports queue depth, busy workers, outcomes
@@ -162,6 +170,7 @@ type Engine struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	terminal []string // terminal job ids, oldest first, for history eviction
+	satSince time.Time // when the queue last became full; zero = not full
 	closed   bool
 }
 
@@ -181,6 +190,9 @@ func New(opts Options) *Engine {
 	}
 	if opts.AbandonGrace == 0 {
 		opts.AbandonGrace = DefaultAbandonGrace
+	}
+	if opts.SaturationGrace == 0 {
+		opts.SaturationGrace = DefaultSaturationGrace
 	}
 	root, stop := context.WithCancel(context.Background())
 	e := &Engine{
@@ -241,17 +253,37 @@ func (e *Engine) Submit(kind string, fn Func) (string, error) {
 		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
 	}
 	e.jobs[j.id] = j
+	if len(e.queue) == cap(e.queue) {
+		if e.satSince.IsZero() {
+			e.satSince = time.Now()
+		}
+	} else {
+		e.satSince = time.Time{}
+	}
 	e.mu.Unlock()
 	e.opts.Metrics.queueDepth(len(e.queue))
 	e.logger().Debug("job queued", "id", j.id, "kind", kind)
 	return j.id, nil
 }
 
-// Saturated reports whether the queue is at capacity — the next Submit
-// would fail with ErrQueueFull. Readiness probes use it to steer load away
-// before requests start bouncing.
+// Saturated reports whether the job queue has been continuously full for at
+// least Options.SaturationGrace. Readiness probes use it to steer load away
+// from an instance that is genuinely backed up — the grace keeps one bursty
+// batch of submissions (whose overflow already bounces with ErrQueueFull
+// and a Retry-After) from flipping read-only traffic out of rotation.
 func (e *Engine) Saturated() bool {
-	return len(e.queue) == cap(e.queue)
+	full := len(e.queue) == cap(e.queue)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !full {
+		e.satSince = time.Time{}
+		return false
+	}
+	if e.satSince.IsZero() {
+		e.satSince = time.Now()
+	}
+	return e.opts.SaturationGrace < 0 ||
+		time.Since(e.satSince) >= e.opts.SaturationGrace
 }
 
 // Get returns the job's snapshot.
@@ -338,6 +370,11 @@ func (e *Engine) worker() {
 		case <-e.root.Done():
 			return
 		case j := <-e.queue:
+			e.mu.Lock()
+			if len(e.queue) < cap(e.queue) {
+				e.satSince = time.Time{} // dequeue broke the full streak
+			}
+			e.mu.Unlock()
 			e.run(j)
 			e.opts.Metrics.queueDepth(len(e.queue))
 		}

@@ -119,6 +119,112 @@ func TestChaosPutFaultSweep(t *testing.T) {
 	}
 }
 
+// TestChaosOverwritePutFaultSweep is TestChaosPutFaultSweep for the
+// *overwriting* Put: a model that already has a committed version is Put
+// again with a fault injected at every filesystem operation. The crash
+// contract here is stricter than fresh-id survival — the previously
+// acknowledged version must never be destroyed, so after reboot the model
+// is always present with either the old or the new content. (This is the
+// case a shared-filename protocol loses: renaming new bytes over the old
+// file before the manifest commits leaves a checksum mismatch that
+// quarantines the only copy.)
+func TestChaosOverwritePutFaultSweep(t *testing.T) {
+	ops := countPutOps(t)
+	for k := 1; k <= ops; k++ {
+		for _, short := range []bool{false, true} {
+			t.Run(fmt.Sprintf("op%d_short=%v", k, short), func(t *testing.T) {
+				dir := t.TempDir()
+				in := faultfs.NewInjector(nil)
+				r, err := Open(Options{DataDir: dir, FS: in})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.Put("m", testModel(7)); err != nil {
+					t.Fatal(err)
+				}
+				in.Reset()
+				if short {
+					in.ShortWriteNth(k)
+				} else {
+					in.FailNth(faultfs.OpAny, k, nil)
+				}
+				_, putErr := r.Put("m", testModel(9))
+
+				r2, _ := reopenClean(t, dir)
+				m, err := r2.Get("m")
+				if err != nil {
+					t.Fatalf("acknowledged model lost after faulted overwrite at op %d: %v", k, err)
+				}
+				n := m.Global[0].N
+				if n != 8 && n != 10 {
+					t.Fatalf("model content is neither old nor new after fault at op %d: N = %v", k, n)
+				}
+				if putErr == nil && n != 10 {
+					t.Fatalf("Put reported success but old content served: N = %v", n)
+				}
+			})
+		}
+	}
+}
+
+// TestLegacyModelFileLayoutMigrates covers directories written before
+// versioned model files: a manifest entry pointing at models/<id>.json
+// loads as-is, and the next Put migrates it to a versioned file and
+// removes the legacy one.
+func TestLegacyModelFileLayoutMigrates(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Put("old", testModel(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the layout the way a legacy binary left it: bytes at
+	// models/old.json, manifest pointing there.
+	versioned := modelDiskPath(t, dir, "old")
+	legacy := filepath.Join(dir, "models", "old.json")
+	if err := os.Rename(versioned, legacy); err != nil {
+		t.Fatal(err)
+	}
+	mfPath := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(mfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := decodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.Models[0].File = "models/old.json"
+	rewritten, err := encodeManifest(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mfPath, rewritten, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, _ := reopenClean(t, dir)
+	if _, err := r2.Get("old"); err != nil {
+		t.Fatalf("legacy layout rejected: %v", err)
+	}
+	if _, err := r2.Put("old", testModel(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(legacy); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("legacy file not removed after migrating Put: %v", err)
+	}
+	r3, _ := reopenClean(t, dir)
+	m, err := r3.Get("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Global[0].N != 6 {
+		t.Fatalf("migrated model content N = %v, want 6", m.Global[0].N)
+	}
+}
+
 // TestChaosCorruptModelQuarantinedOnBoot flips bytes in a persisted model
 // file and reboots: the checksum catches it, the file is quarantined as
 // .corrupt, the counter fires, and the manifest is rewritten so the ghost
@@ -134,7 +240,7 @@ func TestChaosCorruptModelQuarantinedOnBoot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	path := filepath.Join(dir, "models", "bad.json")
+	path := modelDiskPath(t, dir, "bad")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -180,7 +286,7 @@ func TestChaosMissingModelFileDropped(t *testing.T) {
 	if _, err := r.Put("gone", testModel(3)); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "models", "gone.json")); err != nil {
+	if err := os.Remove(modelDiskPath(t, dir, "gone")); err != nil {
 		t.Fatal(err)
 	}
 	met := NewMetricsOn(obs.NewRegistry())
@@ -216,7 +322,7 @@ func TestChaosGetQuarantinesTamperedModel(t *testing.T) {
 	if err != nil || info.Loaded {
 		t.Fatalf("expected a evicted, got %+v, %v", info, err)
 	}
-	path := filepath.Join(dir, "models", "a.json")
+	path := modelDiskPath(t, dir, "a")
 	if err := os.WriteFile(path, []byte(`{"tampered":true}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +509,7 @@ func TestChaosManifestChecksumRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, err := os.ReadFile(filepath.Join(dir, "models", "m.json"))
+	body, err := os.ReadFile(modelDiskPath(t, dir, "m"))
 	if err != nil {
 		t.Fatal(err)
 	}

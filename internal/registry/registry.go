@@ -83,10 +83,12 @@ type Info struct {
 // entry is one model slot: metadata always, the model itself only while
 // loaded (elem tracks its LRU position; both nil when evicted). sum is the
 // manifest checksum of the persisted JSON ("" for memory-only registries
-// and legacy entries persisted before checksums existed).
+// and legacy entries persisted before checksums existed); file is the
+// manifest-relative path the bytes live at ("" for memory-only).
 type entry struct {
 	info  Info
 	sum   string
+	file  string
 	model *core.Model
 	elem  *list.Element
 }
@@ -168,8 +170,20 @@ const (
 	manifestFile = "manifest.json"
 )
 
-func (r *Registry) modelPath(id string) string {
-	return filepath.Join(r.dir, modelsDir, id+".json")
+// modelFile is the manifest-relative path of one model version's JSON.
+// Every version gets its own file so an overwriting Put never touches the
+// bytes the manifest currently points at: the new file is written, the
+// manifest commits, and only then is the previous version's file deleted.
+// The "@" separator cannot appear in a ValidateID id, so a versioned name
+// can never collide with another model's legacy "<id>.json" file.
+func modelFile(id string, version int) string {
+	return fmt.Sprintf("%s/%s@v%d.json", modelsDir, id, version)
+}
+
+// absPath resolves a manifest-relative (slash-separated) file path under
+// the data dir.
+func (r *Registry) absPath(rel string) string {
+	return filepath.Join(r.dir, filepath.FromSlash(rel))
 }
 
 // nopLogger swallows log records when no Logger is configured.
@@ -242,7 +256,7 @@ func (r *Registry) loadManifest() error {
 				continue
 			}
 		}
-		r.models[e.ID] = &entry{sum: e.Checksum, info: Info{
+		r.models[e.ID] = &entry{sum: e.Checksum, file: e.File, info: Info{
 			ID: e.ID, Version: e.Version,
 			CreatedUnix: e.CreatedUnix, UpdatedUnix: e.UpdatedUnix,
 			Keywords: e.Keywords, Locations: e.Locations, Ticks: e.Ticks,
@@ -256,7 +270,38 @@ func (r *Registry) loadManifest() error {
 			return err
 		}
 	}
+	r.sweepOrphans()
 	return nil
+}
+
+// sweepOrphans removes model files no manifest entry references: the
+// previous version left behind when a crash hit between the manifest
+// commit and its deletion, a new version whose manifest commit never
+// happened, and stray temp files. Quarantined *.corrupt files stay for
+// post-mortem. Best-effort — a failure here only leaves litter, never
+// loses indexed data.
+func (r *Registry) sweepOrphans() {
+	referenced := make(map[string]bool, len(r.models))
+	for _, e := range r.models {
+		referenced[filepath.Base(filepath.FromSlash(e.file))] = true
+	}
+	dir := filepath.Join(r.dir, modelsDir)
+	des, err := r.fs.ReadDir(dir)
+	if err != nil {
+		r.logger().Warn("registry: sweeping models dir", "err", err)
+		return
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || referenced[name] || strings.HasSuffix(name, ".corrupt") {
+			continue
+		}
+		if err := r.fs.Remove(filepath.Join(dir, name)); err != nil {
+			r.logger().Warn("registry: removing orphan model file", "file", name, "err", err)
+			continue
+		}
+		r.logger().Info("registry: removed orphan model file", "file", name)
+	}
 }
 
 // saveManifestLocked rewrites the manifest from the current index.
@@ -272,7 +317,7 @@ func (r *Registry) saveManifestLocked() error {
 		info := e.info
 		mf.Models = append(mf.Models, manifestEntry{
 			ID: info.ID, Version: info.Version,
-			File:        modelsDir + "/" + info.ID + ".json",
+			File:        e.file,
 			Checksum:    e.sum,
 			CreatedUnix: info.CreatedUnix, UpdatedUnix: info.UpdatedUnix,
 			Keywords: info.Keywords, Locations: info.Locations, Ticks: info.Ticks,
@@ -310,7 +355,7 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	next.Version++
 	next.UpdatedUnix = now
 	next.Keywords, next.Locations, next.Ticks = len(m.Keywords), len(m.Locations), m.Ticks
-	sum := ""
+	sum, file, prevFile := "", "", e.file
 	if r.dir != "" {
 		var buf strings.Builder
 		if err := dataset.WriteModel(&buf, m); err != nil {
@@ -318,7 +363,12 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 		}
 		body := []byte(buf.String())
 		sum = checksumOf(body)
-		if err := writeFileAtomic(r.fs, r.modelPath(id), body); err != nil {
+		// Each version goes to its own file: an overwriting Put must never
+		// touch the bytes the committed manifest points at, or a crash
+		// before the manifest rewrite leaves a checksum mismatch that
+		// quarantines the only surviving copy on the next boot.
+		file = modelFile(id, next.Version)
+		if err := writeFileAtomic(r.fs, r.absPath(file), body); err != nil {
 			r.opts.Metrics.persistError()
 			return Info{}, fmt.Errorf("registry: persisting model %q: %w", id, err)
 		}
@@ -330,6 +380,7 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	wasLoaded := e.elem != nil
 	e.info = next
 	e.sum = sum
+	e.file = file
 	e.model = m
 	r.touchLocked(e)
 	if !wasLoaded {
@@ -339,6 +390,15 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	if r.dir != "" {
 		if err := r.saveManifestLocked(); err != nil {
 			return Info{}, err
+		}
+		if prevFile != "" && prevFile != file {
+			// The manifest now points at the new version; the old file is
+			// garbage. Removal is best-effort — a crash or fault here
+			// leaves an orphan the next boot's sweep collects.
+			if err := r.fs.Remove(r.absPath(prevFile)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				r.logger().Warn("registry: removing previous model version",
+					"id", id, "file", prevFile, "err", err)
+			}
 		}
 	}
 	r.gaugesLocked()
@@ -356,7 +416,7 @@ func (r *Registry) Get(id string) (*core.Model, error) {
 		return nil, fmt.Errorf("%w: model %q", ErrNotFound, id)
 	}
 	if e.model == nil {
-		path := r.modelPath(id)
+		path := r.absPath(e.file)
 		body, err := r.fs.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("registry: reloading model %q: %w", id, err)
@@ -418,8 +478,10 @@ func (r *Registry) Delete(id string) error {
 		r.loaded--
 	}
 	if r.dir != "" {
-		if err := r.fs.Remove(r.modelPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-			r.logger().Warn("registry: removing model file", "id", id, "err", err)
+		if e.file != "" {
+			if err := r.fs.Remove(r.absPath(e.file)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				r.logger().Warn("registry: removing model file", "id", id, "err", err)
+			}
 		}
 		if err := r.saveManifestLocked(); err != nil {
 			return err

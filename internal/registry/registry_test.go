@@ -34,6 +34,27 @@ func testModel(seed int) *core.Model {
 	}
 }
 
+// modelDiskPath reads the manifest to find where id's bytes live on disk,
+// so tests tamper with the right file whatever the versioned layout names it.
+func modelDiskPath(t *testing.T, dir, id string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := decodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range mf.Models {
+		if e.ID == id {
+			return filepath.Join(dir, filepath.FromSlash(e.File))
+		}
+	}
+	t.Fatalf("manifest has no entry for %q", id)
+	return ""
+}
+
 func TestValidateID(t *testing.T) {
 	for _, good := range []string{"a", "model-1", "A.b_c", "x9"} {
 		if err := ValidateID(good); err != nil {
@@ -160,7 +181,7 @@ func TestManifestEntryWithMissingFileDropped(t *testing.T) {
 	if _, err := r.Put("b", testModel(2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "models", "a.json")); err != nil {
+	if err := os.Remove(modelDiskPath(t, dir, "a")); err != nil {
 		t.Fatal(err)
 	}
 	r2, err := Open(Options{DataDir: dir})

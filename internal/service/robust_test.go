@@ -67,7 +67,9 @@ func TestReadyzSaturatedQueue(t *testing.T) {
 	}
 	release := make(chan struct{})
 	started := make(chan struct{})
-	engine := jobs.New(jobs.Options{Workers: 1, QueueDepth: 1})
+	// Negative grace = instantaneous saturation reporting, so the test need
+	// not wait out the anti-flap window.
+	engine := jobs.New(jobs.Options{Workers: 1, QueueDepth: 1, SaturationGrace: -1})
 	defer engine.Close()
 	defer close(release)
 	srv := httptest.NewServer((&Server{Registry: reg, Jobs: engine}).Handler())
@@ -108,6 +110,61 @@ func TestReadyzSaturatedQueue(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable ||
 		body["reason"] != "job queue saturated" {
 		t.Fatalf("saturated readyz = %d %v, want 503 with reason", resp.StatusCode, body)
+	}
+}
+
+// TestReadyzToleratesMomentarySaturation is the anti-flap half of the
+// saturation gate: a queue that just filled must NOT fail readiness until
+// it has stayed full for the whole grace window — a momentary burst only
+// bounces the overflowing Submit (429-style, with Retry-After), it does not
+// pull read-only endpoints out of load-balancer rotation.
+func TestReadyzToleratesMomentarySaturation(t *testing.T) {
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	grace := 200 * time.Millisecond
+	engine := jobs.New(jobs.Options{Workers: 1, QueueDepth: 1, SaturationGrace: grace})
+	defer engine.Close()
+	defer close(release)
+	srv := httptest.NewServer((&Server{Registry: reg, Jobs: engine}).Handler())
+	defer srv.Close()
+
+	blocker := func(ctx context.Context) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := engine.Submit("block", blocker); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the blocking job")
+	}
+	if _, err := engine.Submit("fill", blocker); err != nil {
+		t.Fatal(err)
+	}
+	// Momentarily full: readiness must hold.
+	resp, body := probeJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("momentarily saturated readyz = %d %v, want 200", resp.StatusCode, body)
+	}
+	// Sustained full: past the grace the instance really is backed up.
+	time.Sleep(2 * grace)
+	resp, body = probeJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable ||
+		body["reason"] != "job queue saturated" {
+		t.Fatalf("sustained saturated readyz = %d %v, want 503", resp.StatusCode, body)
 	}
 }
 

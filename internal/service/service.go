@@ -198,13 +198,15 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Validate at the boundary so degenerate numbers (Inf, negative counts)
-	// answer 400 bad input, not 422 fit-failed.
+	// answer 400 bad input, not 422 fit-failed. Prevalidated tells the
+	// fitters not to repeat the O(d·l·n) scan.
 	if err := x.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid tensor: %v", err)
 		return
 	}
 	opts := core.FitOptions{
 		Workers:       s.workers(),
+		Prevalidated:  true,
 		DisableGrowth: boolParam(r, "no_growth"),
 		DisableShocks: boolParam(r, "no_shocks"),
 		DisableCycles: boolParam(r, "no_cycles"),

@@ -108,7 +108,8 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Same boundary validation as the sync endpoint: reject degenerate
-	// numbers before the tensor consumes a queue slot.
+	// numbers before the tensor consumes a queue slot. The fit job below
+	// carries Prevalidated so the scan is not repeated per fit.
 	if err := x.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid tensor: %v", err)
 		return
@@ -122,6 +123,7 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.FitOptions{
 		Workers:       s.workers(),
+		Prevalidated:  true,
 		DisableGrowth: boolParam(r, "no_growth"),
 		DisableShocks: boolParam(r, "no_shocks"),
 		DisableCycles: boolParam(r, "no_cycles"),
