@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz chaos examples experiments clean
+.PHONY: all build test vet bench bench-micro bench-json fuzz chaos examples experiments clean
 
 all: build vet test
 
@@ -32,6 +32,24 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
+
+# The fast micro-benchmarks only (seconds, not the multi-minute figure
+# benchmarks): the hot-path kernels the performance work targets.
+BENCH_MICRO = Simulate576|LevenbergMarquardt|GlobalFitSequence|^BenchmarkForecast$$|MDLCost|RMSE576
+bench-micro:
+	$(GO) test -bench='$(BENCH_MICRO)' -benchmem -run XXX .
+
+# Benchmark trajectory: run the micro-benchmarks and convert the output to
+# the committed BENCH_*.json format (see README, "Benchmark trajectory").
+# Point BENCH_BEFORE at a previously captured `go test -bench` text file to
+# record a proper before/after pair; without it the fresh run fills both
+# sides (a flat baseline for the next PR to diff against).
+BENCH_JSON ?= BENCH_5.json
+BENCH_AFTER_TXT ?= /tmp/dspot-bench-after.txt
+bench-json:
+	$(GO) test -bench='$(BENCH_MICRO)' -benchmem -run XXX . | tee $(BENCH_AFTER_TXT)
+	$(GO) run ./cmd/benchjson -before $(if $(BENCH_BEFORE),$(BENCH_BEFORE),$(BENCH_AFTER_TXT)) \
+		-after $(BENCH_AFTER_TXT) -out $(BENCH_JSON)
 
 # go test runs one fuzz target per invocation. The fit fuzzer bounds each
 # exec with a 300ms cooperative deadline; -fuzzminimizetime keeps the

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dspot
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulate576        	  132954	      8561 ns/op	    4864 B/op	       1 allocs/op
+BenchmarkFig01HarryPotter-8 	       1	1193837998 ns/op	         1.000 events	         0.04406 nrmse	829601776 B/op	  564215 allocs/op
+PASS
+ok  	dspot	11.999s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var env Env
+	entries, err := parse(strings.NewReader(sample), &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.GOOS != "linux" || env.GOARCH != "amd64" || env.Pkg != "dspot" {
+		t.Fatalf("env = %+v", env)
+	}
+	if !strings.Contains(env.CPU, "Xeon") {
+		t.Fatalf("cpu = %q", env.CPU)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+
+	e := entries[0]
+	if e.Name != "BenchmarkSimulate576" || e.Iterations != 132954 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e.Metrics["ns/op"] != 8561 || e.Metrics["B/op"] != 4864 || e.Metrics["allocs/op"] != 1 {
+		t.Fatalf("entry 0 metrics = %v", e.Metrics)
+	}
+
+	// Custom b.ReportMetric units survive, and the -GOMAXPROCS suffix is
+	// stripped so names compare across machines.
+	e = entries[1]
+	if e.Name != "BenchmarkFig01HarryPotter" {
+		t.Fatalf("entry 1 name = %q (suffix not stripped?)", e.Name)
+	}
+	if e.Metrics["nrmse"] != 0.04406 || e.Metrics["events"] != 1 {
+		t.Fatalf("entry 1 metrics = %v", e.Metrics)
+	}
+}
+
+func TestParseSkipsNonBenchLines(t *testing.T) {
+	var env Env
+	entries, err := parse(strings.NewReader("PASS\nok  \tdspot\t1.2s\nBenchmarkOnly a name\n"), &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("got %d entries, want 0: %+v", len(entries), entries)
+	}
+}

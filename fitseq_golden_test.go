@@ -1,0 +1,71 @@
+package dspot
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Golden end-to-end pin of FitSequence on a fixed synthetic world. The
+// expected values were captured before the hot-path buffer-reuse pass
+// (SimulateInto / ε(t) window rebuilds / lm.FitInto) and every field is
+// compared bit-for-bit: the optimisation work is required to be numerically
+// invisible, and this test is the tripwire for any change that reorders a
+// float accumulation on the fitting path.
+//
+// If this test fails after an *intentional* algorithmic change (new search
+// stage, different bracket, changed MDL costs), re-capture the constants by
+// printing the fields with %x — do not loosen the comparison to a
+// tolerance, or the next accidental drift will hide under it.
+func TestFitSequenceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full FitSequence run")
+	}
+	truth, err := SyntheticGoogleTrendsKeyword("grammy",
+		SyntheticConfig{Locations: 8, Ticks: 260, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FitSequence(truth.Tensor.Global(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := m.Global[0]
+	pin := func(name string, got, want float64) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s = %x (%g), want %x (%g)", name, got, got, want, want)
+		}
+	}
+	pin("N", p.N, 0x1.9166cb34029cbp+05)
+	pin("Beta", p.Beta, 0x1.44d958cf769c1p-01)
+	pin("Delta", p.Delta, 0x1.237afecd4848ep-01)
+	pin("Gamma", p.Gamma, 0x1.004f119da0b23p+00)
+	pin("I0", p.I0, 0x1.90619deec2279p-05)
+	pin("Eta0", p.Eta0, 0x0p+00)
+	if p.TEta != NoGrowth {
+		t.Errorf("TEta = %d, want NoGrowth", p.TEta)
+	}
+	pin("Scale", m.Scale[0], 0x1.4ec21e1d38817p+05)
+
+	if len(m.Shocks) != 1 {
+		t.Fatalf("got %d shocks, want 1", len(m.Shocks))
+	}
+	s := m.Shocks[0]
+	if s.Period != 52 || s.Start != 4 || s.Width != 4 {
+		t.Fatalf("shock shape P=%d S=%d W=%d, want P=52 S=4 W=4", s.Period, s.Start, s.Width)
+	}
+	wantStr := []float64{
+		0x1.c26c685bc889dp-01,
+		0x1.42fe13ecce8b7p+02,
+		0x1.44f14c7dd84f7p+02,
+		0x1.42dd71e58ff4dp+02,
+		0x1.431383bb4bc2cp+02,
+	}
+	if len(s.Strength) != len(wantStr) {
+		t.Fatalf("got %d occurrence strengths, want %d", len(s.Strength), len(wantStr))
+	}
+	for i, want := range wantStr {
+		pin(fmt.Sprintf("Strength[%d]", i), s.Strength[i], want)
+	}
+}

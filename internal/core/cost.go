@@ -154,11 +154,22 @@ func (m *Model) CostBreakdown(x *tensor.Tensor) CostBreakdown {
 
 // residuals returns obs−est with missing observations mapped to NaN.
 func residuals(obs, est []float64) []float64 {
+	return residualsInto(nil, obs, est)
+}
+
+// residualsInto is residuals writing into a caller-provided buffer (reused
+// when its capacity suffices, freshly allocated otherwise). It exists for
+// the fitters' objective closures, which are called tens of thousands of
+// times per fit; see DESIGN.md, "Hot path & memory discipline".
+func residualsInto(dst, obs, est []float64) []float64 {
 	n := len(obs)
 	if len(est) < n {
 		n = len(est)
 	}
-	r := make([]float64, n)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	r := dst[:n]
 	for t := 0; t < n; t++ {
 		if tensor.IsMissing(obs[t]) {
 			r[t] = tensor.Missing

@@ -85,6 +85,13 @@ func (o FitOptions) withDefaults() FitOptions {
 	return o
 }
 
+// maxShockStrength is the upper bound of every shock-strength search: the
+// per-occurrence golden refinements (global, streaming, and local) and the
+// LM strength boxes all use it. It used to differ between layers (60 in the
+// streaming refine pass, 80 in the local fit), so a strength legitimately
+// fitted near 80 by one layer was silently clipped by the next.
+const maxShockStrength = 80
+
 // GlobalFitResult is the outcome of fitting one keyword's global sequence.
 type GlobalFitResult struct {
 	Params KeywordParams
@@ -177,6 +184,26 @@ type gfit struct {
 	shocks []Shock
 
 	lmIters int // LM iterations spent on this keyword so far
+
+	// Scratch buffers threaded through the objective closures (see
+	// DESIGN.md, "Hot path & memory discipline"). The fitting stages run
+	// sequentially on one gfit, and each buffer is owned by exactly one
+	// stage at a time; contents are only valid within a single objective
+	// evaluation. epsBase additionally caches a stage's fixed base ε(t)
+	// profile across evaluations (the accepted shocks' contribution in
+	// evaluateCandidate), which is why it is distinct from epsBuf.
+	epsBuf  []float64
+	epsBase []float64
+	simBuf  []float64
+}
+
+// ensureLen returns buf resized to n, reallocating only when the capacity
+// is insufficient. The contents are unspecified.
+func ensureLen(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // cancelled reports whether the fit's context has ended. The first
@@ -230,7 +257,16 @@ func (g *gfit) epsilon() []float64 {
 }
 
 func epsilonFromShocks(shocks []Shock, n int) []float64 {
-	eps := make([]float64, n)
+	return epsilonFromShocksInto(nil, shocks, n)
+}
+
+// epsilonFromShocksInto is epsilonFromShocks into a caller-provided buffer
+// (reused when its capacity suffices, freshly allocated otherwise).
+func epsilonFromShocksInto(dst []float64, shocks []Shock, n int) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	eps := dst[:n]
 	for t := range eps {
 		eps[t] = 1
 	}
@@ -238,6 +274,28 @@ func epsilonFromShocks(shocks []Shock, n int) []float64 {
 		addShockProfile(eps, &shocks[i], shocks[i].Strength)
 	}
 	return eps
+}
+
+// rebuildEpsilonWindow recomputes eps[lo:hi) from scratch, accumulating in
+// the same canonical (shock, occurrence) order as epsilonFromShocks. Float
+// addition is not associative, so applying a ±delta in place would drift
+// from a full rebuild; re-deriving the window ticks in canonical order keeps
+// them bit-identical, which the golden-value tests pin down. Used by the
+// strength refiners, where one occurrence's strength changes per evaluation
+// and only its own window of ε(t) is affected.
+func rebuildEpsilonWindow(eps []float64, shocks []Shock, lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(eps) {
+		hi = len(eps)
+	}
+	for t := lo; t < hi; t++ {
+		eps[t] = 1
+	}
+	for i := range shocks {
+		addShockProfileWindow(eps, &shocks[i], shocks[i].Strength, lo, hi)
+	}
 }
 
 // simulate runs the current model.
@@ -270,11 +328,11 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 	t0 := g.traceNow()
 	itersBefore := g.lmIters
 	eps := g.epsilon()
-	resid := func(p []float64) []float64 {
+	resid := func(dst, p []float64) []float64 {
 		cand := g.params
 		cand.N, cand.Beta, cand.Delta, cand.Gamma, cand.I0 = p[0], p[1], p[2], p[3], p[4]
-		sim := Simulate(&cand, g.n, eps, -1)
-		return residuals(g.seq, sim)
+		g.simBuf = SimulateInto(g.simBuf, &cand, g.n, eps, -1)
+		return residualsInto(dst, g.seq, g.simBuf)
 	}
 	lo := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7}
 	hi := []float64{20, 5, 2, 2, 1}
@@ -324,7 +382,7 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 			break
 		}
 		p0 := []float64{s0[0], s0[1], s0[2], s0[3], s0[4]}
-		res, err := lm.Fit(resid, p0, g.lmOpts(maxIter, lo, hi))
+		res, err := lm.FitInto(resid, p0, g.lmOpts(maxIter, lo, hi))
 		if err != nil {
 			continue
 		}
@@ -401,14 +459,14 @@ func (g *gfit) fitGrowth() {
 		if p, ok := cache[tEta]; ok {
 			return p
 		}
-		p := g.jointGrowthFit(tEta)
+		p := g.jointGrowthFit(tEta, eps)
 		cache[tEta] = p
 		return p
 	}
 	tEta, _, err := optimize.RefiningGridCtx(g.ctx, func(t int) float64 {
 		p := jointAt(t)
-		sim := Simulate(&p, g.n, eps, -1)
-		return stats.SSE(g.seq, sim)
+		g.simBuf = SimulateInto(g.simBuf, &p, g.n, eps, -1)
+		return stats.SSE(g.seq, g.simBuf)
 	}, lo, hi, 16)
 	if err != nil {
 		return // cancelled mid-scan: keep the current (growth-free) params
@@ -429,23 +487,27 @@ func (g *gfit) fitGrowth() {
 		Duration: sinceIfTraced(g, start)})
 }
 
-// jointGrowthFit runs LM over {N, β, δ, γ, i0, η₀} with t_η fixed.
-func (g *gfit) jointGrowthFit(tEta int) KeywordParams {
-	eps := g.epsilon()
+// jointGrowthFit runs LM over {N, β, δ, γ, i0, η₀} with t_η fixed. eps is
+// the current shock profile, computed once by the caller — the shock set is
+// fixed during the growth search, so rebuilding it per candidate onset (as
+// this function used to) was pure waste.
+func (g *gfit) jointGrowthFit(tEta int, eps []float64) KeywordParams {
 	build := func(v []float64) KeywordParams {
 		return KeywordParams{N: v[0], Beta: v[1], Delta: v[2], Gamma: v[3],
 			I0: v[4], Eta0: v[5], TEta: tEta}
 	}
-	resid := func(v []float64) []float64 {
+	resid := func(dst, v []float64) []float64 {
 		cand := build(v)
-		return residuals(g.seq, Simulate(&cand, g.n, eps, -1))
+		g.simBuf = SimulateInto(g.simBuf, &cand, g.n, eps, -1)
+		return residualsInto(dst, g.seq, g.simBuf)
 	}
 	lo := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7, 0}
 	hi := []float64{20, 5, 2, 2, 1, 10}
 	eta0, _, _ := optimize.GoldenCtx(g.ctx, func(e float64) float64 {
 		cand := g.params
 		cand.TEta, cand.Eta0 = tEta, e
-		return stats.SSE(g.seq, Simulate(&cand, g.n, eps, -1))
+		g.simBuf = SimulateInto(g.simBuf, &cand, g.n, eps, -1)
+		return stats.SSE(g.seq, g.simBuf)
 	}, 0, 10, 1e-4, 60)
 	start := []float64{g.params.N, g.params.Beta, g.params.Delta, g.params.Gamma,
 		g.params.I0, eta0}
@@ -455,7 +517,7 @@ func (g *gfit) jointGrowthFit(tEta int) KeywordParams {
 		if g.cancelled() {
 			break
 		}
-		res, err := lm.Fit(resid, s0, g.lmOpts(80, lo, hi))
+		res, err := lm.FitInto(resid, s0, g.lmOpts(80, lo, hi))
 		if err != nil {
 			continue
 		}
@@ -701,20 +763,29 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 			Eta0: g.params.Eta0, TEta: g.params.TEta}
 		return p, v[5 : 5+occ]
 	}
-	resid := func(v []float64) []float64 {
+	// The accepted shocks are fixed for the whole candidate evaluation, so
+	// their ε(t) contribution is computed once; each residual evaluation
+	// copies it and layers only the candidate's occurrences on top. The
+	// candidate is added last, exactly as a full rebuild over others+cand
+	// would, keeping the profile bit-identical to the allocating path.
+	g.epsBase = epsilonFromShocksInto(g.epsBase, others, g.n)
+	epsBase := g.epsBase
+	resid := func(dst, v []float64) []float64 {
 		p, strengths := build(v)
 		cand := s
 		cand.Strength = strengths
-		working := append(append([]Shock(nil), others...), cand)
-		sim := Simulate(&p, g.n, epsilonFromShocks(working, g.n), -1)
-		return residuals(g.seq, sim)
+		g.epsBuf = ensureLen(g.epsBuf, g.n)
+		copy(g.epsBuf, epsBase)
+		addShockProfile(g.epsBuf, &cand, strengths)
+		g.simBuf = SimulateInto(g.simBuf, &p, g.n, g.epsBuf, -1)
+		return residualsInto(dst, g.seq, g.simBuf)
 	}
 	lo := make([]float64, 5+occ)
 	hi := make([]float64, 5+occ)
 	copy(lo, []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7})
 	copy(hi, []float64{20, 5, 2, 2, 1})
 	for i := 5; i < len(hi); i++ {
-		hi[i] = 80
+		hi[i] = maxShockStrength
 	}
 
 	// Warm start: current base + windowed golden strengths.
@@ -798,7 +869,7 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 		if g.cancelled() {
 			break
 		}
-		res, err := lm.Fit(resid, st, g.lmOpts(60, lo, hi))
+		res, err := lm.FitInto(resid, st, g.lmOpts(60, lo, hi))
 		if err != nil {
 			continue
 		}
@@ -857,6 +928,11 @@ func (g *gfit) fitShockStrengths(s *Shock) {
 	copy(working, g.shocks)
 	working[len(working)-1] = *s
 	self := &working[len(working)-1]
+	// ε(t) cache: one full build up front, then only the perturbed
+	// occurrence's window is re-derived per objective evaluation (and once
+	// more when its fitted strength is committed, so the profile stays
+	// current for the next occurrence).
+	g.epsBuf = epsilonFromShocksInto(g.epsBuf, working, g.n)
 	for m := 0; m < occ; m++ {
 		if g.cancelled() {
 			break
@@ -870,16 +946,19 @@ func (g *gfit) fitShockStrengths(s *Shock) {
 		} else if wstart+4*s.Width+16 < g.n {
 			wend = wstart + 4*s.Width + 16
 		}
+		ohi := wstart + s.Width
 		obj := func(str float64) float64 {
 			self.Strength[m] = str
-			sim := Simulate(&g.params, g.n, epsilonFromShocks(working, g.n), -1)
-			return stats.SSE(g.seq[wstart:wend], sim[wstart:wend])
+			rebuildEpsilonWindow(g.epsBuf, working, wstart, ohi)
+			g.simBuf = SimulateInto(g.simBuf, &g.params, g.n, g.epsBuf, -1)
+			return stats.SSE(g.seq[wstart:wend], g.simBuf[wstart:wend])
 		}
 		strength, _, _ := optimize.GoldenCtx(g.ctx, obj, 0, 60, 1e-3, 60)
 		if strength < 1e-3 {
 			strength = 0
 		}
 		self.Strength[m] = strength
+		rebuildEpsilonWindow(g.epsBuf, working, wstart, ohi)
 	}
 	s.Strength = append(s.Strength[:0], self.Strength...)
 }
@@ -903,21 +982,23 @@ func (g *gfit) refineStrengths() {
 	lo := make([]float64, len(p0))
 	hi := make([]float64, len(p0))
 	for i := range hi {
-		hi[i] = 80
+		hi[i] = maxShockStrength
 	}
-	resid := func(p []float64) []float64 {
+	resid := func(dst, p []float64) []float64 {
 		for i, id := range idx {
 			g.shocks[id[0]].Strength[id[1]] = p[i]
 		}
-		return g.residuals()
+		g.epsBuf = epsilonFromShocksInto(g.epsBuf, g.shocks, g.n)
+		g.simBuf = SimulateInto(g.simBuf, &g.params, g.n, g.epsBuf, -1)
+		return residualsInto(dst, g.seq, g.simBuf)
 	}
-	res, err := lm.Fit(resid, p0, g.lmOpts(60, lo, hi))
+	res, err := lm.FitInto(resid, p0, g.lmOpts(60, lo, hi))
 	if err != nil {
-		resid(p0) // restore
+		resid(nil, p0) // restore
 		return
 	}
 	g.lmIters += res.Iterations
-	resid(res.Params)
+	resid(nil, res.Params)
 }
 
 // maskedBaseParams fits the base parameters against the sequence with the

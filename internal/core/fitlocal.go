@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"dspot/internal/mdl"
 	"dspot/internal/optimize"
@@ -19,6 +20,14 @@ import (
 // values and is refined here. The accepted values are written into the
 // model's shock Local matrices (column j) by the caller.
 //
+// The cell owns a small set of scratch buffers (ε profile, simulation
+// output, residuals) that every objective closure below reuses — a cell
+// runs thousands of golden-section evaluations, and each used to allocate
+// an ε rebuild plus a simulation per step. The ε buffer is kept current
+// with the strengths at all times; a perturbed strength re-derives only its
+// occurrence's window (bit-identical to a full rebuild, see
+// rebuildEpsilonWindow).
+//
 // ctx (which may be nil) cancels the cell cooperatively: each golden-section
 // search observes it, so a cancel stops the cell within one objective
 // evaluation. A cancelled cell returns whatever it had refined so far — the
@@ -33,22 +42,29 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock,
 		strengths[si] = append([]float64(nil), shocks[si].Strength...)
 	}
 
-	buildEps := func() []float64 {
-		eps := make([]float64, n)
-		for t := range eps {
-			eps[t] = 1
+	epsBuf := make([]float64, n)
+	var simBuf, residBuf []float64
+	rebuildEps := func(lo, hi int) {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for t := lo; t < hi; t++ {
+			epsBuf[t] = 1
 		}
 		for si := range shocks {
-			addShockProfile(eps, &shocks[si], strengths[si])
+			addShockProfileWindow(epsBuf, &shocks[si], strengths[si], lo, hi)
 		}
-		return eps
 	}
+	rebuildEps(0, n)
 
 	// Initial population share: proportion of the keyword's global volume
 	// observed in this location.
 	localVolume := tensor.SumSeq(seq)
-	globalSim := Simulate(&p, n, buildEps(), -1)
-	simVolume := tensor.SumSeq(globalSim)
+	simBuf = SimulateInto(simBuf, &p, n, epsBuf, -1)
+	simVolume := tensor.SumSeq(simBuf)
 	if simVolume > 0 {
 		nij = p.N * localVolume / (simVolume)
 	} else {
@@ -62,7 +78,8 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock,
 	localSim := func() []float64 {
 		q := p
 		q.N = nij
-		return Simulate(&q, n, buildEps(), rij)
+		simBuf = SimulateInto(simBuf, &q, n, epsBuf, rij)
+		return simBuf
 	}
 
 	maxN := 4 * nij
@@ -75,8 +92,16 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock,
 
 	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
 
+	// Residual noise for the MDL gate in stage (c): the full-length
+	// residual vector only changes when nij, rij, or an accepted strength
+	// changes, so the estimate is cached and recomputed lazily instead of
+	// once per occurrence.
+	sigma2 := 0.0
+	sigmaValid := false
+
 	for round := 0; round < 2 && !cancelled(); round++ {
-		// (a) Potential population b^(L)_ij.
+		// (a) Potential population b^(L)_ij. ε does not depend on nij, so
+		// the profile stays valid across evaluations.
 		nij, _, _ = optimize.GoldenCtx(ctx, func(v float64) float64 {
 			save := nij
 			nij = v
@@ -85,7 +110,7 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock,
 			return sse
 		}, 0, maxN, maxN*1e-5, 80)
 
-		// (b) Growth rate r^(L)_ij.
+		// (b) Growth rate r^(L)_ij (ε-independent as well).
 		if p.HasGrowth() {
 			rij, _, _ = optimize.GoldenCtx(ctx, func(v float64) float64 {
 				save := rij
@@ -95,6 +120,7 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock,
 				return sse
 			}, 0, 10, 1e-4, 60)
 		}
+		sigmaValid = false // stages (a)/(b) moved the baseline fit
 
 		// (c) Local shock participation, MDL-gated per occurrence.
 		entryCost := mdl.IntCost(len(m.Keywords)) + mdl.IntCost(len(m.Locations)) +
@@ -121,30 +147,58 @@ func (m *Model) localFitKeywordLocation(i, j int, seq []float64, shocks []Shock,
 				if tensor.ObservedCount(seq[wstart:wend]) == 0 {
 					continue
 				}
+				save := strengths[si][occ]
+				ohi := wstart + s.Width
+				// window evaluates the trial strength and leaves it (and the
+				// ε window) in place; callers restore via setStrength.
 				window := func(str float64) []float64 {
-					save := strengths[si][occ]
 					strengths[si][occ] = str
+					rebuildEps(wstart, ohi)
 					sim := localSim()
-					strengths[si][occ] = save
-					return residuals(seq[wstart:wend], sim[wstart:wend])
+					residBuf = residualsInto(residBuf, seq[wstart:wend], sim[wstart:wend])
+					return residBuf
+				}
+				setStrength := func(str float64) {
+					strengths[si][occ] = str
+					rebuildEps(wstart, ohi)
 				}
 				fit := func(str float64) float64 {
-					r := window(str)
-					return stats.SSE(r, make([]float64, len(r)))
+					return sseVsZero(window(str))
 				}
-				best, _, _ := optimize.GoldenCtx(ctx, fit, 0, 80, 1e-3, 60)
+				best, _, _ := optimize.GoldenCtx(ctx, fit, 0, maxShockStrength, 1e-3, 60)
+				setStrength(save)
 				// MDL gate: a non-zero entry must repay its description cost
 				// relative to not participating at all.
-				_, sigma2 := mdl.ResidualNoise(residuals(seq, localSim()))
+				if !sigmaValid {
+					residBuf = residualsInto(residBuf, seq, localSim())
+					_, sigma2 = mdl.ResidualNoise(residBuf)
+					sigmaValid = true
+				}
 				costZero := mdl.GaussianCostFixed(window(0), 0, sigma2)
 				costBest := mdl.GaussianCostFixed(window(best), 0, sigma2) + entryCost
 				if best < 1e-3 || costBest >= costZero {
-					strengths[si][occ] = 0
+					setStrength(0)
 				} else {
-					strengths[si][occ] = best
+					setStrength(best)
+				}
+				if strengths[si][occ] != save {
+					sigmaValid = false
 				}
 			}
 		}
 	}
 	return nij, rij, strengths
+}
+
+// sseVsZero is stats.SSE(r, zeros) without materialising the zero vector:
+// the sum of squared non-NaN residuals.
+func sseVsZero(r []float64) float64 {
+	s := 0.0
+	for _, v := range r {
+		if math.IsNaN(v) {
+			continue
+		}
+		s += v * v
+	}
+	return s
 }

@@ -209,7 +209,10 @@ func rmse(obs, est []float64) float64 {
 		cnt++
 	}
 	if cnt == 0 {
-		return 0
+		// No tick has both sides observed: there is no error to report, and
+		// 0 would claim a perfect fit for an all-missing series. NaN makes
+		// the degenerate comparison explicit; aggregating callers skip it.
+		return math.NaN()
 	}
 	return math.Sqrt(sum / float64(cnt))
 }

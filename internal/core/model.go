@@ -319,6 +319,37 @@ func addShockProfile(eps []float64, s *Shock, strengths []float64) {
 	}
 }
 
+// addShockProfileWindow is addShockProfile restricted to ticks in [lo, hi):
+// additions outside the window are skipped, and the within-window additions
+// happen in exactly the same (occurrence, tick) order as the unrestricted
+// version, so rebuilding a window slice-by-slice stays bit-identical to a
+// full rebuild (float addition is not associative, so the order matters).
+func addShockProfileWindow(eps []float64, s *Shock, strengths []float64, lo, hi int) {
+	n := len(eps)
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	occ := s.Occurrences(n)
+	if occ > len(strengths) {
+		occ = len(strengths)
+	}
+	for m := 0; m < occ; m++ {
+		start := s.OccurrenceStart(m)
+		if start >= hi {
+			break
+		}
+		for t := start; t < start+s.Width && t < hi; t++ {
+			if t < lo {
+				continue
+			}
+			eps[t] += strengths[m]
+		}
+	}
+}
+
 // Simulate runs the SIV difference system for n ticks with the given
 // susceptible-rate profile eps (nil means ε≡1) and returns the infective
 // counts N·i(t). growthRate overrides the keyword's η₀ when >= 0 (used by
@@ -326,7 +357,19 @@ func addShockProfile(eps []float64, s *Shock, strengths []float64) {
 // own rate. Fractions are clamped and renormalised each step so that any
 // explored parameter vector yields finite output.
 func Simulate(p *KeywordParams, n int, eps []float64, growthRate float64) []float64 {
-	out := make([]float64, n)
+	return SimulateInto(nil, p, n, eps, growthRate)
+}
+
+// SimulateInto is Simulate writing into a caller-provided buffer: when dst
+// has capacity for n ticks it is reused (and the returned slice aliases it),
+// otherwise a fresh slice is allocated. The computed values are identical to
+// Simulate's — the fitters lean on that to reuse scratch buffers in their
+// objective closures without perturbing results.
+func SimulateInto(dst []float64, p *KeywordParams, n int, eps []float64, growthRate float64) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	out := dst[:n]
 	i := clamp01(p.I0)
 	s := 1 - i
 	v := 0.0
@@ -345,6 +388,62 @@ func Simulate(p *KeywordParams, n int, eps []float64, growthRate float64) []floa
 	}
 	if math.IsNaN(eta) || math.IsInf(eta, 0) {
 		eta = 0
+	}
+	// The per-tick body is the hottest loop in the repository (every LM
+	// residual evaluation runs it n times), so the sanitisation branches
+	// are hoisted out of it: ε is scanned once up front, and the growth
+	// factor — constant on either side of the onset tick — is applied by
+	// splitting the loop at t_η instead of re-testing per tick. Multiplying
+	// by (1+0) == 1.0 is exact, so the no-growth phase may drop the factor
+	// entirely; the fast path is bit-identical to the general loop below,
+	// which remains for nil or non-finite ε (hotpath_test.go pins this).
+	epsClean := eps != nil
+	for t := 0; epsClean && t < n; t++ {
+		if e := eps[t]; math.IsNaN(e) || math.IsInf(e, 0) {
+			epsClean = false
+		}
+	}
+	if epsClean {
+		gStart := n // first tick with the growth factor active
+		if p.TEta != NoGrowth {
+			gStart = p.TEta
+			if gStart < 0 {
+				gStart = 0
+			}
+			if gStart > n {
+				gStart = n
+			}
+		}
+		for t := 0; t < gStart; t++ {
+			out[t] = N * i
+			infect := p.Beta * s * eps[t] * i
+			lose := p.Delta * i
+			wake := p.Gamma * v
+			s = clamp01(s - infect + wake)
+			i = clamp01(i + infect - lose)
+			v = clamp01(v + lose - wake)
+			// tot == 1 exactly is common once the dynamics settle, and
+			// x/1.0 == x bitwise, so the three divisions are skippable.
+			if tot := s + i + v; tot > 0 && tot != 1 {
+				s, i, v = s/tot, i/tot, v/tot
+			}
+		}
+		onePlusEta := 1 + eta
+		for t := gStart; t < n; t++ {
+			out[t] = N * i
+			infect := p.Beta * s * eps[t] * i * onePlusEta
+			lose := p.Delta * i
+			wake := p.Gamma * v
+			s = clamp01(s - infect + wake)
+			i = clamp01(i + infect - lose)
+			v = clamp01(v + lose - wake)
+			// tot == 1 exactly is common once the dynamics settle, and
+			// x/1.0 == x bitwise, so the three divisions are skippable.
+			if tot := s + i + v; tot > 0 && tot != 1 {
+				s, i, v = s/tot, i/tot, v/tot
+			}
+		}
+		return out
 	}
 	for t := 0; t < n; t++ {
 		out[t] = N * i

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dspot/internal/tensor"
+)
+
+// Regression: rmse used to answer 0 — a claimed *perfect* fit — when no
+// tick had both observation and estimate present. It must answer NaN so
+// callers cannot mistake "nothing to compare" for "fits exactly".
+func TestRMSEZeroOverlapIsNaN(t *testing.T) {
+	missing := []float64{tensor.Missing, tensor.Missing, tensor.Missing}
+	est := []float64{1, 2, 3}
+	if got := rmse(missing, est); !math.IsNaN(got) {
+		t.Fatalf("rmse(all-missing, est) = %g, want NaN", got)
+	}
+	if got := rmse(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("rmse(empty) = %g, want NaN", got)
+	}
+	// Sanity: overlapping ticks still produce the usual value.
+	obs := []float64{1, tensor.Missing, 3}
+	if got := rmse(obs, est); got != 0 {
+		t.Fatalf("rmse over observed ticks = %g, want 0", got)
+	}
+}
+
+// RMSEGlobal inherits the NaN semantics through rmse.
+func TestRMSEGlobalAllMissing(t *testing.T) {
+	m := &Model{
+		Keywords:  []string{"k"},
+		Locations: []string{"all"},
+		Ticks:     8,
+		Global:    []KeywordParams{{N: 1, Beta: 0.5, Delta: 0.4, Gamma: 0.3, I0: 0.1, TEta: NoGrowth}},
+	}
+	obs := make([]float64, 8)
+	for i := range obs {
+		obs[i] = tensor.Missing
+	}
+	if got := m.RMSEGlobal(0, obs); !math.IsNaN(got) {
+		t.Fatalf("RMSEGlobal on all-missing obs = %g, want NaN", got)
+	}
+}

@@ -304,24 +304,33 @@ func (s *Stream) Forecast(h int) []float64 {
 	return m.ForecastGlobal(0, h)
 }
 
-// fitOneStrength is the shared windowed golden fit for one occurrence.
+// fitOneStrength is the shared windowed golden fit for one occurrence. The
+// search runs up to maxShockStrength — it used to stop at 60, silently
+// clipping strengths the local fit (bounded by 80) had legitimately
+// accepted. Only occurrence m's strength varies across evaluations, so the
+// ε(t) profile is built once and just that occurrence's window is
+// re-derived per step.
 func fitOneStrength(g *gfit, s *Shock, m, wstart, wend int) float64 {
+	g.epsBuf = epsilonFromShocksInto(g.epsBuf, g.shocks, g.n)
+	olo := s.OccurrenceStart(m)
+	ohi := olo + s.Width
+	save := s.Strength[m]
 	obj := func(str float64) float64 {
-		save := s.Strength[m]
 		s.Strength[m] = str
-		sim := g.simulate()
-		s.Strength[m] = save
+		rebuildEpsilonWindow(g.epsBuf, g.shocks, olo, ohi)
+		g.simBuf = SimulateInto(g.simBuf, &g.params, g.n, g.epsBuf, -1)
 		sse := 0.0
 		for t := wstart; t < wend; t++ {
 			if tensor.IsMissing(g.seq[t]) {
 				continue
 			}
-			d := g.seq[t] - sim[t]
+			d := g.seq[t] - g.simBuf[t]
 			sse += d * d
 		}
 		return sse
 	}
-	best, _, _ := optimize.GoldenCtx(g.ctx, obj, 0, 60, 1e-3, 60)
+	best, _, _ := optimize.GoldenCtx(g.ctx, obj, 0, maxShockStrength, 1e-3, 60)
+	s.Strength[m] = save
 	if best < 1e-3 {
 		return 0
 	}

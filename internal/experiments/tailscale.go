@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"dspot/internal/core"
@@ -74,18 +75,37 @@ func TailScale(cfg Config, extraTags int) (TailScaleResult, error) {
 		PerSequence:  secs / float64(x.D()),
 		ShockTotal:   len(m.Shocks),
 	}
+	nrmses := make([]float64, 0, x.D())
 	for i := 0; i < x.D(); i++ {
 		obs := x.Global(i)
 		peak := stats.Max(obs)
 		if peak <= 0 {
 			continue
 		}
-		nrmse := stats.RMSE(obs, m.SimulateGlobal(i, x.N())) / peak
-		res.MeanNRMSE += nrmse
-		if nrmse > res.WorstNRMSE {
-			res.WorstNRMSE = nrmse
+		nrmses = append(nrmses, stats.RMSE(obs, m.SimulateGlobal(i, x.N()))/peak)
+	}
+	res.MeanNRMSE, res.WorstNRMSE = aggregateNRMSE(nrmses)
+	return res, nil
+}
+
+// aggregateNRMSE folds per-keyword NRMSE values into (mean, worst),
+// skipping NaN entries explicitly — stats.RMSE answers NaN for a
+// zero-overlap comparison, and averaging it in would poison the aggregate
+// while silently dropping it from the divisor would misweight the rest.
+func aggregateNRMSE(nrmses []float64) (mean, worst float64) {
+	cnt := 0
+	for _, v := range nrmses {
+		if math.IsNaN(v) {
+			continue
+		}
+		mean += v
+		cnt++
+		if v > worst {
+			worst = v
 		}
 	}
-	res.MeanNRMSE /= float64(x.D())
-	return res, nil
+	if cnt == 0 {
+		return 0, 0
+	}
+	return mean / float64(cnt), worst
 }

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The tail-scale aggregation must skip NaN per-keyword NRMSEs (stats.RMSE's
+// zero-overlap verdict) instead of poisoning the mean, and must divide by
+// the number of values actually aggregated.
+func TestAggregateNRMSESkipsNaN(t *testing.T) {
+	mean, worst := aggregateNRMSE([]float64{0.2, math.NaN(), 0.4})
+	if math.Abs(mean-0.3) > 1e-12 {
+		t.Fatalf("mean = %g, want 0.3 (NaN skipped, divisor 2)", mean)
+	}
+	if worst != 0.4 {
+		t.Fatalf("worst = %g, want 0.4", worst)
+	}
+
+	mean, worst = aggregateNRMSE([]float64{math.NaN()})
+	if mean != 0 || worst != 0 {
+		t.Fatalf("all-NaN aggregate = (%g, %g), want (0, 0)", mean, worst)
+	}
+
+	mean, worst = aggregateNRMSE(nil)
+	if mean != 0 || worst != 0 {
+		t.Fatalf("empty aggregate = (%g, %g), want (0, 0)", mean, worst)
+	}
+}

@@ -10,7 +10,18 @@ import (
 // It returns an error when A is not (numerically) positive definite, which
 // the LM driver treats as "increase damping and retry".
 func solveSPD(a []float64, b []float64, n int) ([]float64, error) {
-	l := make([]float64, n*n)
+	x := make([]float64, n)
+	if err := solveSPDInto(x, make([]float64, n*n), make([]float64, n), a, b, n); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveSPDInto is solveSPD with caller-provided workspace: x receives the
+// solution (length n), l is the n×n Cholesky factor scratch and y the
+// substitution scratch. The LM driver calls this once per damped trial, so
+// reusing the workspace removes three allocations from the innermost loop.
+func solveSPDInto(x, l, y, a, b []float64, n int) error {
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			sum := a[i*n+j]
@@ -19,7 +30,7 @@ func solveSPD(a []float64, b []float64, n int) ([]float64, error) {
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
-					return nil, errors.New("lm: matrix not positive definite")
+					return errors.New("lm: matrix not positive definite")
 				}
 				l[i*n+i] = math.Sqrt(sum)
 			} else {
@@ -28,7 +39,6 @@ func solveSPD(a []float64, b []float64, n int) ([]float64, error) {
 		}
 	}
 	// Forward substitution L·y = b.
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
@@ -37,7 +47,6 @@ func solveSPD(a []float64, b []float64, n int) ([]float64, error) {
 		y[i] = sum / l[i*n+i]
 	}
 	// Back substitution Lᵀ·x = y.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		sum := y[i]
 		for k := i + 1; k < n; k++ {
@@ -45,5 +54,5 @@ func solveSPD(a []float64, b []float64, n int) ([]float64, error) {
 		}
 		x[i] = sum / l[i*n+i]
 	}
-	return x, nil
+	return nil
 }

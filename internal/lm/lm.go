@@ -19,6 +19,16 @@ import (
 // Jacobian.
 type ResidualFunc func(p []float64) []float64
 
+// ResidualIntoFunc evaluates r(p) into a caller-provided buffer. The
+// contract mirrors the residualsInto helpers in the fitters: when dst has
+// sufficient capacity the function must write into it and return dst[:m];
+// when dst is nil or too small it must allocate and return a fresh slice —
+// never a view of internal state shared across calls. FitInto relies on
+// this to hold the current, probe, and trial residual vectors in three
+// distinct buffers, so an implementation that returns the same backing
+// array on every call would corrupt the Jacobian.
+type ResidualIntoFunc func(dst, p []float64) []float64
+
 // Options configures a Fit run. The zero value selects sensible defaults.
 type Options struct {
 	MaxIter   int       // maximum outer iterations (default 100)
@@ -110,6 +120,19 @@ func (o *Options) clamp(p []float64) {
 // provided, are enforced by projection after each accepted step and during
 // Jacobian evaluation.
 func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
+	return fitCore(func(_, p []float64) []float64 { return f(p) }, p0, opts)
+}
+
+// FitInto is Fit over a buffer-reusing residual function: the driver owns
+// three residual buffers (current, Jacobian probe, damped trial) and passes
+// them back to f, so a well-behaved f makes the whole run allocate a fixed
+// amount of memory independent of the iteration count. The search itself is
+// identical to Fit's — same steps, same results.
+func FitInto(f ResidualIntoFunc, p0 []float64, opts Options) (Result, error) {
+	return fitCore(f, p0, opts)
+}
+
+func fitCore(f ResidualIntoFunc, p0 []float64, opts Options) (Result, error) {
 	dim := len(p0)
 	if dim == 0 {
 		return Result{}, errors.New("lm: empty parameter vector")
@@ -120,7 +143,7 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 
 	p := append([]float64(nil), p0...)
 	opts.clamp(p)
-	r := f(p)
+	r := f(nil, p)
 	m := len(r)
 	if m == 0 {
 		return Result{}, errors.New("lm: empty residual vector")
@@ -139,6 +162,16 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 	jtj := make([]float64, dim*dim)
 	jtr := make([]float64, dim)
 	pTrial := make([]float64, dim)
+	// Scratch hoisted out of the iteration and damping loops: residual
+	// buffers for the Jacobian probes and damped trials, the damped normal
+	// matrix, and the Cholesky solve's workspace. Nothing below this point
+	// allocates per iteration (given a buffer-honouring f).
+	probeBuf := make([]float64, m)
+	trialBuf := make([]float64, m)
+	damped := make([]float64, dim*dim)
+	delta := make([]float64, dim)
+	cholL := make([]float64, dim*dim)
+	cholY := make([]float64, dim)
 
 	res := Result{Params: append([]float64(nil), p...), SSE: cur}
 	for iter := 0; iter < opts.MaxIter; iter++ {
@@ -164,49 +197,68 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 				pj = p[j] - h
 				h = -h
 			}
+			// The flipped (backward) probe must respect Lower too: with a
+			// tightly bounded or pinned parameter (hi−lo smaller than the
+			// step) the unclamped probe would evaluate f outside the box the
+			// caller promised it. Clamp the probe and recompute the step
+			// from the value actually probed; when the box leaves no room at
+			// all, the parameter is immovable — record a zero gradient
+			// column instead of probing.
+			if opts.Lower != nil && pj < opts.Lower[j] {
+				pj = opts.Lower[j]
+				h = pj - p[j]
+				if h == 0 {
+					for i := 0; i < m; i++ {
+						jac[i*dim+j] = 0
+					}
+					continue
+				}
+			}
 			saved := p[j]
 			p[j] = pj
-			rj := f(p)
+			rj := f(probeBuf, p)
 			p[j] = saved
 			if len(rj) != m {
 				return res, errors.New("lm: residual length changed between calls")
 			}
 			inv := 1 / h
 			for i := 0; i < m; i++ {
-				ri, rji := r[i], rj[i]
-				if math.IsNaN(ri) || math.IsNaN(rji) {
-					jac[i*dim+j] = 0
-					continue
-				}
-				d := (rji - ri) * inv
-				if math.IsInf(d, 0) || math.IsNaN(d) {
-					// A perturbed simulation that blew up says nothing
-					// about the local slope; treat the entry as missing
-					// rather than poisoning the normal equations.
+				d := (rj[i] - r[i]) * inv
+				// d-d is 0 only for finite d: a NaN residual on either
+				// side (missing observation) or a probe that blew up to
+				// ±Inf says nothing about the local slope, so the entry
+				// is recorded as missing rather than poisoning the
+				// normal equations. One subtract replaces the separate
+				// NaN/Inf tests on this very hot loop.
+				if d-d != 0 {
 					d = 0
 				}
 				jac[i*dim+j] = d
 			}
 		}
 
-		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr.
-		for a := range jtj {
-			jtj[a] = 0
-		}
-		for a := range jtr {
-			jtr[a] = 0
-		}
-		for i := 0; i < m; i++ {
-			ri := r[i]
-			if math.IsNaN(ri) {
-				continue
-			}
-			row := jac[i*dim : (i+1)*dim]
-			for a := 0; a < dim; a++ {
-				jtr[a] += row[a] * ri
-				for b := a; b < dim; b++ {
-					jtj[a*dim+b] += row[a] * row[b]
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr. Each cell is a dot
+		// product over the residual index, accumulated in a register instead
+		// of read-modify-writing jtj once per term — the additions per cell
+		// happen in the same ascending-i order a row-wise sweep would
+		// produce, so the sums are bit-identical. Rows with a NaN residual
+		// carry all-zero Jacobian entries (set during the fill above), and
+		// adding +0 terms never changes a running sum, so only Jᵀr needs the
+		// explicit NaN guard.
+		for a := 0; a < dim; a++ {
+			sr := 0.0
+			for i, ia := 0, a; i < m; i, ia = i+1, ia+dim {
+				if ri := r[i]; ri == ri {
+					sr += jac[ia] * ri
 				}
+			}
+			jtr[a] = sr
+			for b := a; b < dim; b++ {
+				s := 0.0
+				for ia, ib := a, b; ia < len(jac); ia, ib = ia+dim, ib+dim {
+					s += jac[ia] * jac[ib]
+				}
+				jtj[a*dim+b] = s
 			}
 		}
 		for a := 0; a < dim; a++ { // mirror upper triangle
@@ -217,7 +269,7 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 
 		improved := false
 		for lambda <= opts.MaxLambda {
-			damped := append([]float64(nil), jtj...)
+			copy(damped, jtj)
 			for a := 0; a < dim; a++ {
 				d := jtj[a*dim+a]
 				if d == 0 {
@@ -225,8 +277,7 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 				}
 				damped[a*dim+a] = d * (1 + lambda)
 			}
-			delta, err := solveSPD(damped, jtr, dim)
-			if err != nil {
+			if err := solveSPDInto(delta, cholL, cholY, damped, jtr, dim); err != nil {
 				lambda *= opts.LambdaUp
 				continue
 			}
@@ -245,12 +296,16 @@ func Fit(f ResidualFunc, p0 []float64, opts Options) (Result, error) {
 				pTrial[a] = p[a] - delta[a]
 			}
 			opts.clamp(pTrial)
-			rTrial := f(pTrial)
+			rTrial := f(trialBuf, pTrial)
 			trial := sse(rTrial)
 			if trial < cur && !math.IsNaN(trial) {
 				rel := (cur - trial) / math.Max(cur, 1e-300)
 				copy(p, pTrial)
-				r = rTrial
+				// Swap rather than copy: the accepted trial becomes the
+				// current residual vector and the old one becomes the next
+				// trial's scratch. (With an allocating f the swapped-in
+				// buffer is simply the freshly returned slice.)
+				r, trialBuf = rTrial, r
 				cur = trial
 				lambda /= opts.LambdaDn
 				if lambda < 1e-12 {

@@ -79,7 +79,8 @@ func Max(s []float64) float64 {
 // RMSE returns the root-mean-square error between observed and estimated
 // sequences, skipping pairs where either side is NaN. Sequences of unequal
 // length are compared over their common prefix. An empty comparison set
-// yields 0.
+// yields NaN — not 0, which would report a perfect fit for an all-missing
+// series; aggregating callers are expected to skip NaN explicitly.
 func RMSE(obs, est []float64) float64 {
 	n := len(obs)
 	if len(est) < n {
@@ -95,7 +96,7 @@ func RMSE(obs, est []float64) float64 {
 		cnt++
 	}
 	if cnt == 0 {
-		return 0
+		return math.NaN()
 	}
 	return math.Sqrt(sum / float64(cnt))
 }
@@ -116,7 +117,7 @@ func MAE(obs, est []float64) float64 {
 		cnt++
 	}
 	if cnt == 0 {
-		return 0
+		return math.NaN()
 	}
 	return sum / float64(cnt)
 }

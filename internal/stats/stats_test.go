@@ -64,8 +64,16 @@ func TestRMSEAndMAE(t *testing.T) {
 	if got := RMSE(obs, est); !almost(got, 1, 1e-12) {
 		t.Fatalf("RMSE with NaN/len = %g, want 1", got)
 	}
-	if got := RMSE(nil, nil); got != 0 {
-		t.Fatalf("RMSE empty = %g", got)
+	// A zero-overlap comparison has no error to report: 0 would claim a
+	// perfect fit, so both metrics answer NaN.
+	if got := RMSE(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("RMSE empty = %g, want NaN", got)
+	}
+	if got := RMSE([]float64{math.NaN(), math.NaN()}, []float64{1, 2}); !math.IsNaN(got) {
+		t.Fatalf("RMSE all-missing = %g, want NaN", got)
+	}
+	if got := MAE(nil, nil); !math.IsNaN(got) {
+		t.Fatalf("MAE empty = %g, want NaN", got)
 	}
 }
 
