@@ -19,7 +19,7 @@ test-short:
 
 race:
 	$(GO) test -race -run 'TestFitEndToEnd|TestFitGlobalOnly|TestStream|TestFitTraceConcurrent|TestFitGlobalSequenceCancel|TestFitCtx|TestFitCancel|TestFitLocalBoundsGoroutines|TestFitGlobalContainsWorkerPanic|TestFitLocalContainsCellPanic' ./internal/core/
-	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic|TestJobFitCancel|TestReadyz' ./internal/service/ ./internal/obs/
+	$(GO) test -race -run 'TestMetrics|TestMiddleware|TestConcurrentStatefulTraffic|TestJobFitCancel|TestJobFitTrace|TestReadyz|TestConcurrentSpans|TestRecorderSlowTraceRetention|TestRuntimeCollector' ./internal/service/ ./internal/obs/...
 	$(GO) test -race ./internal/registry/ ./internal/jobs/ ./internal/faultfs/
 	$(GO) test -race ./internal/lm/ ./internal/optimize/ ./internal/numcheck/
 

@@ -4,6 +4,8 @@
 //	            [-pprof] [-shutdown-timeout 30s]
 //	            [-data-dir DIR] [-fit-workers N] [-queue-depth N]
 //	            [-job-timeout 15m] [-abandon-grace 2s] [-max-models N]
+//	            [-trace] [-trace-max N] [-trace-slow 1s]
+//	            [-runtime-metrics-every 15s]
 //
 // Endpoints (see internal/service):
 //
@@ -15,6 +17,8 @@
 //	GET  /readyz        readiness (503 while the registry loads in the
 //	                    background or the job queue is saturated)
 //	GET  /metrics       Prometheus text exposition
+//	GET  /debug/traces  trace flight recorder: recent + slow traces
+//	                    (/debug/traces/{id} for one trace; with -trace)
 //	GET  /debug/pprof/  net/http/pprof profiles (with -pprof)
 //
 // plus the stateful layer (see internal/service/stateful.go): async fit jobs
@@ -49,6 +53,7 @@ import (
 
 	"dspot/internal/jobs"
 	"dspot/internal/obs"
+	"dspot/internal/obs/trace"
 	"dspot/internal/registry"
 	"dspot/internal/service"
 )
@@ -73,6 +78,14 @@ func main() {
 		"wait for a cancelled fit to stop cooperatively before abandoning it")
 	maxModels := flag.Int("max-models", registry.DefaultMaxLoaded,
 		"models kept in memory at once (persisted models reload on demand)")
+	traceOn := flag.Bool("trace", true,
+		"record request traces and serve them at /debug/traces")
+	traceMax := flag.Int("trace-max", 0,
+		"traces retained by the flight recorder (0: default 256)")
+	traceSlow := flag.Duration("trace-slow", 0,
+		"duration above which a trace is retained as slow (0: default 1s)")
+	runtimeEvery := flag.Duration("runtime-metrics-every", 15*time.Second,
+		"Go runtime gauge sampling interval (0 disables)")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -82,6 +95,24 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 	metrics := service.NewMetrics()
+
+	// Tracing: spans from the HTTP middleware through the jobs engine and
+	// the fit pipeline land in the flight recorder (GET /debug/traces), and
+	// trace_id/span_id ride on ctx-aware log lines via the wrapped logger.
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.NewTracer(trace.NewRecorder(trace.RecorderOptions{
+			MaxTraces:     *traceMax,
+			SlowThreshold: *traceSlow,
+		}))
+		logger = trace.WrapLogger(logger)
+	}
+
+	// Runtime telemetry: goroutine count, heap and GC gauges on the same
+	// /metrics registry the request metrics use.
+	runtimeCollector := obs.NewRuntimeCollector(metrics.Registry)
+	stopRuntime := runtimeCollector.Start(*runtimeEvery)
+	defer stopRuntime()
 
 	// The listener comes up immediately; the registry (which may have many
 	// models and stream snapshots to verify) loads in the background. Until
@@ -93,6 +124,7 @@ func main() {
 		Workers: *workers,
 		Metrics: metrics,
 		Logger:  logger,
+		Tracer:  tracer,
 		Ready:   func() error { return errors.New("registry loading") },
 	}).Handler())
 	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -129,6 +161,7 @@ func main() {
 			MaxLoaded: *maxModels,
 			Logger:    logger,
 			Metrics:   registry.NewMetricsOn(metrics.Registry),
+			Tracer:    tracer,
 		})
 		if err != nil {
 			fatal <- fmt.Errorf("opening registry (data_dir %q): %w", *dataDir, err)
@@ -141,6 +174,7 @@ func main() {
 			AbandonGrace: *abandonGrace,
 			Logger:       logger,
 			Metrics:      jobs.NewMetricsOn(metrics.Registry),
+			Tracer:       tracer,
 		})
 		engineMu.Lock()
 		engine = e
@@ -151,6 +185,7 @@ func main() {
 			Logger:   logger,
 			Registry: reg,
 			Jobs:     e,
+			Tracer:   tracer,
 		}).Handler())
 		logger.Info("registry ready", "data_dir", *dataDir, "models", reg.Len())
 	}()
@@ -170,7 +205,7 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("dspot-serve listening",
 		"addr", *addr, "workers", *workers, "pprof", *pprofOn,
-		"data_dir", *dataDir,
+		"trace", *traceOn, "data_dir", *dataDir,
 		"fit_workers", *fitWorkers, "queue_depth", *queueDepth)
 
 	select {

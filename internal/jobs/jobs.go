@@ -31,6 +31,8 @@ import (
 	"log/slog"
 	"sync"
 	"time"
+
+	"dspot/internal/obs/trace"
 )
 
 // State is a job lifecycle state.
@@ -124,6 +126,11 @@ type Options struct {
 	// Metrics, when non-nil, exports queue depth, busy workers, outcomes
 	// and latencies.
 	Metrics *Metrics
+	// Tracer, when non-nil, records two spans per job — queue wait
+	// (enqueue → worker pickup) and run (pickup → terminal) — as children
+	// of the span active in the SubmitCtx context, so an async fit's trace
+	// continues past the HTTP 202 that accepted it.
+	Tracer *trace.Tracer
 }
 
 // Snapshot is the queryable state of a job at one instant.
@@ -147,6 +154,13 @@ type job struct {
 
 	cancel context.CancelFunc // cancels jctx: explicit cancel or shutdown
 	jctx   context.Context
+
+	// Trace correlation, fixed at submit time: the submitter's span
+	// context (the job spans' parent), the queue-wait span opened at
+	// enqueue, and the trace id every lifecycle log line carries.
+	parent   trace.SpanContext
+	waitSpan *trace.Span
+	traceID  string
 
 	// Mutable fields below are guarded by the engine mutex.
 	state     State
@@ -232,16 +246,34 @@ func newID() string {
 // Submit enqueues fn under a fresh id. kind labels the job in snapshots and
 // metrics. It fails fast with ErrQueueFull when the queue is at depth.
 func (e *Engine) Submit(kind string, fn Func) (string, error) {
+	return e.SubmitCtx(context.Background(), kind, fn)
+}
+
+// SubmitCtx is Submit carrying trace identity: the span active in ctx (or
+// a remote span context extracted from an inbound traceparent) becomes the
+// parent of the job's queue-wait and run spans, and its trace id rides on
+// every lifecycle log line. ctx is read for identity only — the job's
+// lifetime is still bound to the engine, never to the (typically
+// short-lived) submitting request.
+func (e *Engine) SubmitCtx(ctx context.Context, kind string, fn Func) (string, error) {
 	jctx, cancel := context.WithCancel(e.root)
 	j := &job{
 		id: newID(), kind: kind, fn: fn,
 		jctx: jctx, cancel: cancel,
 		state: StateQueued, created: time.Now(),
+		parent: trace.SpanContextOf(ctx),
+	}
+	j.waitSpan = e.opts.Tracer.StartChild(j.parent, "job.wait",
+		trace.String("job_id", j.id), trace.String("kind", kind))
+	if sc := j.waitSpan.Context(); sc.Valid() {
+		j.traceID = sc.TraceID.String()
 	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		cancel()
+		j.waitSpan.SetAttr("outcome", "rejected_closed")
+		j.waitSpan.End()
 		return "", ErrClosed
 	}
 	select {
@@ -250,6 +282,8 @@ func (e *Engine) Submit(kind string, fn Func) (string, error) {
 		e.mu.Unlock()
 		cancel()
 		e.opts.Metrics.rejected()
+		j.waitSpan.SetAttr("outcome", "rejected_queue_full")
+		j.waitSpan.End()
 		return "", fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
 	}
 	e.jobs[j.id] = j
@@ -262,7 +296,7 @@ func (e *Engine) Submit(kind string, fn Func) (string, error) {
 	}
 	e.mu.Unlock()
 	e.opts.Metrics.queueDepth(len(e.queue))
-	e.logger().Debug("job queued", "id", j.id, "kind", kind)
+	e.logger().Debug("job queued", j.logArgs("id", j.id, "kind", kind)...)
 	return j.id, nil
 }
 
@@ -331,7 +365,8 @@ func (e *Engine) Cancel(id string) (Snapshot, error) {
 	snap := j.snapshotLocked()
 	e.mu.Unlock()
 	j.cancel()
-	e.logger().Info("job cancel requested", "id", id, "state", snap.State)
+	e.logger().Info("job cancel requested",
+		j.logArgs("id", id, "state", snap.State)...)
 	return snap, nil
 }
 
@@ -392,15 +427,24 @@ func (e *Engine) run(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	e.mu.Unlock()
+	j.waitSpan.End()
+	e.opts.Metrics.queueWaited(j.started.Sub(j.created))
+	runSpan := e.opts.Tracer.StartChild(j.parent, "job.run",
+		trace.String("job_id", j.id), trace.String("kind", j.kind))
 	e.opts.Metrics.workerBusy(+1)
 	defer e.opts.Metrics.workerBusy(-1)
-	e.logger().Info("job running", "id", j.id, "kind", j.kind)
+	e.logger().Info("job running", j.logArgs("id", j.id, "kind", j.kind)...)
 
 	rctx := j.jctx
 	if e.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		rctx, cancel = context.WithTimeout(j.jctx, e.opts.Timeout)
 		defer cancel()
+	}
+	if runSpan != nil {
+		// The Func sees the run span as its active span, so fit-stage
+		// spans recorded from FitEvents become its children.
+		rctx = trace.ContextWithSpan(rctx, runSpan)
 	}
 
 	const maxAttempts = 2 // one retry on transient failure
@@ -418,19 +462,30 @@ func (e *Engine) run(j *job) {
 			if j.cancelReq || j.jctx.Err() != nil {
 				reason, state = "cancelled", StateCancelled
 			}
+			if abandoned {
+				runSpan.AddEvent("abandoned")
+			}
 			e.finishLocked(j, state, reason, nil)
 		case err == nil:
 			e.finishLocked(j, StateDone, "", result)
 		case IsTransient(err) && attempt < maxAttempts:
 			e.mu.Unlock()
 			e.opts.Metrics.retry()
+			runSpan.AddEvent("retry", trace.String("err", err.Error()))
 			e.logger().Warn("job retrying after transient failure",
-				"id", j.id, "kind", j.kind, "err", err)
+				j.logArgs("id", j.id, "kind", j.kind, "err", err)...)
 			continue
 		default:
 			e.finishLocked(j, StateFailed, err.Error(), nil)
 		}
+		state, errMsg, attempts := j.state, j.err, j.attempts
 		e.mu.Unlock()
+		runSpan.SetAttr("state", string(state))
+		runSpan.SetAttr("attempts", attempts)
+		if errMsg != "" {
+			runSpan.SetAttr("err", errMsg)
+		}
+		runSpan.End()
 		return
 	}
 }
@@ -478,11 +533,11 @@ func (e *Engine) invoke(j *job, ctx context.Context) (result any, err error, aba
 	}
 	e.opts.Metrics.abandoned()
 	e.logger().Warn("abandoning uncooperative job invocation",
-		"id", j.id, "kind", j.kind, "grace", e.opts.AbandonGrace)
+		j.logArgs("id", j.id, "kind", j.kind, "grace", e.opts.AbandonGrace)...)
 	go func() {
 		<-done // drain so the Func goroutine can exit
 		e.logger().Warn("abandoned job invocation finished",
-			"id", j.id, "kind", j.kind, "after", time.Since(launched))
+			j.logArgs("id", j.id, "kind", j.kind, "after", time.Since(launched))...)
 	}()
 	return nil, ctx.Err(), true
 }
@@ -494,6 +549,10 @@ func (e *Engine) finishLocked(j *job, state State, errMsg string, result any) {
 	j.result = result
 	j.finished = time.Now()
 	j.cancel()
+	// Close the queue-wait span for jobs that never reached a worker
+	// (cancelled while queued, engine closed); End is idempotent so the
+	// normal pickup path is unaffected.
+	j.waitSpan.End()
 	e.terminal = append(e.terminal, j.id)
 	for len(e.terminal) > e.opts.MaxHistory {
 		evict := e.terminal[0]
@@ -505,8 +564,18 @@ func (e *Engine) finishLocked(j *job, state State, errMsg string, result any) {
 		latency = j.finished.Sub(j.started)
 	}
 	e.opts.Metrics.finished(j.kind, state, latency)
-	e.logger().Info("job finished", "id", j.id, "kind", j.kind,
-		"state", state, "err", errMsg, "latency", latency)
+	e.logger().Info("job finished", j.logArgs("id", j.id, "kind", j.kind,
+		"state", state, "err", errMsg, "latency", latency)...)
+}
+
+// logArgs appends the job's trace id (when it has one) to a lifecycle log
+// line's key/value pairs, so every log about the job correlates with its
+// trace in the flight recorder.
+func (j *job) logArgs(kv ...any) []any {
+	if j.traceID == "" {
+		return kv
+	}
+	return append(kv, "trace_id", j.traceID)
 }
 
 func (j *job) snapshotLocked() Snapshot {

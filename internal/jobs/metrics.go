@@ -17,6 +17,7 @@ type Metrics struct {
 	rejects  *obs.Counter      // jobs_rejected_total
 	abandons *obs.Counter      // jobs_abandoned_total
 	latency  *obs.HistogramVec // jobs_run_seconds{kind}
+	wait     *obs.Histogram    // jobs_queue_wait_seconds
 }
 
 // NewMetricsOn registers the engine metrics on reg.
@@ -38,6 +39,9 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 		latency: reg.HistogramVec("jobs_run_seconds",
 			"Job run latency in seconds (excludes queue wait), by kind.",
 			obs.DefBuckets(), "kind"),
+		wait: reg.Histogram("jobs_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.",
+			obs.DefBuckets()),
 	}
 }
 
@@ -63,6 +67,13 @@ func (m *Metrics) finished(kind string, state State, latency time.Duration) {
 	if latency > 0 {
 		m.latency.With(kind).Observe(latency.Seconds())
 	}
+}
+
+func (m *Metrics) queueWaited(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.wait.Observe(d.Seconds())
 }
 
 func (m *Metrics) retry() {

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector samples Go runtime health into registry gauges on a
+// fixed cadence: goroutine count, heap and GC accounting, and GC pause
+// quantiles over the runtime's recent-pause ring. It answers the operator
+// questions aggregate request metrics cannot — is a latency regression the
+// fit pipeline, or the collector stealing the CPU? is a goroutine leak
+// building up behind an abandoned job?
+type RuntimeCollector struct {
+	goroutines *Gauge    // go_goroutines
+	heapAlloc  *Gauge    // go_heap_alloc_bytes
+	heapSys    *Gauge    // go_heap_sys_bytes
+	heapObj    *Gauge    // go_heap_objects
+	nextGC     *Gauge    // go_next_gc_bytes
+	gcCycles   *Gauge    // go_gc_cycles
+	gcCPU      *Gauge    // go_gc_cpu_fraction
+	pause      *GaugeVec // go_gc_pause_seconds{quantile}
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRuntimeCollector registers the runtime gauges on reg. Call Collect
+// for one sample or Start for a periodic loop.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	return &RuntimeCollector{
+		goroutines: reg.Gauge("go_goroutines",
+			"Goroutines currently live."),
+		heapAlloc: reg.Gauge("go_heap_alloc_bytes",
+			"Bytes of allocated heap objects."),
+		heapSys: reg.Gauge("go_heap_sys_bytes",
+			"Bytes of heap memory obtained from the OS."),
+		heapObj: reg.Gauge("go_heap_objects",
+			"Allocated heap objects."),
+		nextGC: reg.Gauge("go_next_gc_bytes",
+			"Heap size target of the next GC cycle."),
+		gcCycles: reg.Gauge("go_gc_cycles",
+			"Completed GC cycles since process start."),
+		gcCPU: reg.Gauge("go_gc_cpu_fraction",
+			"Fraction of available CPU spent in GC since process start."),
+		pause: reg.GaugeVec("go_gc_pause_seconds",
+			"GC stop-the-world pause quantiles over the runtime's recent-pause ring.",
+			"quantile"),
+	}
+}
+
+// Collect takes one sample. Safe for concurrent use.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.goroutines.Set(float64(runtime.NumGoroutine()))
+	c.heapAlloc.Set(float64(ms.HeapAlloc))
+	c.heapSys.Set(float64(ms.HeapSys))
+	c.heapObj.Set(float64(ms.HeapObjects))
+	c.nextGC.Set(float64(ms.NextGC))
+	c.gcCycles.Set(float64(ms.NumGC))
+	c.gcCPU.Set(ms.GCCPUFraction)
+
+	// MemStats.PauseNs is a circular buffer of the last 256 pause times;
+	// only min(NumGC, 256) slots hold data.
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n == 0 {
+		return
+	}
+	pauses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pauses[i] = float64(ms.PauseNs[i]) / 1e9
+	}
+	sort.Float64s(pauses)
+	c.pause.With("0.5").Set(quantile(pauses, 0.5))
+	c.pause.With("0.9").Set(quantile(pauses, 0.9))
+	c.pause.With("0.99").Set(quantile(pauses, 0.99))
+	c.pause.With("max").Set(pauses[n-1])
+}
+
+// quantile reads the q-th quantile from an ascending-sorted slice
+// (nearest-rank; the slice must be non-empty).
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
+}
+
+// Start samples immediately and then every interval until the returned
+// stop function is called (idempotent). Starting an already-started
+// collector is a no-op returning the active stop.
+func (c *RuntimeCollector) Start(interval time.Duration) (stop func()) {
+	if c == nil || interval <= 0 {
+		return func() {}
+	}
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return c.Stop
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stopCh, doneCh := c.stop, c.done
+	c.mu.Unlock()
+
+	c.Collect()
+	go func() {
+		defer close(doneCh)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-t.C:
+				c.Collect()
+			}
+		}
+	}()
+	return c.Stop
+}
+
+// Stop ends the periodic loop and waits for it to exit. Safe to call
+// multiple times, and a no-op when never started.
+func (c *RuntimeCollector) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	stopCh, doneCh := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stopCh == nil {
+		return
+	}
+	close(stopCh)
+	<-doneCh
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorExposesGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	runtime.GC() // ensure at least one pause sample exists
+	c.Collect()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"# TYPE go_heap_alloc_bytes gauge",
+		"go_heap_sys_bytes",
+		"go_heap_objects",
+		"go_next_gc_bytes",
+		"go_gc_cycles",
+		"go_gc_cpu_fraction",
+		`go_gc_pause_seconds{quantile="0.5"}`,
+		`go_gc_pause_seconds{quantile="0.9"}`,
+		`go_gc_pause_seconds{quantile="0.99"}`,
+		`go_gc_pause_seconds{quantile="max"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if c.goroutines.Value() < 1 {
+		t.Fatalf("go_goroutines %g, want >= 1", c.goroutines.Value())
+	}
+	if c.heapAlloc.Value() <= 0 {
+		t.Fatalf("go_heap_alloc_bytes %g, want > 0", c.heapAlloc.Value())
+	}
+	// Quantiles are ordered: p50 <= p90 <= p99 <= max.
+	p50 := c.pause.With("0.5").Value()
+	p99 := c.pause.With("0.99").Value()
+	max := c.pause.With("max").Value()
+	if p50 > p99 || p99 > max {
+		t.Fatalf("pause quantiles unordered: p50=%g p99=%g max=%g", p50, p99, max)
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	stop := c.Start(time.Millisecond)
+	// The initial sample is synchronous.
+	if c.goroutines.Value() < 1 {
+		t.Fatal("Start did not take an initial sample")
+	}
+	stop()
+	stop() // idempotent
+	c.Stop()
+
+	// Restartable after a stop.
+	stop2 := c.Start(time.Hour)
+	stop2()
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.5, 6}, {0.9, 10}, {0.99, 10}, {1, 10}}
+	for _, c := range cases {
+		if got := quantile(s, c.q); got != c.want {
+			t.Errorf("quantile(%.2f) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("single-element quantile = %g, want 7", got)
+	}
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder is the trace flight recorder: a bounded in-memory store of
+// completed spans grouped by trace, serving the most recent traffic at
+// GET /debug/traces. Two retention classes keep it useful under load:
+//
+//   - normal traces live in a FIFO ring of MaxTraces — steady traffic
+//     continuously overwrites the oldest entries;
+//   - slow traces (total duration ≥ SlowThreshold) move to a separate ring
+//     of MaxSlow and survive normal eviction, so the request you actually
+//     want to debug is still there after ten thousand fast ones landed.
+//
+// Spans within one trace are additionally bounded by MaxSpansPerTrace
+// (excess spans are counted, not stored). All methods are safe for
+// concurrent use.
+type Recorder struct {
+	opts RecorderOptions
+
+	mu     sync.Mutex
+	traces map[string]*traceEntry
+	normal []*traceEntry // FIFO, oldest first
+	slow   []*traceEntry // FIFO, oldest first
+}
+
+// RecorderOptions bound the recorder. Zero values select the defaults.
+type RecorderOptions struct {
+	// MaxTraces bounds retained normal (fast) traces (default 256).
+	MaxTraces int
+	// MaxSlow bounds retained slow traces (default 64).
+	MaxSlow int
+	// SlowThreshold is the total-duration bar above which a trace is
+	// retained as slow (default 1s; negative disables slow retention).
+	SlowThreshold time.Duration
+	// MaxSpansPerTrace bounds spans stored per trace (default 512).
+	MaxSpansPerTrace int
+}
+
+func (o RecorderOptions) withDefaults() RecorderOptions {
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = 256
+	}
+	if o.MaxSlow <= 0 {
+		o.MaxSlow = 64
+	}
+	if o.SlowThreshold == 0 {
+		o.SlowThreshold = time.Second
+	}
+	if o.MaxSpansPerTrace <= 0 {
+		o.MaxSpansPerTrace = 512
+	}
+	return o
+}
+
+// NewRecorder returns an empty flight recorder.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	return &Recorder{
+		opts:   opts.withDefaults(),
+		traces: make(map[string]*traceEntry),
+	}
+}
+
+// traceEntry accumulates one trace's completed spans.
+type traceEntry struct {
+	id           string
+	spans        []SpanData
+	droppedSpans int
+	first        time.Time // earliest span start
+	last         time.Time // latest span end
+	slow         bool
+}
+
+func (e *traceEntry) duration() time.Duration { return e.last.Sub(e.first) }
+
+// rootName returns the name of the span with no recorded parent (the
+// oldest parentless span), or the oldest span's name as a fallback.
+func (e *traceEntry) rootName() string {
+	name, at := "", time.Time{}
+	rootAt := time.Time{}
+	root := ""
+	for i := range e.spans {
+		s := &e.spans[i]
+		if at.IsZero() || s.Start.Before(at) {
+			at, name = s.Start, s.Name
+		}
+		if s.ParentSpanID == "" && (rootAt.IsZero() || s.Start.Before(rootAt)) {
+			rootAt, root = s.Start, s.Name
+		}
+	}
+	if root != "" {
+		return root
+	}
+	return name
+}
+
+// record files one completed span under its trace.
+func (r *Recorder) record(data SpanData) {
+	end := data.Start.Add(time.Duration(data.DurationNs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.traces[data.TraceID]
+	if !ok {
+		e = &traceEntry{id: data.TraceID, first: data.Start, last: end}
+		r.traces[data.TraceID] = e
+		r.normal = append(r.normal, e)
+		r.evictLocked()
+	}
+	if len(e.spans) < r.opts.MaxSpansPerTrace {
+		e.spans = append(e.spans, data)
+	} else {
+		e.droppedSpans++
+	}
+	if data.Start.Before(e.first) {
+		e.first = data.Start
+	}
+	if end.After(e.last) {
+		e.last = end
+	}
+	if !e.slow && r.opts.SlowThreshold > 0 && e.duration() >= r.opts.SlowThreshold {
+		e.slow = true
+		r.normal = removeEntry(r.normal, e)
+		r.slow = append(r.slow, e)
+		r.evictLocked()
+	}
+}
+
+// evictLocked applies both FIFO bounds.
+func (r *Recorder) evictLocked() {
+	for len(r.normal) > r.opts.MaxTraces {
+		delete(r.traces, r.normal[0].id)
+		r.normal = r.normal[1:]
+	}
+	for len(r.slow) > r.opts.MaxSlow {
+		delete(r.traces, r.slow[0].id)
+		r.slow = r.slow[1:]
+	}
+}
+
+func removeEntry(s []*traceEntry, e *traceEntry) []*traceEntry {
+	for i, x := range s {
+		if x == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// TraceSummary is one row of the GET /debug/traces listing.
+type TraceSummary struct {
+	TraceID      string    `json:"trace_id"`
+	Root         string    `json:"root"`
+	Spans        int       `json:"spans"`
+	DroppedSpans int       `json:"dropped_spans,omitempty"`
+	Start        time.Time `json:"start"`
+	DurationNs   int64     `json:"duration_ns"`
+	Slow         bool      `json:"slow,omitempty"`
+}
+
+// TraceData is one full trace as served by GET /debug/traces/{id}, spans
+// ordered by start time.
+type TraceData struct {
+	TraceID      string     `json:"trace_id"`
+	Root         string     `json:"root"`
+	Start        time.Time  `json:"start"`
+	DurationNs   int64      `json:"duration_ns"`
+	Slow         bool       `json:"slow,omitempty"`
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// List returns a summary of every retained trace, newest first.
+func (r *Recorder) List() []TraceSummary {
+	r.mu.Lock()
+	out := make([]TraceSummary, 0, len(r.traces))
+	for _, e := range r.traces {
+		out = append(out, TraceSummary{
+			TraceID: e.id, Root: e.rootName(),
+			Spans: len(e.spans), DroppedSpans: e.droppedSpans,
+			Start: e.first, DurationNs: e.duration().Nanoseconds(),
+			Slow: e.slow,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.After(out[j].Start)
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
+
+// Get returns one trace by 32-hex-character id.
+func (r *Recorder) Get(id string) (TraceData, bool) {
+	r.mu.Lock()
+	e, ok := r.traces[id]
+	if !ok {
+		r.mu.Unlock()
+		return TraceData{}, false
+	}
+	td := TraceData{
+		TraceID: e.id, Root: e.rootName(), Start: e.first,
+		DurationNs: e.duration().Nanoseconds(), Slow: e.slow,
+		DroppedSpans: e.droppedSpans,
+		Spans:        append([]SpanData(nil), e.spans...),
+	}
+	r.mu.Unlock()
+	sort.Slice(td.Spans, func(i, j int) bool {
+		if !td.Spans[i].Start.Equal(td.Spans[j].Start) {
+			return td.Spans[i].Start.Before(td.Spans[j].Start)
+		}
+		return td.Spans[i].SpanID < td.Spans[j].SpanID
+	})
+	return td, true
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}
+
+// ListHandler serves the GET /debug/traces listing as JSON.
+func (r *Recorder) ListHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"traces": r.List()})
+	})
+}
+
+// GetHandler serves GET /debug/traces/{id} as JSON (404 for unknown or
+// already-evicted traces). It expects to be routed with an {id} pattern.
+func (r *Recorder) GetHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		td, ok := r.Get(req.PathValue("id"))
+		if !ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"error": "trace not found (never sampled, or evicted from the flight recorder)",
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(td)
+	})
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// logHandler stamps trace_id/span_id from the record's context onto every
+// log line, so logs, metrics and traces correlate on one id. It wraps any
+// slog.Handler (text or JSON) and adds nothing when the context carries no
+// span — log lines outside a request stay exactly as they were.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// WrapLogHandler returns h extended with trace correlation. Loggers built
+// on the result must log through the ctx-aware methods (InfoContext & co)
+// for the ids to appear; ctx-less calls pass through unchanged.
+func WrapLogHandler(h slog.Handler) slog.Handler {
+	if _, ok := h.(*logHandler); ok {
+		return h
+	}
+	return &logHandler{inner: h}
+}
+
+// WrapLogger is WrapLogHandler over a whole *slog.Logger.
+func WrapLogger(l *slog.Logger) *slog.Logger {
+	return slog.New(WrapLogHandler(l.Handler()))
+}
+
+func (h *logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sc := SpanContextOf(ctx); sc.Valid() {
+		rec.AddAttrs(
+			slog.String("trace_id", sc.TraceID.String()),
+			slog.String("span_id", sc.SpanID.String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	return &logHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,6 +1,10 @@
 package registry
 
-import "dspot/internal/obs"
+import (
+	"time"
+
+	"dspot/internal/obs"
+)
 
 // Metrics exports the registry's health: how many models it indexes, how
 // many are resident in memory, stream count, incremental refits, LRU
@@ -12,8 +16,9 @@ type Metrics struct {
 	streams       *obs.Gauge   // registry_streams
 	evictions     *obs.Counter // registry_evictions_total
 	refits        *obs.Counter // registry_stream_refits_total
-	persistErrors *obs.Counter // registry_persist_errors_total
-	corrupt       *obs.Counter // registry_corrupt_total
+	persistErrors *obs.Counter   // registry_persist_errors_total
+	corrupt       *obs.Counter   // registry_corrupt_total
+	appendSec     *obs.Histogram // stream_append_seconds
 }
 
 // NewMetricsOn registers the registry metrics on reg.
@@ -33,6 +38,10 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Failed writes of model, stream or manifest files."),
 		corrupt: reg.Counter("registry_corrupt_total",
 			"Persisted files found missing or corrupt (checksum mismatch, bad JSON) and quarantined."),
+		appendSec: reg.Histogram("stream_append_seconds",
+			"Stream append latency in seconds, including any triggered "+
+				"refit and the persistence write.",
+			obs.DefBuckets()),
 	}
 }
 
@@ -70,6 +79,13 @@ func (m *Metrics) persistError() {
 		return
 	}
 	m.persistErrors.Inc()
+}
+
+func (m *Metrics) streamAppend(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.appendSec.Observe(d.Seconds())
 }
 
 func (m *Metrics) corruptFile() {

@@ -33,6 +33,7 @@ import (
 	"dspot/internal/core"
 	"dspot/internal/dataset"
 	"dspot/internal/faultfs"
+	"dspot/internal/obs/trace"
 )
 
 // Registry errors recognised by callers (the HTTP layer maps them to
@@ -58,6 +59,10 @@ type Options struct {
 	Logger *slog.Logger
 	// Metrics, when non-nil, exports registry gauges and counters.
 	Metrics *Metrics
+	// Tracer, when non-nil, records a span per stream append (covering the
+	// append, any triggered refit, and the persistence write) under the
+	// caller's span.
+	Tracer *trace.Tracer
 	// StreamFit are the fitting options applied to stream (re)fits.
 	StreamFit core.FitOptions
 	// RefitEvery is the default stream refit cadence in ticks (0 selects

@@ -10,9 +10,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"dspot/internal/core"
 	"dspot/internal/numcheck"
+	"dspot/internal/obs/trace"
 	"dspot/internal/tensor"
 )
 
@@ -58,7 +60,18 @@ func (r *Registry) streamPath(id string) string {
 // stops cooperatively, keeps the stream's last good fit, and is retried on
 // the next trigger. With a data dir the post-append state is snapshotted
 // atomically so a restart resumes the stream mid-series.
-func (r *Registry) AppendStream(ctx context.Context, id string, values []float64, refitEvery int) (StreamStatus, error) {
+func (r *Registry) AppendStream(ctx context.Context, id string, values []float64, refitEvery int) (status StreamStatus, err error) {
+	start := time.Now()
+	ctx, span := r.opts.Tracer.Start(ctx, "stream.append",
+		trace.String("stream_id", id), trace.Int("ticks", len(values)))
+	defer func() {
+		r.opts.Metrics.streamAppend(time.Since(start))
+		span.SetAttr("refitted", status.Refitted)
+		if err != nil {
+			span.SetAttr("err", err.Error())
+		}
+		span.End()
+	}()
 	if err := ValidateID(id); err != nil {
 		return StreamStatus{}, err
 	}
@@ -76,7 +89,7 @@ func (r *Registry) AppendStream(ctx context.Context, id string, values []float64
 		st.refits++
 		r.opts.Metrics.streamRefit()
 	}
-	status := StreamStatus{ID: id, Len: st.s.Len(), Ready: st.s.Ready(),
+	status = StreamStatus{ID: id, Len: st.s.Len(), Ready: st.s.Ready(),
 		Refits: st.refits, Refitted: refitted}
 	if r.dir != "" {
 		if perr := r.saveStream(st); perr != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 
 	"dspot/internal/core"
 	"dspot/internal/obs"
+	"dspot/internal/obs/trace"
 )
 
 // Metrics bundles the service's instrumentation over one obs.Registry:
@@ -77,6 +79,11 @@ func (m *Metrics) ObserveFitReport(rep *core.FitReport) {
 }
 
 // statusRecorder captures the status code and bytes written by a handler.
+// It deliberately re-exposes the optional ResponseWriter capabilities the
+// embedded-interface trick would otherwise hide: Flush (streaming handlers
+// stall without it), ReadFrom (sendfile-style copies keep their fast path
+// while still being counted), and Unwrap (http.ResponseController finds the
+// rest).
 type statusRecorder struct {
 	http.ResponseWriter
 	code  int
@@ -94,11 +101,27 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps next with request metrics and optional request logging.
-// path is the route label (the registered pattern, not the raw URL, so
-// label cardinality stays bounded).
-func instrument(path string, m *Metrics, log *slog.Logger, next http.Handler) http.Handler {
-	if m == nil && log == nil {
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	// io.Copy picks the underlying writer's ReaderFrom when it has one, so
+	// the copy stays on the fast path and the bytes still get counted.
+	n, err := io.Copy(r.ResponseWriter, src)
+	r.bytes += n
+	return n, err
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// instrument wraps next with request metrics, tracing and optional request
+// logging. path is the route label (the registered pattern, not the raw
+// URL, so label cardinality stays bounded).
+func instrument(path string, m *Metrics, log *slog.Logger, tr *trace.Tracer, next http.Handler) http.Handler {
+	if m == nil && log == nil && tr == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -107,18 +130,46 @@ func instrument(path string, m *Metrics, log *slog.Logger, next http.Handler) ht
 			m.inflight.Inc()
 			defer m.inflight.Dec()
 		}
+		var span *trace.Span
+		traceID := ""
+		if tr != nil {
+			ctx := r.Context()
+			// An inbound traceparent (upstream proxy, another shard) makes
+			// this request's span a child in the caller's trace.
+			if remote := trace.Extract(r.Header); remote.Valid() {
+				ctx = trace.ContextWithRemote(ctx, remote)
+			}
+			ctx, span = tr.Start(ctx, "http.request",
+				trace.String("route", path),
+				trace.String("method", r.Method),
+				trace.String("path", r.URL.Path))
+			r = r.WithContext(ctx)
+			traceID = span.Context().TraceID.String()
+			// Echo the id so clients (and the CI smoke test) can pull the
+			// trace from /debug/traces/{id} without parsing logs.
+			w.Header().Set("X-Trace-Id", traceID)
+		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(start)
+		span.SetAttr("status", rec.code)
+		span.SetAttr("bytes", rec.bytes)
+		span.End()
 		if m != nil {
 			m.requests.With(path, r.Method, strconv.Itoa(rec.code)).Inc()
 			m.latency.With(path).Observe(elapsed.Seconds())
 			m.respBytes.With(path).Add(float64(rec.bytes))
 		}
 		if log != nil {
-			log.Info("request",
-				"method", r.Method, "path", r.URL.Path, "status", rec.code,
-				"bytes", rec.bytes, "duration", elapsed, "remote", r.RemoteAddr)
+			args := []any{
+				"method", r.Method, "route", path, "path", r.URL.Path,
+				"status", rec.code, "bytes", rec.bytes,
+				"duration", elapsed, "remote", r.RemoteAddr,
+			}
+			if traceID != "" {
+				args = append(args, "trace_id", traceID)
+			}
+			log.Info("request", args...)
 		}
 	})
 }

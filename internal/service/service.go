@@ -31,6 +31,7 @@ import (
 	"dspot/internal/core"
 	"dspot/internal/dataset"
 	"dspot/internal/jobs"
+	"dspot/internal/obs/trace"
 	"dspot/internal/registry"
 )
 
@@ -63,6 +64,11 @@ type Server struct {
 	// loading, dependencies warming up). Independently of Ready, /readyz
 	// also reports unready while the job queue is saturated.
 	Ready func() error
+	// Tracer, when non-nil, traces every request: an http.request span per
+	// call (honouring inbound W3C traceparent headers, echoing X-Trace-Id),
+	// fit-stage child spans, and — when the tracer has a flight recorder —
+	// the GET /debug/traces[/{id}] endpoints serving completed traces.
+	Tracer *trace.Tracer
 }
 
 // Handler returns the routed http.Handler, instrumented when Metrics
@@ -70,7 +76,7 @@ type Server struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(path string, h http.HandlerFunc) {
-		mux.Handle(path, instrument(path, s.Metrics, s.Logger, h))
+		mux.Handle(path, instrument(path, s.Metrics, s.Logger, s.Tracer, h))
 	}
 	route("/healthz", s.handleHealth)
 	route("/readyz", s.handleReady)
@@ -82,6 +88,11 @@ func (s *Server) Handler() http.Handler {
 	if s.Metrics != nil {
 		// Not instrumented: scrapes should not move the request metrics.
 		mux.Handle("/metrics", s.Metrics.Registry.Handler())
+	}
+	if rec := s.Tracer.Recorder(); rec != nil {
+		// Not instrumented either: reading traces should not create them.
+		mux.Handle("GET /debug/traces", rec.ListHandler())
+		mux.Handle("GET /debug/traces/{id}", rec.GetHandler())
 	}
 	return mux
 }
@@ -214,19 +225,22 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		// request) cancels the fit instead of leaking it to completion.
 		Context: r.Context(),
 	}
-	var trace *core.FitTrace
+	var ft *core.FitTrace
 	if s.Metrics != nil || s.Logger != nil {
-		trace = core.NewFitTrace()
-		opts.Progress = trace.Hook()
+		ft = core.NewFitTrace()
+		opts.Progress = ft.Hook()
 	}
+	// Mirror fit stage completions as child spans of the request span.
+	opts.Progress = chainProgress(opts.Progress,
+		fitSpanHook(s.Tracer, trace.SpanContextOf(r.Context())))
 	var m *core.Model
 	if boolParam(r, "global_only") {
 		m, err = core.FitGlobal(x, opts)
 	} else {
 		m, err = core.Fit(x, opts)
 	}
-	if trace != nil {
-		rep := trace.Report()
+	if ft != nil {
+		rep := ft.Report()
 		s.Metrics.ObserveFitReport(rep)
 		if s.Logger != nil {
 			s.Logger.Info("fit",

@@ -34,6 +34,7 @@ import (
 	"dspot/internal/core"
 	"dspot/internal/dataset"
 	"dspot/internal/jobs"
+	"dspot/internal/obs/trace"
 	"dspot/internal/registry"
 	"dspot/internal/tensor"
 )
@@ -130,7 +131,10 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 	}
 	globalOnly := boolParam(r, "global_only")
 
-	jobID, err := s.Jobs.Submit("fit", func(ctx context.Context) (any, error) {
+	// SubmitCtx: the request span (in r.Context()) becomes the parent of
+	// the job's queue-wait and run spans, so the async fit stays one trace
+	// past the 202 below.
+	jobID, err := s.Jobs.SubmitCtx(r.Context(), "fit", func(ctx context.Context) (any, error) {
 		return s.runFitJob(ctx, x, opts, globalOnly, modelID)
 	})
 	if err != nil {
@@ -155,8 +159,11 @@ func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitO
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	trace := core.NewFitTrace()
-	opts.Progress = trace.Hook()
+	ft := core.NewFitTrace()
+	// The jobs engine installed the job.run span in ctx; fit-stage spans
+	// become its children.
+	opts.Progress = chainProgress(ft.Hook(),
+		fitSpanHook(s.Tracer, trace.SpanContextOf(ctx)))
 	opts.Context = ctx
 	var m *core.Model
 	var err error
@@ -168,10 +175,16 @@ func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitO
 			err = core.FitLocalCtx(ctx, x, m, opts)
 		}
 	}
-	rep := trace.Report()
+	rep := ft.Report()
 	s.Metrics.ObserveFitReport(rep)
+	if span := trace.SpanFromContext(ctx); span != nil {
+		span.SetAttr("model_id", modelID)
+		span.SetAttr("keywords", rep.Keywords)
+		span.SetAttr("lm_iterations", rep.LMIterations)
+		span.SetAttr("shocks_accepted", rep.ShocksAccepted)
+	}
 	if s.Logger != nil {
-		s.Logger.Info("job fit",
+		s.Logger.InfoContext(ctx, "job fit",
 			"model_id", modelID, "keywords", x.D(), "locations", x.L(),
 			"ticks", x.N(), "lm_iterations", rep.LMIterations,
 			"shocks_accepted", rep.ShocksAccepted, "err", err)

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# serve-smoke: boot dspot-serve, run one async fit over HTTP, and assert the
+# whole request shows up as ONE trace in the flight recorder — the HTTP
+# span, the job queue-wait and run spans, and the fit-stage spans — with the
+# same trace id on the request and job log lines, plus runtime gauges on
+# /metrics. This is the end-to-end check that the tracing plumbing stays
+# wired through every layer; the per-package unit tests cannot see a broken
+# hand-off between them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$WORKDIR/serve.log" >&2 || true
+  exit 1
+}
+
+go build -o "$WORKDIR/dspot-serve" ./cmd/dspot-serve
+go run ./cmd/dspot-gen -dataset googletrends -keyword grammy \
+  -locations 4 -seed 3 -out "$WORKDIR/fit.csv"
+
+"$WORKDIR/dspot-serve" -addr "127.0.0.1:${PORT}" -log-json \
+  -runtime-metrics-every 1s >"$WORKDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during boot"
+  sleep 0.1
+done
+curl -fsS "$BASE/readyz" >/dev/null || fail "server never became ready"
+
+# --- async fit: capture the trace id the middleware echoes back ---------
+TRACE_ID=$(curl -fsS -D - -o "$WORKDIR/accept.json" \
+  --data-binary @"$WORKDIR/fit.csv" -H 'Content-Type: text/csv' \
+  "$BASE/v1/jobs/fit?global_only=1&no_growth=1" \
+  | tr -d '\r' | sed -n 's/^[Xx]-[Tt]race-[Ii]d: //p')
+[ "${#TRACE_ID}" -eq 32 ] || fail "bad X-Trace-Id '$TRACE_ID'"
+JOB_ID=$(sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p' "$WORKDIR/accept.json")
+[ -n "$JOB_ID" ] || fail "no job_id in accept body: $(cat "$WORKDIR/accept.json")"
+
+# --- wait for the job, then for its late spans to land ------------------
+for _ in $(seq 1 300); do
+  STATE=$(curl -fsS "$BASE/v1/jobs/$JOB_ID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  [ "$STATE" = "done" ] && break
+  case "$STATE" in failed|cancelled) fail "job ended $STATE";; esac
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || fail "job never finished (state '$STATE')"
+
+TRACE_JSON=""
+for _ in $(seq 1 100); do
+  TRACE_JSON=$(curl -fsS "$BASE/debug/traces/$TRACE_ID" || true)
+  if echo "$TRACE_JSON" | grep -q '"name":"job.run"' &&
+     echo "$TRACE_JSON" | grep -q '"name":"fit.global"'; then
+    break
+  fi
+  sleep 0.1
+done
+
+for span in http.request job.wait job.run fit.global fit.keyword; do
+  echo "$TRACE_JSON" | grep -q "\"name\":\"$span\"" \
+    || fail "trace $TRACE_ID missing span $span: $TRACE_JSON"
+done
+echo "$TRACE_JSON" | grep -q '"key":"lm_iterations"' \
+  || fail "fit spans carry no lm_iterations attribute: $TRACE_JSON"
+curl -fsS "$BASE/debug/traces" | grep -q "$TRACE_ID" \
+  || fail "trace listing does not include $TRACE_ID"
+
+# --- log correlation: same trace id on request and job lifecycle lines --
+grep '"msg":"request"' "$WORKDIR/serve.log" | grep '/v1/jobs/fit' \
+  | grep -q "$TRACE_ID" || fail "request log line lacks trace_id $TRACE_ID"
+grep '"msg":"job finished"' "$WORKDIR/serve.log" \
+  | grep -q "$TRACE_ID" || fail "job-finished log line lacks trace_id $TRACE_ID"
+
+# --- one stream append so its span + histogram have data ----------------
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"values":[1,2,3]}' "$BASE/v1/streams/smoke/append" >/dev/null \
+  || fail "stream append failed"
+
+# --- runtime gauges and the new histograms on /metrics ------------------
+METRICS=$(curl -fsS "$BASE/metrics")
+for m in go_goroutines go_heap_alloc_bytes go_gc_pause_seconds \
+         jobs_queue_wait_seconds stream_append_seconds; do
+  echo "$METRICS" | grep -q "$m" || fail "/metrics missing $m"
+done
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "serve-smoke: OK (trace $TRACE_ID, job $JOB_ID)"
