@@ -1,6 +1,8 @@
-// Command dspot-serve runs the Δ-SPOT HTTP service.
+// Command dspot-serve runs the model-engine HTTP service (Δ-SPOT by
+// default; epidemic, FUNNEL and HIP engines selectable per request).
 //
-//	dspot-serve [-addr :8080] [-workers N] [-log-level info] [-log-json]
+//	dspot-serve [-addr :8080] [-workers N] [-default-engine dspot]
+//	            [-log-level info] [-log-json]
 //	            [-pprof] [-shutdown-timeout 30s]
 //	            [-data-dir DIR] [-fit-workers N] [-queue-depth N]
 //	            [-job-timeout 15m] [-abandon-grace 2s] [-max-models N]
@@ -10,6 +12,7 @@
 // Endpoints (see internal/service):
 //
 //	POST /v1/fit        text/csv tensor → model JSON
+//	                    ?engine=dspot|hip|epidemic|funnel|auto
 //	POST /v1/events     model JSON → detected events
 //	POST /v1/forecast   model JSON → forecast + predicted events
 //	POST /v1/anomalies  model + series → flagged ticks
@@ -51,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	modelengine "dspot/internal/engine"
 	"dspot/internal/jobs"
 	"dspot/internal/obs"
 	"dspot/internal/obs/trace"
@@ -61,6 +65,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "fitting concurrency per request")
+	defaultEngine := flag.String("default-engine", "",
+		"model engine for fit requests without ?engine= (empty: dspot; 'auto' selects by MDL)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logJSON := flag.Bool("log-json", false, "log JSON instead of key=value text")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -93,6 +99,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dspot-serve:", err)
 		os.Exit(2)
 	}
+	// A typo'd -default-engine should fail the boot, not 400 every request.
+	if *defaultEngine != "" && *defaultEngine != modelengine.Auto {
+		if _, err := modelengine.Lookup(*defaultEngine); err != nil {
+			fmt.Fprintln(os.Stderr, "dspot-serve:", err)
+			os.Exit(2)
+		}
+	}
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 	metrics := service.NewMetrics()
 
@@ -121,11 +134,12 @@ func main() {
 	// "dead" — then the full handler is swapped in atomically.
 	var current atomic.Value // http.Handler
 	current.Store((&service.Server{
-		Workers: *workers,
-		Metrics: metrics,
-		Logger:  logger,
-		Tracer:  tracer,
-		Ready:   func() error { return errors.New("registry loading") },
+		Workers:       *workers,
+		DefaultEngine: *defaultEngine,
+		Metrics:       metrics,
+		Logger:        logger,
+		Tracer:        tracer,
+		Ready:         func() error { return errors.New("registry loading") },
 	}).Handler())
 	var handler http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		current.Load().(http.Handler).ServeHTTP(w, r)
@@ -180,12 +194,13 @@ func main() {
 		engine = e
 		engineMu.Unlock()
 		current.Store((&service.Server{
-			Workers:  *workers,
-			Metrics:  metrics,
-			Logger:   logger,
-			Registry: reg,
-			Jobs:     e,
-			Tracer:   tracer,
+			Workers:       *workers,
+			DefaultEngine: *defaultEngine,
+			Metrics:       metrics,
+			Logger:        logger,
+			Registry:      reg,
+			Jobs:          e,
+			Tracer:        tracer,
 		}).Handler())
 		logger.Info("registry ready", "data_dir", *dataDir, "models", reg.Len())
 	}()
@@ -206,7 +221,8 @@ func main() {
 	logger.Info("dspot-serve listening",
 		"addr", *addr, "workers", *workers, "pprof", *pprofOn,
 		"trace", *traceOn, "data_dir", *dataDir,
-		"fit_workers", *fitWorkers, "queue_depth", *queueDepth)
+		"fit_workers", *fitWorkers, "queue_depth", *queueDepth,
+		"engines", modelengine.Names(), "default_engine", *defaultEngine)
 
 	select {
 	case err := <-errc:

@@ -3,6 +3,9 @@ package dspot
 import (
 	"fmt"
 	"testing"
+
+	"dspot/internal/engine"
+	"dspot/internal/tensor"
 )
 
 // Golden end-to-end pin of FitSequence on a fixed synthetic world. The
@@ -67,5 +70,44 @@ func TestFitSequenceGolden(t *testing.T) {
 	}
 	for i, want := range wantStr {
 		pin(fmt.Sprintf("Strength[%d]", i), s.Strength[i], want)
+	}
+
+	// Cross-check the engine subsystem against the direct core path: the
+	// same global sequence fitted through the "dspot" ModelEngine must be
+	// bit-identical in every pinned field. The engine wrapper is required to
+	// be a pure view over the core — any numeric divergence here means the
+	// adapter re-entered the fit through a different code path.
+	seq := truth.Tensor.Global(0)
+	x := tensor.New([]string{"seq"}, []string{"all"}, len(seq))
+	for tt, v := range seq {
+		x.Set(0, 0, tt, v)
+	}
+	e, err := engine.Lookup(engine.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := e.Fit(x, engine.FitOptions{GlobalOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := em.(*engine.DspotModel).M
+	ep := cm.Global[0]
+	pin("engine N", ep.N, p.N)
+	pin("engine Beta", ep.Beta, p.Beta)
+	pin("engine Delta", ep.Delta, p.Delta)
+	pin("engine Gamma", ep.Gamma, p.Gamma)
+	pin("engine I0", ep.I0, p.I0)
+	pin("engine Eta0", ep.Eta0, p.Eta0)
+	pin("engine Scale", cm.Scale[0], m.Scale[0])
+	if len(cm.Shocks) != len(m.Shocks) {
+		t.Fatalf("engine path found %d shocks, want %d", len(cm.Shocks), len(m.Shocks))
+	}
+	es := cm.Shocks[0]
+	if es.Period != s.Period || es.Start != s.Start || es.Width != s.Width {
+		t.Fatalf("engine shock shape P=%d S=%d W=%d, want P=%d S=%d W=%d",
+			es.Period, es.Start, es.Width, s.Period, s.Start, s.Width)
+	}
+	for i, want := range s.Strength {
+		pin(fmt.Sprintf("engine Strength[%d]", i), es.Strength[i], want)
 	}
 }

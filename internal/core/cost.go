@@ -152,6 +152,26 @@ func (m *Model) CostBreakdown(x *tensor.Tensor) CostBreakdown {
 	return b
 }
 
+// GlobalCost returns the global-level MDL total — universal header, global
+// model description (base rows, growth effects, the shock tensor without its
+// local participation entries), and the Gaussian coding cost of the global
+// sequences. This is the cross-engine comparison currency of the engine
+// registry: every ModelEngine.CodingCost prices the same global sequences
+// under the same header, so `engine=auto` can rank families by it.
+func (m *Model) GlobalCost(globals [][]float64) float64 {
+	d, n := len(m.Keywords), m.Ticks
+	cost := mdl.LogStar(d) + mdl.LogStar(n)
+	cost += costBaseGlobal(d)
+	cost += costGrowthGlobal(m.Global)
+	cost += mdl.LogStar(len(m.Shocks))
+	for i := range m.Shocks {
+		s := m.Shocks[i] // copy: price the shock without its local entries
+		s.Local = nil
+		cost += costShock(&s, d, 1, n)
+	}
+	return cost + m.GlobalCodingCost(globals)
+}
+
 // residuals returns obs−est with missing observations mapped to NaN.
 func residuals(obs, est []float64) []float64 {
 	return residualsInto(nil, obs, est)

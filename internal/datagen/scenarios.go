@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"dspot/internal/epidemic"
+	"dspot/internal/hip"
+	"dspot/internal/tensor"
+	"dspot/internal/world"
+)
+
+// Scenario generators: one synthetic world per model family, used by the
+// cross-engine selection experiments. Each renders its family's generative
+// process through the shared country/noise machinery, so "which engine
+// explains this world most cheaply?" has a scripted ground-truth answer.
+
+// ScenarioTicks is the natural duration of the scenario worlds: three years
+// of weekly ticks.
+const ScenarioTicks = 156
+
+// TrendScenario scripts a Δ-SPOT world: SIV base dynamics with a population
+// growth onset and an annual cyclic shock — structure only the Δ-SPOT family
+// models explicitly.
+func TrendScenario(cfg Config) *Truth {
+	cfg = cfg.withDefaults(ScenarioTicks)
+	spec := KeywordSpec{
+		Name: "trend", Volume: 90,
+		Beta: 0.5, Delta: 0.45, Gamma: 0.5, I0: 0.01,
+		// Sharp narrow annual bursts and a sustained growth ramp: structure a
+		// sinusoidally-forced compartment (SKIPS) cannot reproduce.
+		Growth: &GrowthSpec{Start: cfg.Ticks / 3, Rate: 0.35},
+		Events: []EventSpec{
+			{Name: "annual burst", Period: 52, Start: 10, Width: 2, Strength: 12},
+		},
+	}
+	return generate([]KeywordSpec{spec}, cfg, 2004, 7)
+}
+
+// EpidemicScenario scripts a pure SI adoption world: a logistic S-curve that
+// rises once and saturates, with no seasonality, growth or shocks — the
+// compartmental family's home turf.
+func EpidemicScenario(cfg Config) *Truth {
+	cfg = cfg.withDefaults(ScenarioTicks)
+	p := epidemic.Params{Kind: epidemic.SI, N: 100, Beta: 0.08, I0: 0.01}
+	return renderCurve("adoption", p.Simulate(cfg.Ticks), cfg)
+}
+
+// HawkesScenario scripts a self-exciting world: a HIP process driven by three
+// promotion pulses, where each burst's decay is the power-law kernel rather
+// than compartmental dynamics. It returns the world plus the promotion series
+// s(t) that drove it (the fit must be given the same exogenous input).
+func HawkesScenario(cfg Config) (*Truth, []float64) {
+	cfg = cfg.withDefaults(ScenarioTicks)
+	n := cfg.Ticks
+	promo := make([]float64, n)
+	for t := range promo {
+		promo[t] = 1
+	}
+	for _, pulse := range []struct {
+		at     int
+		height float64
+	}{
+		{n * 15 / 100, 10},
+		{n * 50 / 100, 8},
+		{n * 75 / 100, 12},
+	} {
+		for t := pulse.at; t < pulse.at+3 && t < n; t++ {
+			promo[t] += pulse.height
+		}
+	}
+	p := hip.Params{Mu: 50, C: 0.5, Theta: 0.6, Cutoff: 2}
+	return renderCurve("viral", p.Simulate(n, promo), cfg), promo
+}
+
+// renderCurve distributes one global curve across the country registry with
+// deterministic shares and per-cell observation noise — the scenario
+// counterpart of generate for families without per-country dynamics.
+func renderCurve(name string, curve []float64, cfg Config) *Truth {
+	countries := world.Countries()[:cfg.Locations]
+	codes := make([]string, len(countries))
+	for j, c := range countries {
+		codes[j] = c.Code
+	}
+	x := tensor.New([]string{name}, codes, cfg.Ticks)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shares := countryShares(countries, 0, rng)
+	peak := 0.0
+	for _, v := range curve {
+		if v > peak {
+			peak = v
+		}
+	}
+	for j := range countries {
+		for t := 0; t < cfg.Ticks; t++ {
+			v := curve[t]*shares[j] + rng.NormFloat64()*cfg.Noise*peak*shares[j]
+			if v < 0 {
+				v = 0
+			}
+			x.Set(0, j, t, v)
+		}
+	}
+	return &Truth{Tensor: x, StartYear: 2004, TickDays: 7}
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"dspot/internal/tensor"
+)
+
+// AutoFit fits every registered engine to the tensor and keeps the model with
+// the lowest MDL coding cost — the paper's model-selection argument applied
+// across families. It returns the winning model, the per-engine cost table
+// (finite costs only; engines whose fit failed or whose cost is non-finite
+// are absent), and an error only when no engine produced a usable model.
+//
+// Engines fit concurrently; ties break lexicographically by engine name so
+// selection is deterministic.
+func AutoFit(x *tensor.Tensor, opts FitOptions) (Model, map[string]float64, error) {
+	if err := validateInput(x, &opts); err != nil {
+		return nil, nil, err
+	}
+	ctx := ctxOf(opts)
+	names := Names()
+
+	type attempt struct {
+		name  string
+		model Model
+		cost  float64
+		err   error
+	}
+	attempts := make([]attempt, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			a := attempt{name: name}
+			defer func() { attempts[i] = a }()
+			e, err := Lookup(name)
+			if err != nil {
+				a.err = err
+				return
+			}
+			m, err := e.Fit(x, opts)
+			if err != nil {
+				a.err = fmt.Errorf("engine %s: %w", name, err)
+				return
+			}
+			c, err := e.CodingCost(m, x)
+			if err != nil {
+				a.err = fmt.Errorf("engine %s: coding cost: %w", name, err)
+				return
+			}
+			a.model, a.cost = m, c
+		}(i, name)
+	}
+	wg.Wait()
+
+	costs := make(map[string]float64, len(names))
+	var (
+		best     Model
+		bestCost = math.Inf(1)
+		errs     []error
+	)
+	for _, a := range attempts {
+		if a.err != nil {
+			errs = append(errs, a.err)
+			continue
+		}
+		if !isFinite(a.cost) {
+			// JSON cannot carry Inf/NaN, and a non-finite cost means the fit
+			// degenerated anyway — drop it from the table and the race.
+			errs = append(errs, fmt.Errorf("engine %s: non-finite coding cost", a.name))
+			continue
+		}
+		costs[a.name] = a.cost
+		if a.cost < bestCost {
+			best, bestCost = a.model, a.cost
+		}
+	}
+	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("engine: auto fit cancelled: %w", err)
+		}
+		return nil, nil, fmt.Errorf("engine: auto fit: every engine failed: %w", errors.Join(errs...))
+	}
+	return best, costs, nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"dspot/internal/datagen"
+)
+
+// TestAutoSelectsGeneratingFamily is the acceptance test for engine=auto:
+// on a world scripted by one family's generative process, the MDL race picks
+// that family, and the cost table carries a finite entry per surviving
+// engine with the winner at the minimum.
+func TestAutoSelectsGeneratingFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits every engine on three scenario worlds; skipped in -short")
+	}
+	cfg := datagen.Config{Locations: 3, Ticks: datagen.ScenarioTicks, Seed: 7, Noise: 0.02}
+
+	hawkes, promo := datagen.HawkesScenario(cfg)
+	cases := []struct {
+		name      string
+		truth     *datagen.Truth
+		promotion []float64
+		want      string
+	}{
+		{name: "trend", truth: datagen.TrendScenario(cfg), want: "dspot"},
+		{name: "epidemic", truth: datagen.EpidemicScenario(cfg), want: "epidemic"},
+		{name: "hawkes", truth: hawkes, promotion: promo, want: "hip"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, costs, err := AutoFit(tc.truth.Tensor, FitOptions{
+				Workers:   1,
+				MaxShocks: 3,
+				Promotion: tc.promotion,
+			})
+			if err != nil {
+				t.Fatalf("AutoFit: %v", err)
+			}
+			if got := m.EngineName(); got != tc.want {
+				t.Errorf("auto selected %q, want %q (costs: %v)", got, tc.want, costs)
+			}
+			if len(costs) < 2 {
+				t.Fatalf("cost table has %d entries, want at least 2: %v", len(costs), costs)
+			}
+			winner, ok := costs[tc.want]
+			if !ok {
+				t.Fatalf("cost table missing the generating family: %v", costs)
+			}
+			for name, c := range costs {
+				if math.IsNaN(c) || math.IsInf(c, 0) {
+					t.Errorf("cost[%s] = %v, want finite", name, c)
+				}
+				if name != tc.want && c < winner {
+					t.Errorf("cost[%s] = %.1f beats winner %.1f; table %v", name, c, winner, costs)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoFitAllEnginesFail pins the error path: an input no engine accepts
+// reports the joined per-engine failures rather than a nil model.
+func TestAutoFitAllEnginesFail(t *testing.T) {
+	m, costs, err := AutoFit(nil, FitOptions{})
+	if err == nil || m != nil || costs != nil {
+		t.Fatalf("AutoFit(nil) = %v, %v, %v; want error", m, costs, err)
+	}
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"dspot/internal/core"
+	"dspot/internal/dataset"
+	"dspot/internal/tensor"
+)
+
+func init() { Register(dspotEngine{}) }
+
+// DspotModel adapts a fitted *core.Model to the engine Model interface. The
+// wrapper is a pure view: fitting, simulation, forecasting and persistence
+// all delegate to the core untouched, so numerics through the engine path
+// are bit-identical to direct core calls (pinned by TestFitSequenceGolden).
+type DspotModel struct{ M *core.Model }
+
+// NewDspotModel wraps a core model for engine-typed callers (the registry,
+// streams, tests).
+func NewDspotModel(m *core.Model) *DspotModel { return &DspotModel{M: m} }
+
+func (d *DspotModel) EngineName() string  { return Default }
+func (d *DspotModel) Keywords() []string  { return d.M.Keywords }
+func (d *DspotModel) Locations() []string { return d.M.Locations }
+func (d *DspotModel) Ticks() int          { return d.M.Ticks }
+func (d *DspotModel) Validate() error     { return d.M.Validate() }
+
+// Events lists the fitted shock tensor in engine-neutral form.
+func (d *DspotModel) Events() []Event {
+	out := make([]Event, 0, len(d.M.Shocks))
+	for _, sh := range d.M.Shocks {
+		out = append(out, Event{
+			Keyword: d.M.Keywords[sh.Keyword], Period: sh.Period,
+			Start: sh.Start, Width: sh.Width,
+			Strength: sh.Strength, Cyclic: sh.Period > 0,
+		})
+	}
+	return out
+}
+
+// PredictedEvents forecasts future occurrences of the keyword's cyclic
+// shocks within the horizon.
+func (d *DspotModel) PredictedEvents(keyword string, horizon int) ([]PredictedEvent, error) {
+	i, err := keywordIndex(d, keyword)
+	if err != nil {
+		return nil, err
+	}
+	return d.M.PredictedEvents(i, horizon), nil
+}
+
+// Anomalies scores an observed series against the fitted global curve.
+func (d *DspotModel) Anomalies(keyword string, series []float64, threshold float64) ([]Anomaly, error) {
+	i, err := keywordIndex(d, keyword)
+	if err != nil {
+		return nil, err
+	}
+	return d.M.AnomaliesGlobal(i, series, threshold), nil
+}
+
+// dspotEngine is the Δ-SPOT family behind the engine interface.
+type dspotEngine struct{}
+
+func (dspotEngine) Name() string { return Default }
+
+func (dspotEngine) Fit(x *tensor.Tensor, opts FitOptions) (Model, error) {
+	if err := validateInput(x, &opts); err != nil {
+		return nil, err
+	}
+	copts := core.FitOptions{
+		Workers:       opts.Workers,
+		Prevalidated:  true,
+		DisableGrowth: opts.DisableGrowth,
+		DisableShocks: opts.DisableShocks,
+		DisableCycles: opts.DisableCycles,
+		MaxShocks:     opts.MaxShocks,
+		Context:       opts.Context,
+		Progress:      opts.Progress,
+	}
+	var m *core.Model
+	var err error
+	if opts.GlobalOnly {
+		m, err = core.FitGlobal(x, copts)
+	} else {
+		m, err = core.Fit(x, copts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DspotModel{M: m}, nil
+}
+
+func (dspotEngine) Simulate(m Model, keyword string, n int) ([]float64, error) {
+	dm, err := asDspot(m)
+	if err != nil {
+		return nil, err
+	}
+	i, err := keywordIndex(m, keyword)
+	if err != nil {
+		return nil, err
+	}
+	return dm.M.SimulateGlobal(i, n), nil
+}
+
+func (dspotEngine) Forecast(m Model, keyword string, horizon int) ([]float64, error) {
+	dm, err := asDspot(m)
+	if err != nil {
+		return nil, err
+	}
+	i, err := keywordIndex(m, keyword)
+	if err != nil {
+		return nil, err
+	}
+	return dm.M.ForecastGlobal(i, horizon), nil
+}
+
+func (dspotEngine) CodingCost(m Model, x *tensor.Tensor) (float64, error) {
+	dm, err := asDspot(m)
+	if err != nil {
+		return 0, err
+	}
+	return dm.M.GlobalCost(x.GlobalAll()), nil
+}
+
+// EncodeModel / DecodeModel reuse the dataset wire format, so models
+// persisted before the engine subsystem existed decode unchanged.
+func (dspotEngine) EncodeModel(w io.Writer, m Model) error {
+	dm, err := asDspot(m)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteModel(w, dm.M)
+}
+
+func (dspotEngine) DecodeModel(r io.Reader) (Model, error) {
+	m, err := dataset.ReadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DspotModel{M: m}, nil
+}
+
+func asDspot(m Model) (*DspotModel, error) {
+	dm, ok := m.(*DspotModel)
+	if !ok {
+		return nil, fmt.Errorf("engine: dspot engine got a %q model", m.EngineName())
+	}
+	return dm, nil
+}

@@ -7,7 +7,9 @@
 package epidemic
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"dspot/internal/lm"
@@ -117,6 +119,13 @@ func clamp01(v float64) float64 {
 // normalised data, trying a small deterministic set of starting points and
 // returning the best. Missing (NaN) observations are skipped.
 func Fit(kind Kind, seq []float64) (Params, error) {
+	return FitCtx(context.Background(), kind, seq)
+}
+
+// FitCtx is Fit under a cancellation context: once ctx ends, the LM
+// iterations and remaining starting points stop cooperatively and the error
+// wraps context.Canceled or context.DeadlineExceeded.
+func FitCtx(ctx context.Context, kind Kind, seq []float64) (Params, error) {
 	if tensor.ObservedCount(seq) < 4 {
 		return Params{}, errors.New("epidemic: sequence too short to fit")
 	}
@@ -177,9 +186,12 @@ func Fit(kind Kind, seq []float64) (Params, error) {
 		}
 		// Deterministic multi-start over contact-rate scales.
 		for _, betaStart := range []float64{0.2, 0.8, 2.0} {
+			if ctx.Err() != nil {
+				return
+			}
 			start := append([]float64(nil), p0...)
 			start[1] = betaStart
-			res, err := lm.Fit(resid, start, lm.Options{MaxIter: 120, Lower: lo, Upper: hi})
+			res, err := lm.Fit(resid, start, lm.Options{MaxIter: 120, Lower: lo, Upper: hi, Ctx: ctx})
 			if err != nil {
 				continue
 			}
@@ -210,6 +222,9 @@ func Fit(kind Kind, seq []float64) (Params, error) {
 		fitOne(0)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return Params{}, fmt.Errorf("epidemic: fit cancelled: %w", err)
+	}
 	if math.IsInf(bestSSE, 1) {
 		return Params{}, errors.New("epidemic: fit failed for all starting points")
 	}

@@ -12,7 +12,9 @@
 package funnel
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 
@@ -109,6 +111,11 @@ func clamp01(v float64) float64 {
 type Options struct {
 	MaxShocks       int   // default 10
 	CalendarPeriods []int // candidate seasonal periods; default {52, 26, 12, 7}
+
+	// Context cancels the fit cooperatively (between LM iterations, period
+	// candidates and shock candidates); the error then wraps
+	// context.Canceled or context.DeadlineExceeded.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +133,10 @@ func (o Options) withDefaults() Options {
 // MDL-gated one-shot shock discovery.
 func Fit(seq []float64, opts Options) (Params, error) {
 	opts = opts.withDefaults()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if tensor.ObservedCount(seq) < 8 {
 		return Params{}, errors.New("funnel: sequence too short")
 	}
@@ -139,14 +150,20 @@ func Fit(seq []float64, opts Options) (Params, error) {
 	best := Params{}
 	bestCost := math.Inf(1)
 	for _, period := range periods {
+		if ctx.Err() != nil {
+			break
+		}
 		if period < 0 || period > n/2 || seen[period] {
 			continue
 		}
 		seen[period] = true
-		p, cost := fitWithPeriod(norm, n, period, opts)
+		p, cost := fitWithPeriod(ctx, norm, n, period, opts)
 		if cost < bestCost {
 			bestCost, best = cost, p
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Params{}, fmt.Errorf("funnel: fit cancelled: %w", err)
 	}
 	if math.IsInf(bestCost, 1) {
 		return Params{}, errors.New("funnel: fit failed")
@@ -156,11 +173,11 @@ func Fit(seq []float64, opts Options) (Params, error) {
 }
 
 // fitWithPeriod fits base+seasonality for one fixed period, then shocks.
-func fitWithPeriod(norm []float64, n, period int, opts Options) (Params, float64) {
+func fitWithPeriod(ctx context.Context, norm []float64, n, period int, opts Options) (Params, float64) {
 	p := Params{Period: period}
-	fitBase(&p, norm, n, true)
-	detectShocks(&p, norm, n, opts.MaxShocks)
-	fitBase(&p, norm, n, false)
+	fitBase(ctx, &p, norm, n, true)
+	detectShocks(ctx, &p, norm, n, opts.MaxShocks)
+	fitBase(ctx, &p, norm, n, false)
 	return p, cost(&p, norm, n)
 }
 
@@ -197,7 +214,7 @@ func residuals(norm, sim []float64) []float64 {
 }
 
 // fitBase runs LM over the continuous parameters with shocks fixed.
-func fitBase(p *Params, norm []float64, n int, multiStart bool) {
+func fitBase(ctx context.Context, p *Params, norm []float64, n int, multiStart bool) {
 	seasonal := p.Period > 0
 	dim := 5
 	if seasonal {
@@ -239,7 +256,10 @@ func fitBase(p *Params, norm []float64, n int, multiStart bool) {
 	bestSSE := math.Inf(1)
 	var bestV []float64
 	for _, st := range starts {
-		res, err := lm.Fit(resid, st, lm.Options{MaxIter: 100, Lower: lo, Upper: hi})
+		if ctx.Err() != nil {
+			return
+		}
+		res, err := lm.Fit(resid, st, lm.Options{MaxIter: 100, Lower: lo, Upper: hi, Ctx: ctx})
 		if err != nil {
 			continue
 		}
@@ -253,9 +273,12 @@ func fitBase(p *Params, norm []float64, n int, multiStart bool) {
 }
 
 // detectShocks greedily adds one-shot shocks while the MDL cost improves.
-func detectShocks(p *Params, norm []float64, n, maxShocks int) {
+func detectShocks(ctx context.Context, p *Params, norm []float64, n, maxShocks int) {
 	cur := cost(p, norm, n)
 	for len(p.Shocks) < maxShocks {
+		if ctx.Err() != nil {
+			return
+		}
 		res := residuals(norm, p.Simulate(n))
 		_, sigma2 := mdl.ResidualNoise(res)
 		level := math.Max(2*math.Sqrt(sigma2), 0.08*stats.Max(norm))
@@ -280,6 +303,9 @@ func detectShocks(p *Params, norm []float64, n, maxShocks int) {
 		var bestShock Shock
 		var bestParams Params
 		for _, c := range cfgs {
+			if ctx.Err() != nil {
+				return
+			}
 			s := Shock{Start: c.start, Width: c.width}
 			q := *p
 			q.Shocks = append(append([]Shock(nil), p.Shocks...), s)
@@ -293,7 +319,7 @@ func detectShocks(p *Params, norm []float64, n, maxShocks int) {
 			// systematically under-rate shock candidates (the modelled
 			// spike drags an artificial dip), so refit the base with the
 			// shock present, then re-fit the strength.
-			fitBase(&q, norm, n, true)
+			fitBase(ctx, &q, norm, n, true)
 			self = &q.Shocks[len(q.Shocks)-1]
 			strength, _ = optimize.Golden(func(e float64) float64 {
 				self.Strength = e

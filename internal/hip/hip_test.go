@@ -1,0 +1,145 @@
+package hip
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dspot/internal/numcheck"
+)
+
+// promoWithPulses builds a unit-baseline promotion series with scripted
+// rectangular pulses — the "promoted on these days" exogenous script.
+func promoWithPulses(n int, pulses map[int]float64, width int) []float64 {
+	promo := make([]float64, n)
+	for t := range promo {
+		promo[t] = 1
+	}
+	for start, level := range pulses {
+		for t := start; t < start+width && t < n; t++ {
+			promo[t] += level
+		}
+	}
+	return promo
+}
+
+// TestFitRecoversPlantedParameters plants a HIP world — power-law
+// self-excitation plus promotion pulses — and checks the fit reproduces the
+// clean trajectory within a tight NRMSE bound and lands near the planted
+// parameters.
+func TestFitRecoversPlantedParameters(t *testing.T) {
+	const n = 200
+	truth := Params{Mu: 50, C: 0.5, Theta: 0.6, Cutoff: 2}
+	promo := promoWithPulses(n, map[int]float64{30: 10, 100: 8, 150: 12}, 3)
+	clean := truth.Simulate(n, promo)
+
+	peak := 0.0
+	for _, v := range clean {
+		if v > peak {
+			peak = v
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	obs := make([]float64, n)
+	for t := range obs {
+		obs[t] = clean[t] + rng.NormFloat64()*0.01*peak
+		if obs[t] < 0 {
+			obs[t] = 0
+		}
+	}
+
+	got, err := Fit(obs, Options{Promotion: promo})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	fit := got.Simulate(n, promo)
+	sse := 0.0
+	for t := range fit {
+		d := fit[t] - clean[t]
+		sse += d * d
+	}
+	nrmse := math.Sqrt(sse/float64(n)) / peak
+	if nrmse > 0.05 {
+		t.Fatalf("fitted curve NRMSE %.4f vs planted world (want <= 0.05); got %+v", nrmse, got)
+	}
+	// The curve bound is the strict check. Raw (C, θ, c) sit on a ridge of
+	// near-equal fits — C trades off against the kernel mass — so the
+	// parameter check targets the identifiable combinations: the branching
+	// factor C·Σφ (endogenous amplification) and μ (exogenous sensitivity).
+	bTruth, bGot := branching(truth, n), branching(got, n)
+	if math.Abs(bGot-bTruth) > 0.1 {
+		t.Errorf("recovered branching factor %.3f, planted %.3f (params %+v)",
+			bGot, bTruth, got)
+	}
+	if got.Mu < truth.Mu*0.5 || got.Mu > truth.Mu*1.5 {
+		t.Errorf("recovered Mu=%.3f, planted %.3f", got.Mu, truth.Mu)
+	}
+}
+
+// branching is the endogenous amplification C·Σ_{k<n} (k+c)^{−(1+θ)} — the
+// identifiable self-excitation quantity (raw C and the kernel shape trade
+// off against each other).
+func branching(p Params, n int) float64 {
+	s := 0.0
+	for k := 1; k < n; k++ {
+		s += math.Pow(float64(k)+p.Cutoff, -(1 + p.Theta))
+	}
+	return p.C * s
+}
+
+func TestFitRejectsNonFiniteInput(t *testing.T) {
+	seq := make([]float64, 32)
+	for t := range seq {
+		seq[t] = float64(t)
+	}
+	seq[5] = math.Inf(1)
+	if _, err := Fit(seq, Options{}); !errors.Is(err, numcheck.ErrInf) {
+		t.Fatalf("Fit(inf) err = %v, want numcheck.ErrInf", err)
+	}
+	seq[5] = -3
+	if _, err := Fit(seq, Options{}); !errors.Is(err, numcheck.ErrNegative) {
+		t.Fatalf("Fit(negative) err = %v, want numcheck.ErrNegative", err)
+	}
+	promo := make([]float64, 32)
+	promo[0] = math.NaN()
+	seq[5] = 3
+	if _, err := Fit(seq, Options{Promotion: promo}); !errors.Is(err, numcheck.ErrNaN) {
+		t.Fatalf("Fit(NaN promotion) err = %v, want numcheck.ErrNaN", err)
+	}
+}
+
+func TestFitCancellation(t *testing.T) {
+	seq := make([]float64, 64)
+	for t := range seq {
+		seq[t] = 10 + float64(t%7)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fit(seq, Options{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fit(cancelled ctx) err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForecastExtendsTrajectory(t *testing.T) {
+	p := Params{Mu: 10, C: 0.4, Theta: 0.8, Cutoff: 1.5}
+	promo := promoWithPulses(50, map[int]float64{20: 5}, 2)
+	fc := p.Forecast(50, 10, promo)
+	if len(fc) != 10 {
+		t.Fatalf("Forecast len = %d, want 10", len(fc))
+	}
+	full := p.Simulate(60, append(append([]float64(nil), promo...),
+		1, 1, 1, 1, 1, 1, 1, 1, 1, 1))
+	for i, v := range fc {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("forecast[%d] = %v, want finite non-negative", i, v)
+		}
+		// Mean promotion of a 1-baseline series with one small pulse is ~1;
+		// the forecast should track the same dynamics to within the pulse's
+		// diluted contribution.
+		if d := math.Abs(v - full[50+i]); d > 0.3*math.Abs(full[50+i])+1 {
+			t.Fatalf("forecast[%d] = %g, continuation = %g", i, v, full[50+i])
+		}
+	}
+}

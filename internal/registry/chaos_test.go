@@ -95,8 +95,8 @@ func TestChaosPutFaultSweep(t *testing.T) {
 				if err != nil {
 					t.Fatalf("pre-existing model lost after faulted Put: %v", err)
 				}
-				if m.Global[0].N != 8 {
-					t.Fatalf("pre-existing model content changed: N = %v", m.Global[0].N)
+				if coreOf(t, m).Global[0].N != 8 {
+					t.Fatalf("pre-existing model content changed: N = %v", coreOf(t, m).Global[0].N)
 				}
 				if putErr == nil {
 					// The fault missed (e.g. short-write rule on a non-write
@@ -110,7 +110,7 @@ func TestChaosPutFaultSweep(t *testing.T) {
 					// then it must be the *new* content, verified by Get's
 					// checksum path inside reopenClean.
 					m, _ := r2.Get("victim")
-					if m == nil || m.Global[0].N != 10 {
+					if m == nil || coreOf(t, m).Global[0].N != 10 {
 						t.Fatalf("half-written victim visible after fault at op %d", k)
 					}
 				}
@@ -155,7 +155,7 @@ func TestChaosOverwritePutFaultSweep(t *testing.T) {
 				if err != nil {
 					t.Fatalf("acknowledged model lost after faulted overwrite at op %d: %v", k, err)
 				}
-				n := m.Global[0].N
+				n := coreOf(t, m).Global[0].N
 				if n != 8 && n != 10 {
 					t.Fatalf("model content is neither old nor new after fault at op %d: N = %v", k, n)
 				}
@@ -220,8 +220,8 @@ func TestLegacyModelFileLayoutMigrates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Global[0].N != 6 {
-		t.Fatalf("migrated model content N = %v, want 6", m.Global[0].N)
+	if coreOf(t, m).Global[0].N != 6 {
+		t.Fatalf("migrated model content N = %v, want 6", coreOf(t, m).Global[0].N)
 	}
 }
 
@@ -236,7 +236,7 @@ func TestChaosCorruptModelQuarantinedOnBoot(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, id := range []string{"good", "bad"} {
-		if _, err := r.Put(id, testModel(i + 1)); err != nil {
+		if _, err := r.Put(id, testModel(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}

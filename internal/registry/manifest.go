@@ -32,9 +32,12 @@ type manifest struct {
 // manifestEntry records one model's identity and where its JSON lives,
 // plus enough shape metadata to list models without loading them.
 type manifestEntry struct {
-	ID          string `json:"id"`
-	Version     int    `json:"version"`
-	File        string `json:"file"` // relative to the data dir
+	ID      string `json:"id"`
+	Version int    `json:"version"`
+	// Engine names the model engine that persisted (and decodes) the file.
+	// "" is a legacy entry from before the engine subsystem: Δ-SPOT.
+	Engine      string `json:"engine,omitempty"`
+	File        string `json:"file"`               // relative to the data dir
 	Checksum    string `json:"checksum,omitempty"` // "crc32:xxxxxxxx"; "" = unverified legacy entry
 	CreatedUnix int64  `json:"created_unix"`
 	UpdatedUnix int64  `json:"updated_unix"`

@@ -1,6 +1,11 @@
 // Package registry is the stateful heart of the serving layer: a versioned
-// store of fitted Δ-SPOT models plus named incremental streams, shared by
-// every request instead of round-tripping model JSON through clients.
+// store of fitted models plus named incremental streams, shared by every
+// request instead of round-tripping model JSON through clients.
+//
+// Models are engine-typed (engine.Model): each entry records which engine
+// produced it, persistence delegates to that engine's Encode/DecodeModel,
+// and manifest entries written before the engine subsystem existed load as
+// the default Δ-SPOT engine, so old data directories keep working.
 //
 // Models live in an in-memory map guarded by a mutex, with an LRU bound on
 // how many stay loaded. When a data directory is configured every Put is
@@ -10,7 +15,7 @@
 // demand. Streams wrap core.Stream: clients append ticks and the registry
 // refits incrementally, snapshotting the stream state after every append.
 //
-// Concurrency contract: *core.Model values returned by Get are shared and
+// Concurrency contract: engine.Model values returned by Get are shared and
 // must be treated as read-only (every Model method used for serving is).
 // Stream appends serialise per stream but run concurrently across streams
 // and never hold the registry lock during a fit.
@@ -31,7 +36,7 @@ import (
 	"time"
 
 	"dspot/internal/core"
-	"dspot/internal/dataset"
+	"dspot/internal/engine"
 	"dspot/internal/faultfs"
 	"dspot/internal/obs/trace"
 )
@@ -77,6 +82,7 @@ type Options struct {
 type Info struct {
 	ID          string `json:"id"`
 	Version     int    `json:"version"`
+	Engine      string `json:"engine"`
 	CreatedUnix int64  `json:"created_unix"`
 	UpdatedUnix int64  `json:"updated_unix"`
 	Keywords    int    `json:"keywords"`
@@ -94,7 +100,7 @@ type entry struct {
 	info  Info
 	sum   string
 	file  string
-	model *core.Model
+	model engine.Model
 	elem  *list.Element
 }
 
@@ -261,8 +267,13 @@ func (r *Registry) loadManifest() error {
 				continue
 			}
 		}
+		eng := e.Engine
+		if eng == "" {
+			// Entries persisted before the engine subsystem are Δ-SPOT models.
+			eng = engine.Default
+		}
 		r.models[e.ID] = &entry{sum: e.Checksum, file: e.File, info: Info{
-			ID: e.ID, Version: e.Version,
+			ID: e.ID, Version: e.Version, Engine: eng,
 			CreatedUnix: e.CreatedUnix, UpdatedUnix: e.UpdatedUnix,
 			Keywords: e.Keywords, Locations: e.Locations, Ticks: e.Ticks,
 		}}
@@ -321,7 +332,7 @@ func (r *Registry) saveManifestLocked() error {
 		e := r.models[id]
 		info := e.info
 		mf.Models = append(mf.Models, manifestEntry{
-			ID: info.ID, Version: info.Version,
+			ID: info.ID, Version: info.Version, Engine: info.Engine,
 			File:        e.file,
 			Checksum:    e.sum,
 			CreatedUnix: info.CreatedUnix, UpdatedUnix: info.UpdatedUnix,
@@ -341,12 +352,18 @@ func (r *Registry) saveManifestLocked() error {
 
 // Put stores (or replaces) a model under id, bumping its version, and
 // persists it before updating the in-memory index so a crash between the
-// two leaves the previous manifest pointing at the previous content.
-func (r *Registry) Put(id string, m *core.Model) (Info, error) {
+// two leaves the previous manifest pointing at the previous content. The
+// model's engine (m.EngineName()) must be registered — it supplies the
+// persistence encoding and is recorded so Get can decode with the same one.
+func (r *Registry) Put(id string, m engine.Model) (Info, error) {
 	if err := ValidateID(id); err != nil {
 		return Info{}, err
 	}
 	if err := m.Validate(); err != nil {
+		return Info{}, fmt.Errorf("registry: rejecting model %q: %w", id, err)
+	}
+	eng, err := engine.Lookup(m.EngineName())
+	if err != nil {
 		return Info{}, fmt.Errorf("registry: rejecting model %q: %w", id, err)
 	}
 	r.mu.Lock()
@@ -359,11 +376,12 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	next := e.info
 	next.Version++
 	next.UpdatedUnix = now
-	next.Keywords, next.Locations, next.Ticks = len(m.Keywords), len(m.Locations), m.Ticks
+	next.Engine = eng.Name()
+	next.Keywords, next.Locations, next.Ticks = len(m.Keywords()), len(m.Locations()), m.Ticks()
 	sum, file, prevFile := "", "", e.file
 	if r.dir != "" {
 		var buf strings.Builder
-		if err := dataset.WriteModel(&buf, m); err != nil {
+		if err := eng.EncodeModel(&buf, m); err != nil {
 			return Info{}, fmt.Errorf("registry: encoding model %q: %w", id, err)
 		}
 		body := []byte(buf.String())
@@ -411,9 +429,10 @@ func (r *Registry) Put(id string, m *core.Model) (Info, error) {
 	return e.info, nil
 }
 
-// Get returns the model stored under id, reloading it from disk when the
-// LRU bound had evicted it. The returned model is shared: read-only.
-func (r *Registry) Get(id string) (*core.Model, error) {
+// Get returns the model stored under id, reloading it from disk (via the
+// engine recorded at Put time) when the LRU bound had evicted it. The
+// returned model is shared: read-only.
+func (r *Registry) Get(id string) (engine.Model, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.models[id]
@@ -441,7 +460,7 @@ func (r *Registry) Get(id string) (*core.Model, error) {
 				return nil, fmt.Errorf("%w: model %q (quarantined: checksum mismatch)", ErrNotFound, id)
 			}
 		}
-		m, err := dataset.ReadModel(bytes.NewReader(body))
+		m, err := engine.Decode(e.info.Engine, bytes.NewReader(body))
 		if err != nil {
 			return nil, fmt.Errorf("registry: reloading model %q: %w", id, err)
 		}

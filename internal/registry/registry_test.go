@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -11,14 +12,16 @@ import (
 	"testing"
 
 	"dspot/internal/core"
+	"dspot/internal/dataset"
+	"dspot/internal/engine"
 	"dspot/internal/obs"
 	"dspot/internal/tensor"
 )
 
 // testModel builds a small valid model whose forecast depends on seed, so
 // two distinct models are distinguishable end to end.
-func testModel(seed int) *core.Model {
-	return &core.Model{
+func testModel(seed int) *engine.DspotModel {
+	return engine.NewDspotModel(&core.Model{
 		Keywords:  []string{"kw"},
 		Locations: []string{"all"},
 		Ticks:     60,
@@ -31,7 +34,17 @@ func testModel(seed int) *core.Model {
 			Strength: []float64{4, 4, 4},
 		}},
 		Scale: []float64{1},
+	})
+}
+
+// coreOf unwraps a Δ-SPOT engine model for field-level assertions.
+func coreOf(t *testing.T, m engine.Model) *core.Model {
+	t.Helper()
+	dm, ok := m.(*engine.DspotModel)
+	if !ok {
+		t.Fatalf("model is a %T, want *engine.DspotModel", m)
 	}
+	return dm.M
 }
 
 // modelDiskPath reads the manifest to find where id's bytes live on disk,
@@ -84,7 +97,7 @@ func TestPutGetDeleteMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.Version != 1 || info.Keywords != 1 || info.Ticks != 60 {
+	if info.Version != 1 || info.Keywords != 1 || info.Ticks != 60 || info.Engine != engine.Default {
 		t.Fatalf("Put info = %+v", info)
 	}
 	info, err = r.Put("m1", testModel(2))
@@ -98,8 +111,8 @@ func TestPutGetDeleteMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Global[0].N != 3 {
-		t.Fatalf("Get returned stale model: N = %g", m.Global[0].N)
+	if n := coreOf(t, m).Global[0].N; n != 3 {
+		t.Fatalf("Get returned stale model: N = %g", n)
 	}
 	if n := r.Len(); n != 1 {
 		t.Fatalf("Len = %d", n)
@@ -115,7 +128,7 @@ func TestPutGetDeleteMemory(t *testing.T) {
 		t.Fatalf("bad id accepted: %v", err)
 	}
 	bad := testModel(1)
-	bad.Global[0].Beta = math.NaN()
+	bad.M.Global[0].Beta = math.NaN()
 	if _, err := r.Put("bad", bad); err == nil {
 		t.Fatal("invalid model accepted")
 	}
@@ -161,11 +174,90 @@ func TestRestartDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wf, gf := want.ForecastGlobal(0, 20), got.ForecastGlobal(0, 20)
+	wf, gf := want.M.ForecastGlobal(0, 20), coreOf(t, got).ForecastGlobal(0, 20)
 	for i := range wf {
 		if wf[i] != gf[i] {
 			t.Fatalf("forecast diverges after restart at %d: %g != %g", i, gf[i], wf[i])
 		}
+	}
+}
+
+// TestLegacyManifestLoadsAsDspot seeds a data directory in the pre-engine
+// on-disk format — raw dataset model JSON, manifest entries without an
+// "engine" field — and checks the registry opens it, reports the entries as
+// Δ-SPOT models, and serves them through the engine-typed Get.
+func TestLegacyManifestLoadsAsDspot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "models"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	want := testModel(5)
+	var buf bytes.Buffer
+	if err := dataset.WriteModel(&buf, want.M); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()
+	if err := os.WriteFile(filepath.Join(dir, "models", "old@v1.json"), body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := fmt.Sprintf(`{
+  "version": 1,
+  "models": [
+    {
+      "id": "old",
+      "version": 1,
+      "file": "models/old@v1.json",
+      "checksum": %q,
+      "created_unix": 1700000000,
+      "updated_unix": 1700000000,
+      "keywords": 1,
+      "locations": 1,
+      "ticks": 60
+    }
+  ]
+}`, checksumOf(body))
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Stat("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Engine != engine.Default {
+		t.Fatalf("legacy entry Engine = %q, want %q", info.Engine, engine.Default)
+	}
+	m, err := r.Get("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EngineName() != engine.Default {
+		t.Fatalf("legacy model EngineName = %q", m.EngineName())
+	}
+	wf, gf := want.M.ForecastGlobal(0, 10), coreOf(t, m).ForecastGlobal(0, 10)
+	for i := range wf {
+		if wf[i] != gf[i] {
+			t.Fatalf("legacy model forecast diverges at %d", i)
+		}
+	}
+	// An overwriting Put upgrades the entry to the engine-stamped format.
+	if _, err := r.Put("old", testModel(6)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := decodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Models) != 1 || mf.Models[0].Engine != engine.Default {
+		t.Fatalf("rewritten manifest = %+v, want engine-stamped entry", mf.Models)
 	}
 }
 
@@ -233,8 +325,8 @@ func TestLRUEvictionAndReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Global[0].N != 1 {
-		t.Fatalf("reloaded m0 has N = %g", m.Global[0].N)
+	if n := coreOf(t, m).Global[0].N; n != 1 {
+		t.Fatalf("reloaded m0 has N = %g", n)
 	}
 }
 

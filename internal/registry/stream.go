@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dspot/internal/core"
+	"dspot/internal/engine"
 	"dspot/internal/numcheck"
 	"dspot/internal/obs/trace"
 	"dspot/internal/tensor"
@@ -128,15 +129,21 @@ func (r *Registry) StreamStatusFor(id string) (StreamStatus, error) {
 }
 
 // StreamModel materialises the named stream's current model (nil until the
-// first fit). The model is a deep copy — safe to hand to encoders.
-func (r *Registry) StreamModel(id string) (*core.Model, error) {
+// first fit), engine-typed for the serving layer. Streams always fit with
+// the Δ-SPOT core, so the result is a DspotModel. The model is a deep copy
+// — safe to hand to encoders.
+func (r *Registry) StreamModel(id string) (engine.Model, error) {
 	st, err := r.lookupStream(id)
 	if err != nil {
 		return nil, err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return st.s.Model(), nil
+	m := st.s.Model()
+	if m == nil {
+		return nil, nil
+	}
+	return engine.NewDspotModel(m), nil
 }
 
 // StreamForecast extrapolates h ticks past the stream head (nil until the

@@ -7,15 +7,16 @@ import (
 	"strconv"
 	"time"
 
-	"dspot/internal/core"
+	"dspot/internal/engine"
 	"dspot/internal/obs"
 	"dspot/internal/obs/trace"
 )
 
 // Metrics bundles the service's instrumentation over one obs.Registry:
 // per-endpoint request counts, latency histograms, an in-flight gauge,
-// response sizes, and fit-pipeline stage metrics fed from core.FitTrace
-// reports. Expose the registry at GET /metrics via Server.Handler.
+// response sizes, per-engine fit counts, and fit-pipeline stage metrics
+// fed from FitTrace reports. Expose the registry at GET /metrics via
+// Server.Handler.
 type Metrics struct {
 	Registry *obs.Registry
 
@@ -24,6 +25,7 @@ type Metrics struct {
 	inflight  *obs.Gauge        // http_inflight_requests
 	respBytes *obs.CounterVec   // http_response_bytes_total{path}
 
+	fits           *obs.CounterVec   // fits_total{engine}
 	fitStage       *obs.HistogramVec // fit_stage_seconds{stage}
 	fitLMIters     *obs.Counter      // fit_lm_iterations_total
 	shocksTried    *obs.Counter      // fit_shocks_tried_total
@@ -50,6 +52,9 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Requests currently being served."),
 		respBytes: reg.CounterVec("http_response_bytes_total",
 			"Response body bytes written, by endpoint.", "path"),
+		fits: reg.CounterVec("fits_total",
+			"Successful model fits, by the engine that produced the model.",
+			"engine"),
 		fitStage: reg.HistogramVec("fit_stage_seconds",
 			"Wall-clock per fit pipeline stage (worker time for inner stages).",
 			obs.DefBuckets(), "stage"),
@@ -64,8 +69,20 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 	}
 }
 
+// ObserveFit counts one successful fit under the engine that produced the
+// model (for auto fits: the winner).
+func (m *Metrics) ObserveFit(engineName string) {
+	if m == nil {
+		return
+	}
+	if engineName == "" {
+		engineName = engine.Default
+	}
+	m.fits.With(engineName).Inc()
+}
+
 // ObserveFitReport folds one fit run's report into the fit metrics.
-func (m *Metrics) ObserveFitReport(rep *core.FitReport) {
+func (m *Metrics) ObserveFitReport(rep *engine.FitReport) {
 	if m == nil || rep == nil {
 		return
 	}

@@ -1,10 +1,13 @@
-// Package service exposes Δ-SPOT over HTTP: fit a tensor, inspect events,
-// forecast, and score anomalies — the deployment shape a team monitoring
-// online activity would actually run. Handlers are plain net/http so the
-// server embeds anywhere; cmd/dspot-serve is the thin binary.
+// Package service exposes the model engines over HTTP: fit a tensor with
+// any registered engine, inspect events, forecast, and score anomalies —
+// the deployment shape a team monitoring online activity would actually
+// run. Handlers are plain net/http so the server embeds anywhere;
+// cmd/dspot-serve is the thin binary.
 //
 //	POST /v1/fit        text/csv long-form tensor → fitted model JSON
+//	                    ?engine=dspot|hip|epidemic|funnel|auto
 //	                    ?global_only=1&no_growth=1&no_shocks=1&no_cycles=1
+//	                    engine=auto answers {"engine","costs","model"}
 //	POST /v1/events     model JSON → events per keyword
 //	POST /v1/forecast   model JSON → forecast + predicted events
 //	                    ?keyword=NAME&horizon=H
@@ -14,9 +17,17 @@
 //	                    job queue is saturated
 //	GET  /metrics       Prometheus text exposition (when Metrics is set)
 //
+// Model JSON bodies are routed to the engine named by their "engine" field;
+// bodies without one (the pre-engine Δ-SPOT wire format) keep decoding as
+// Δ-SPOT models, so existing clients are unaffected.
+//
 // With a Registry (and optionally a jobs Engine) the server additionally
 // exposes the stateful serving layer — async fit jobs, server-side models
 // and incremental streams; see stateful.go for the endpoint set.
+//
+// This package deliberately never imports internal/core — everything model
+// routes through internal/engine, and CI enforces the import boundary
+// (internal/dataset is imported for CSV tensor parsing only).
 package service
 
 import (
@@ -24,12 +35,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 
-	"dspot/internal/core"
 	"dspot/internal/dataset"
+	"dspot/internal/engine"
 	"dspot/internal/jobs"
 	"dspot/internal/obs/trace"
 	"dspot/internal/registry"
@@ -43,6 +55,9 @@ const MaxBodyBytes = 64 << 20
 type Server struct {
 	// Workers is the fitting concurrency per request.
 	Workers int
+	// DefaultEngine names the model engine used when a fit request carries
+	// no ?engine= parameter ("" selects engine.Default, the Δ-SPOT core).
+	DefaultEngine string
 	// MaxBody bounds request bodies in bytes (0 selects MaxBodyBytes).
 	MaxBody int64
 	// Metrics, when non-nil, instruments every endpoint (request counts,
@@ -198,8 +213,50 @@ func boolParam(r *http.Request, name string) bool {
 	return v == "1" || v == "true"
 }
 
+// engineParam resolves the optional ?engine= query (falling back to the
+// server default), answering 400 itself on an unknown name. engine.Auto is
+// a valid selection for fit endpoints.
+func (s *Server) engineParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.URL.Query().Get("engine")
+	if name == "" {
+		name = s.DefaultEngine
+	}
+	if name == "" {
+		name = engine.Default
+	}
+	if name != engine.Auto {
+		if _, err := engine.Lookup(name); err != nil {
+			httpError(w, http.StatusBadRequest,
+				"unknown engine %q (registered: %v, or %q)", name, engine.Names(), engine.Auto)
+			return "", false
+		}
+	}
+	return name, true
+}
+
+// fitOptions builds the engine-independent fit options from the shared
+// query conventions.
+func (s *Server) fitOptions(r *http.Request) engine.FitOptions {
+	return engine.FitOptions{
+		Workers:       s.workers(),
+		Prevalidated:  true,
+		GlobalOnly:    boolParam(r, "global_only"),
+		DisableGrowth: boolParam(r, "no_growth"),
+		DisableShocks: boolParam(r, "no_shocks"),
+		DisableCycles: boolParam(r, "no_cycles"),
+		MaxShocks:     0,
+		// A disconnecting client (or server shutdown draining this
+		// request) cancels the fit instead of leaking it to completion.
+		Context: r.Context(),
+	}
+}
+
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
+		return
+	}
+	engName, ok := s.engineParam(w, r)
+	if !ok {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
@@ -210,40 +267,39 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Validate at the boundary so degenerate numbers (Inf, negative counts)
 	// answer 400 bad input, not 422 fit-failed. Prevalidated tells the
-	// fitters not to repeat the O(d·l·n) scan.
+	// engines not to repeat the O(d·l·n) scan.
 	if err := x.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "invalid tensor: %v", err)
 		return
 	}
-	opts := core.FitOptions{
-		Workers:       s.workers(),
-		Prevalidated:  true,
-		DisableGrowth: boolParam(r, "no_growth"),
-		DisableShocks: boolParam(r, "no_shocks"),
-		DisableCycles: boolParam(r, "no_cycles"),
-		// A disconnecting client (or server shutdown draining this
-		// request) cancels the fit instead of leaking it to completion.
-		Context: r.Context(),
-	}
-	var ft *core.FitTrace
+	opts := s.fitOptions(r)
+	var ft *engine.FitTrace
 	if s.Metrics != nil || s.Logger != nil {
-		ft = core.NewFitTrace()
+		ft = engine.NewFitTrace()
 		opts.Progress = ft.Hook()
 	}
 	// Mirror fit stage completions as child spans of the request span.
 	opts.Progress = chainProgress(opts.Progress,
-		fitSpanHook(s.Tracer, trace.SpanContextOf(r.Context())))
-	var m *core.Model
-	if boolParam(r, "global_only") {
-		m, err = core.FitGlobal(x, opts)
+		fitSpanHook(s.Tracer, trace.SpanContextOf(r.Context()), engName))
+	var m engine.Model
+	var costs map[string]float64
+	if engName == engine.Auto {
+		m, costs, err = engine.AutoFit(x, opts)
+		if m != nil {
+			engName = m.EngineName()
+		}
 	} else {
-		m, err = core.Fit(x, opts)
+		var e engine.ModelEngine
+		if e, err = engine.Lookup(engName); err == nil {
+			m, err = e.Fit(x, opts)
+		}
 	}
 	if ft != nil {
 		rep := ft.Report()
 		s.Metrics.ObserveFitReport(rep)
 		if s.Logger != nil {
 			s.Logger.Info("fit",
+				"engine", engName,
 				"keywords", x.D(), "locations", x.L(), "ticks", x.N(),
 				"lm_iterations", rep.LMIterations,
 				"shocks_tried", rep.ShocksTried,
@@ -257,35 +313,67 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "fitting: %v", err)
 		return
 	}
-	var buf bytes.Buffer
-	if err := dataset.WriteModel(&buf, m); err != nil {
+	s.Metrics.ObserveFit(engName)
+	s.writeModel(w, m, costs)
+}
+
+// writeModel answers a fit with the model in its engine's wire form. Auto
+// fits (costs non-nil) wrap it in an envelope carrying the winning engine
+// and the per-engine MDL cost table.
+func (s *Server) writeModel(w http.ResponseWriter, m engine.Model, costs map[string]float64) {
+	e, err := engine.Lookup(m.EngineName())
+	if err != nil {
 		httpError(w, http.StatusInternalServerError, "encoding model: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(buf.Bytes())
+	var buf bytes.Buffer
+	if err := e.EncodeModel(&buf, m); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding model: %v", err)
+		return
+	}
+	if costs == nil {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"engine": m.EngineName(),
+		"costs":  costs,
+		"model":  json.RawMessage(buf.Bytes()),
+	})
 }
 
-// readModel parses a model JSON request body.
-func (s *Server) readModel(w http.ResponseWriter, r *http.Request) (*core.Model, bool) {
+// readModel parses a model JSON request body, whatever engine produced it.
+func (s *Server) readModel(w http.ResponseWriter, r *http.Request) (engine.Model, bool) {
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
-	m, err := dataset.ReadModel(body)
+	raw, err := io.ReadAll(body)
 	if err != nil {
-		httpError(w, bodyError(err), "parsing model: %v", err)
+		httpError(w, bodyError(err), "reading model: %v", err)
+		return nil, false
+	}
+	m, err := decodeModelJSON(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing model: %v", err)
 		return nil, false
 	}
 	return m, true
 }
 
-// EventJSON is one external shock in wire form.
-type EventJSON struct {
-	Keyword  string    `json:"keyword"`
-	Period   int       `json:"period"`
-	Start    int       `json:"start"`
-	Width    int       `json:"width"`
-	Strength []float64 `json:"strength"`
-	Cyclic   bool      `json:"cyclic"`
+// decodeModelJSON routes a model body to the engine named by its "engine"
+// field. Bodies without one are the pre-engine Δ-SPOT wire format, which
+// engine.Decode("") handles, so existing clients keep working.
+func decodeModelJSON(raw []byte) (engine.Model, error) {
+	var probe struct {
+		Engine string `json:"engine"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, err
+	}
+	return engine.Decode(probe.Engine, bytes.NewReader(raw))
 }
+
+// EventJSON is one external event in wire form.
+type EventJSON = engine.Event
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
@@ -298,25 +386,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]any{"events": eventsOf(m)})
 }
 
-// eventsOf renders a model's shocks in wire form.
-func eventsOf(m *core.Model) []EventJSON {
-	out := make([]EventJSON, 0, len(m.Shocks))
-	for _, sh := range m.Shocks {
-		out = append(out, EventJSON{
-			Keyword: m.Keywords[sh.Keyword], Period: sh.Period,
-			Start: sh.Start, Width: sh.Width,
-			Strength: sh.Strength, Cyclic: sh.Period > 0,
-		})
+// eventsOf renders a model's detected events in wire form. Engines without
+// event structure (epidemic, hip) answer an empty list, not an error.
+func eventsOf(m engine.Model) []EventJSON {
+	if l, ok := m.(engine.EventLister); ok {
+		return l.Events()
 	}
-	return out
+	return []EventJSON{}
 }
 
 // ForecastJSON is the forecast wire form.
 type ForecastJSON struct {
-	Keyword  string                `json:"keyword"`
-	Horizon  int                   `json:"horizon"`
-	Forecast []float64             `json:"forecast"`
-	Events   []core.PredictedEvent `json:"predicted_events"`
+	Keyword  string                  `json:"keyword"`
+	Horizon  int                     `json:"horizon"`
+	Forecast []float64               `json:"forecast"`
+	Events   []engine.PredictedEvent `json:"predicted_events"`
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
@@ -331,19 +415,25 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 }
 
 // keywordParam resolves the optional ?keyword= query against the model's
-// keyword axis (first match wins; default index 0), answering 400 itself on
-// an unknown name.
-func keywordParam(w http.ResponseWriter, r *http.Request, m *core.Model) (int, bool) {
+// keyword axis (default: the first keyword), answering 400 itself on an
+// unknown name.
+func keywordParam(w http.ResponseWriter, r *http.Request, m engine.Model) (string, bool) {
+	kws := m.Keywords()
 	name := r.URL.Query().Get("keyword")
 	if name == "" {
-		return 0, true
+		if len(kws) == 0 {
+			httpError(w, http.StatusBadRequest, "model has no keywords")
+			return "", false
+		}
+		return kws[0], true
 	}
-	i, ok := m.KeywordIndex(name)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown keyword %q", name)
-		return 0, false
+	for _, kw := range kws {
+		if kw == name {
+			return name, true
+		}
 	}
-	return i, true
+	httpError(w, http.StatusBadRequest, "unknown keyword %q", name)
+	return "", false
 }
 
 // horizonParam parses the optional ?horizon= query (default 52), answering
@@ -362,9 +452,9 @@ func horizonParam(w http.ResponseWriter, r *http.Request) (int, bool) {
 }
 
 // writeForecast answers a forecast request for m using the shared query
-// conventions (?keyword=, ?horizon=).
-func (s *Server) writeForecast(w http.ResponseWriter, r *http.Request, m *core.Model) {
-	i, ok := keywordParam(w, r, m)
+// conventions (?keyword=, ?horizon=), routed through the model's engine.
+func (s *Server) writeForecast(w http.ResponseWriter, r *http.Request, m engine.Model) {
+	kw, ok := keywordParam(w, r, m)
 	if !ok {
 		return
 	}
@@ -372,11 +462,23 @@ func (s *Server) writeForecast(w http.ResponseWriter, r *http.Request, m *core.M
 	if !ok {
 		return
 	}
-	s.writeJSON(w, ForecastJSON{
-		Keyword: m.Keywords[i], Horizon: horizon,
-		Forecast: m.ForecastGlobal(i, horizon),
-		Events:   m.PredictedEvents(i, horizon),
-	})
+	e, err := engine.Lookup(m.EngineName())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "model engine: %v", err)
+		return
+	}
+	fc, err := e.Forecast(m, kw, horizon)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "forecasting: %v", err)
+		return
+	}
+	out := ForecastJSON{Keyword: kw, Horizon: horizon, Forecast: fc}
+	if ef, ok := m.(engine.EventForecaster); ok {
+		// Event prediction shares keyword resolution with the forecast, so
+		// an error here would already have surfaced above.
+		out.Events, _ = ef.PredictedEvents(kw, horizon)
+	}
+	s.writeJSON(w, out)
 }
 
 // anomaliesRequest is the /v1/anomalies body.
@@ -397,7 +499,7 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		httpError(w, bodyError(err), "parsing request: %v", err)
 		return
 	}
-	m, err := dataset.ReadModel(bytes.NewReader(req.Model))
+	m, err := decodeModelJSON(req.Model)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "parsing model: %v", err)
 		return
@@ -406,15 +508,16 @@ func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty series")
 		return
 	}
-	i := 0
-	if req.Keyword != "" {
-		var ok bool
-		if i, ok = m.KeywordIndex(req.Keyword); !ok {
-			httpError(w, http.StatusBadRequest, "unknown keyword %q", req.Keyword)
-			return
-		}
+	scorer, ok := m.(engine.AnomalyScorer)
+	if !ok {
+		httpError(w, http.StatusBadRequest,
+			"engine %q does not score anomalies", m.EngineName())
+		return
 	}
-	s.writeJSON(w, map[string]any{
-		"anomalies": m.AnomaliesGlobal(i, req.Series, req.Threshold),
-	})
+	anomalies, err := scorer.Anomalies(req.Keyword, req.Series, req.Threshold)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "scoring: %v", err)
+		return
+	}
+	s.writeJSON(w, map[string]any{"anomalies": anomalies})
 }

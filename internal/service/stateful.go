@@ -20,7 +20,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -31,8 +30,8 @@ import (
 	"net/http"
 	"strconv"
 
-	"dspot/internal/core"
 	"dspot/internal/dataset"
+	"dspot/internal/engine"
 	"dspot/internal/jobs"
 	"dspot/internal/obs/trace"
 	"dspot/internal/registry"
@@ -86,22 +85,31 @@ func newModelID() string {
 
 // FitJobResult is the stored result of a completed fit job.
 type FitJobResult struct {
-	ModelID        string `json:"model_id"`
-	Version        int    `json:"version"`
-	Keywords       int    `json:"keywords"`
-	Locations      int    `json:"locations"`
-	Ticks          int    `json:"ticks"`
-	Shocks         int    `json:"shocks"`
-	LMIterations   int    `json:"lm_iterations"`
-	ShocksTried    int    `json:"shocks_tried"`
-	ShocksAccepted int    `json:"shocks_accepted"`
-	FitSeconds     float64 `json:"fit_seconds"`
+	ModelID   string `json:"model_id"`
+	Version   int    `json:"version"`
+	Engine    string `json:"engine"`
+	Keywords  int    `json:"keywords"`
+	Locations int    `json:"locations"`
+	Ticks     int    `json:"ticks"`
+	// Costs is the per-engine MDL cost table, present only for auto fits.
+	Costs          map[string]float64 `json:"costs,omitempty"`
+	Shocks         int                `json:"shocks"`
+	LMIterations   int                `json:"lm_iterations"`
+	ShocksTried    int                `json:"shocks_tried"`
+	ShocksAccepted int                `json:"shocks_accepted"`
+	FitSeconds     float64            `json:"fit_seconds"`
 }
 
 // handleJobFit parses the tensor synchronously (bad input fails fast with a
 // 400, before consuming a queue slot) and enqueues the fit. The fit itself
 // runs on the jobs engine and installs its model into the registry.
 func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
+	// Engine resolution fails fast with a 400, before the body is parsed or
+	// a queue slot is consumed.
+	engName, ok := s.engineParam(w, r)
+	if !ok {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	x, err := dataset.ReadCSV(body)
 	if err != nil {
@@ -122,20 +130,16 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opts := core.FitOptions{
-		Workers:       s.workers(),
-		Prevalidated:  true,
-		DisableGrowth: boolParam(r, "no_growth"),
-		DisableShocks: boolParam(r, "no_shocks"),
-		DisableCycles: boolParam(r, "no_cycles"),
-	}
-	globalOnly := boolParam(r, "global_only")
+	opts := s.fitOptions(r)
+	// The request context dies when the 202 goes out; the job context is
+	// installed in runFitJob instead.
+	opts.Context = nil
 
 	// SubmitCtx: the request span (in r.Context()) becomes the parent of
 	// the job's queue-wait and run spans, so the async fit stays one trace
 	// past the 202 below.
 	jobID, err := s.Jobs.SubmitCtx(r.Context(), "fit", func(ctx context.Context) (any, error) {
-		return s.runFitJob(ctx, x, opts, globalOnly, modelID)
+		return s.runFitJob(ctx, x, opts, engName, modelID)
 	})
 	if err != nil {
 		if errors.Is(err, jobs.ErrQueueFull) {
@@ -154,30 +158,35 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 // context rides down through FitOptions.Context into every fitting layer,
 // so a cancel, job timeout, or server shutdown stops the compute itself
 // within about one LM iteration — the job then finishes as cancelled
-// through the engine's normal path, not by abandonment.
-func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitOptions, globalOnly bool, modelID string) (any, error) {
+// through the jobs engine's normal path, not by abandonment.
+func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts engine.FitOptions, engName, modelID string) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ft := core.NewFitTrace()
+	ft := engine.NewFitTrace()
 	// The jobs engine installed the job.run span in ctx; fit-stage spans
 	// become its children.
 	opts.Progress = chainProgress(ft.Hook(),
-		fitSpanHook(s.Tracer, trace.SpanContextOf(ctx)))
+		fitSpanHook(s.Tracer, trace.SpanContextOf(ctx), engName))
 	opts.Context = ctx
-	var m *core.Model
+	var m engine.Model
+	var costs map[string]float64
 	var err error
-	if globalOnly {
-		m, err = core.FitGlobalCtx(ctx, x, opts)
+	if engName == engine.Auto {
+		m, costs, err = engine.AutoFit(x, opts)
+		if m != nil {
+			engName = m.EngineName()
+		}
 	} else {
-		m, err = core.FitGlobalCtx(ctx, x, opts)
-		if err == nil {
-			err = core.FitLocalCtx(ctx, x, m, opts)
+		var e engine.ModelEngine
+		if e, err = engine.Lookup(engName); err == nil {
+			m, err = e.Fit(x, opts)
 		}
 	}
 	rep := ft.Report()
 	s.Metrics.ObserveFitReport(rep)
 	if span := trace.SpanFromContext(ctx); span != nil {
+		span.SetAttr("engine", engName)
 		span.SetAttr("model_id", modelID)
 		span.SetAttr("keywords", rep.Keywords)
 		span.SetAttr("lm_iterations", rep.LMIterations)
@@ -185,6 +194,7 @@ func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitO
 	}
 	if s.Logger != nil {
 		s.Logger.InfoContext(ctx, "job fit",
+			"engine", engName,
 			"model_id", modelID, "keywords", x.D(), "locations", x.L(),
 			"ticks", x.N(), "lm_iterations", rep.LMIterations,
 			"shocks_accepted", rep.ShocksAccepted, "err", err)
@@ -192,6 +202,7 @@ func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitO
 	if err != nil {
 		return nil, fmt.Errorf("fitting: %w", err)
 	}
+	s.Metrics.ObserveFit(engName)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -201,9 +212,10 @@ func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts core.FitO
 		return nil, jobs.Transient(err)
 	}
 	return FitJobResult{
-		ModelID: info.ID, Version: info.Version,
+		ModelID: info.ID, Version: info.Version, Engine: info.Engine,
 		Keywords: info.Keywords, Locations: info.Locations, Ticks: info.Ticks,
-		Shocks:         len(m.Shocks),
+		Costs:          costs,
+		Shocks:         len(eventsOf(m)),
 		LMIterations:   rep.LMIterations,
 		ShocksTried:    rep.ShocksTried,
 		ShocksAccepted: rep.ShocksAccepted,
@@ -249,13 +261,7 @@ func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
 		registryError(w, err)
 		return
 	}
-	var buf bytes.Buffer
-	if err := dataset.WriteModel(&buf, m); err != nil {
-		httpError(w, http.StatusInternalServerError, "encoding model: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(buf.Bytes())
+	s.writeModel(w, m, nil)
 }
 
 func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {

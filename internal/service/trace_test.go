@@ -319,7 +319,7 @@ func TestMiddlewareTraceparentRoundTrip(t *testing.T) {
 func TestTracingDisabledAddsNoAllocs(t *testing.T) {
 	var calls int
 	base := core.ProgressFunc(func(core.FitEvent) { calls++ })
-	hook := chainProgress(base, fitSpanHook(nil, trace.SpanContext{}))
+	hook := chainProgress(base, fitSpanHook(nil, trace.SpanContext{}, "dspot"))
 	ev := core.FitEvent{Stage: core.StageKeyword, LMIters: 3}
 	if allocs := testing.AllocsPerRun(1000, func() { hook(ev) }); allocs != 0 {
 		t.Fatalf("disabled-tracing progress hook allocates %.1f per event, want 0", allocs)
@@ -329,7 +329,7 @@ func TestTracingDisabledAddsNoAllocs(t *testing.T) {
 	}
 	// And a disabled tracer must not even wrap: the chain returns the
 	// original hook untouched.
-	if got := fitSpanHook(nil, trace.SpanContext{}); got != nil {
+	if got := fitSpanHook(nil, trace.SpanContext{}, "dspot"); got != nil {
 		t.Fatal("fitSpanHook on a nil tracer must return nil")
 	}
 }

@@ -1,50 +1,54 @@
 package service
 
 import (
-	"dspot/internal/core"
+	"dspot/internal/engine"
 	"dspot/internal/obs/trace"
 )
 
-// Fit-span bridge. The core fitters report progress through
+// Fit-span bridge. The fitters report progress through
 // FitOptions.Progress as FitEvents carrying stage durations at stage
-// boundaries — they never see a context or a tracer, which keeps the core
-// dependency-free and its Progress==nil fast path untouched. This file
-// turns those events into retroactive child spans of whatever span is
-// active where the fit runs (the request span for the sync endpoint, the
-// job.run span for async fits).
+// boundaries — they never see a context or a tracer, which keeps the model
+// families dependency-free and their Progress==nil fast path untouched.
+// This file turns those events into retroactive child spans of whatever
+// span is active where the fit runs (the request span for the sync
+// endpoint, the job.run span for async fits).
 
 // fitSpanHook returns a ProgressFunc mirroring fit stage completions as
-// child spans of parent, or nil when tracing is off. Only the coarse
-// stages become spans — per-keyword global fits (with their LM iteration
-// counts) and the global/local phases. The fine-grained stages (every
-// shock candidate, every local cell) would mean thousands of spans per
-// fit; those stay aggregated in FitTrace and the stage metrics.
-func fitSpanHook(tr *trace.Tracer, parent trace.SpanContext) core.ProgressFunc {
+// child spans of parent, or nil when tracing is off. Each span carries the
+// engine the fit ran under. Only the coarse stages become spans —
+// per-keyword global fits (with their LM iteration counts) and the
+// global/local phases. The fine-grained stages (every shock candidate,
+// every local cell) would mean thousands of spans per fit; those stay
+// aggregated in FitTrace and the stage metrics.
+func fitSpanHook(tr *trace.Tracer, parent trace.SpanContext, engName string) engine.ProgressFunc {
 	if tr == nil || !parent.Valid() {
 		return nil
 	}
-	return func(ev core.FitEvent) {
+	return func(ev engine.FitEvent) {
 		switch ev.Stage {
-		case core.StageKeyword:
+		case engine.StageKeyword:
 			tr.RecordChild(parent, "fit.keyword", ev.Duration,
+				trace.String("engine", engName),
 				trace.Int("keyword", ev.Keyword),
 				trace.Int("round", ev.Round),
 				trace.Int("lm_iterations", ev.LMIters))
-		case core.StageGlobal:
-			tr.RecordChild(parent, "fit.global", ev.Duration)
-		case core.StageLocal:
-			tr.RecordChild(parent, "fit.local", ev.Duration)
+		case engine.StageGlobal:
+			tr.RecordChild(parent, "fit.global", ev.Duration,
+				trace.String("engine", engName))
+		case engine.StageLocal:
+			tr.RecordChild(parent, "fit.local", ev.Duration,
+				trace.String("engine", engName))
 		}
 	}
 }
 
 // chainProgress composes two hooks, either of which may be nil.
-func chainProgress(a, b core.ProgressFunc) core.ProgressFunc {
+func chainProgress(a, b engine.ProgressFunc) engine.ProgressFunc {
 	if a == nil {
 		return b
 	}
 	if b == nil {
 		return a
 	}
-	return func(ev core.FitEvent) { a(ev); b(ev) }
+	return func(ev engine.FitEvent) { a(ev); b(ev) }
 }

@@ -85,6 +85,25 @@ grep '"msg":"request"' "$WORKDIR/serve.log" | grep '/v1/jobs/fit' \
 grep '"msg":"job finished"' "$WORKDIR/serve.log" \
   | grep -q "$TRACE_ID" || fail "job-finished log line lacks trace_id $TRACE_ID"
 
+# --- engine selection: one sync fit per non-default engine path ---------
+# A small tensor keeps the auto fit (which runs every engine) fast.
+go run ./cmd/dspot-gen -dataset googletrends -keyword grammy \
+  -locations 2 -ticks 120 -seed 3 -out "$WORKDIR/fit-small.csv"
+
+curl -fsS --data-binary @"$WORKDIR/fit-small.csv" -H 'Content-Type: text/csv' \
+  "$BASE/v1/fit?engine=hip" >"$WORKDIR/hip.json" \
+  || fail "engine=hip fit failed"
+grep -q '"engine":[[:space:]]*"hip"' "$WORKDIR/hip.json" \
+  || fail "hip fit response is not a hip model: $(cat "$WORKDIR/hip.json")"
+
+curl -fsS --data-binary @"$WORKDIR/fit-small.csv" -H 'Content-Type: text/csv' \
+  "$BASE/v1/fit?engine=auto&global_only=1" >"$WORKDIR/auto.json" \
+  || fail "engine=auto fit failed"
+grep -q '"costs"' "$WORKDIR/auto.json" \
+  || fail "auto fit response carries no per-engine cost table: $(cat "$WORKDIR/auto.json")"
+grep -q '"engine"' "$WORKDIR/auto.json" \
+  || fail "auto fit response names no winning engine: $(cat "$WORKDIR/auto.json")"
+
 # --- one stream append so its span + histogram have data ----------------
 curl -fsS -X POST -H 'Content-Type: application/json' \
   -d '{"values":[1,2,3]}' "$BASE/v1/streams/smoke/append" >/dev/null \
@@ -96,6 +115,12 @@ for m in go_goroutines go_heap_alloc_bytes go_gc_pause_seconds \
          jobs_queue_wait_seconds stream_append_seconds; do
   echo "$METRICS" | grep -q "$m" || fail "/metrics missing $m"
 done
+# Per-engine fit counts: the async dspot fit and the sync hip fit above
+# must each show up under their engine label.
+echo "$METRICS" | grep 'fits_total{engine="dspot"}' | grep -qv ' 0$' \
+  || fail "/metrics missing fits_total for dspot"
+echo "$METRICS" | grep 'fits_total{engine="hip"}' | grep -qv ' 0$' \
+  || fail "/metrics missing fits_total for hip"
 
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
