@@ -35,7 +35,7 @@ bench:
 
 # The fast micro-benchmarks only (seconds, not the multi-minute figure
 # benchmarks): the hot-path kernels the performance work targets.
-BENCH_MICRO = Simulate576|LevenbergMarquardt|GlobalFitSequence|^BenchmarkForecast$$|MDLCost|RMSE576
+BENCH_MICRO = Simulate576|LevenbergMarquardt|GlobalFitSequence|^BenchmarkForecast$$|MDLCost|RMSE576|^BenchmarkStreamAppend$$
 bench-micro:
 	$(GO) test -bench='$(BENCH_MICRO)' -benchmem -run XXX .
 
@@ -44,7 +44,7 @@ bench-micro:
 # Point BENCH_BEFORE at a previously captured `go test -bench` text file to
 # record a proper before/after pair; without it the fresh run fills both
 # sides (a flat baseline for the next PR to diff against).
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_8.json
 BENCH_AFTER_TXT ?= /tmp/dspot-bench-after.txt
 bench-json:
 	$(GO) test -bench='$(BENCH_MICRO)' -benchmem -run XXX . | tee $(BENCH_AFTER_TXT)

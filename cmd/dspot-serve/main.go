@@ -84,6 +84,9 @@ func main() {
 		"wait for a cancelled fit to stop cooperatively before abandoning it")
 	maxModels := flag.Int("max-models", registry.DefaultMaxLoaded,
 		"models kept in memory at once (persisted models reload on demand)")
+	streamMode := flag.String("stream-mode", "batch",
+		"default maintenance mode for new streams: batch|incremental "+
+			"(per-append ?mode= overrides)")
 	traceOn := flag.Bool("trace", true,
 		"record request traces and serve them at /debug/traces")
 	traceMax := flag.Int("trace-max", 0,
@@ -105,6 +108,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dspot-serve:", err)
 			os.Exit(2)
 		}
+	}
+	// Same for -stream-mode: an unknown mode would silently create batch
+	// streams forever.
+	if *streamMode != "batch" && *streamMode != "incremental" {
+		fmt.Fprintf(os.Stderr, "dspot-serve: unknown -stream-mode %q (want batch or incremental)\n", *streamMode)
+		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level, *logJSON)
 	metrics := service.NewMetrics()
@@ -171,11 +180,12 @@ func main() {
 	fatal := make(chan error, 1)
 	go func() {
 		reg, err := registry.Open(registry.Options{
-			DataDir:   *dataDir,
-			MaxLoaded: *maxModels,
-			Logger:    logger,
-			Metrics:   registry.NewMetricsOn(metrics.Registry),
-			Tracer:    tracer,
+			DataDir:    *dataDir,
+			MaxLoaded:  *maxModels,
+			Logger:     logger,
+			Metrics:    registry.NewMetricsOn(metrics.Registry),
+			Tracer:     tracer,
+			StreamMode: *streamMode,
 		})
 		if err != nil {
 			fatal <- fmt.Errorf("opening registry (data_dir %q): %w", *dataDir, err)

@@ -222,16 +222,39 @@ func LoadModel(path string) (*Model, error) { return dataset.LoadModel(path) }
 func SaveModel(path string, m *Model) error { return dataset.SaveModel(path, m) }
 
 // Streaming: online series grow one tick at a time; Stream keeps a model
-// warm and refits incrementally (previously discovered shocks are retained
-// and extended; only new shocks are searched for).
+// warm. Two maintenance modes exist: RefitBatch re-runs the warm-started
+// batch fitter on a tick cadence, RefitIncremental folds each tick into the
+// model in O(TailWindow) time and amortises the full refit behind a debt
+// counter (see Stream.Append).
 
 // Stream maintains a Δ-SPOT model over an append-only series.
 type Stream = core.Stream
 
-// NewStream returns a stream that refits after every refitEvery appended
-// ticks (<= 0 selects the default of 26).
+// RefitMode selects a stream's maintenance strategy.
+type RefitMode = core.RefitMode
+
+// Stream maintenance modes.
+const (
+	RefitBatch       = core.RefitBatch
+	RefitIncremental = core.RefitIncremental
+)
+
+// IncrementalConfig tunes incremental stream maintenance: the sliding tail
+// window re-examined per append and the refit-debt limit that schedules the
+// consolidating full refit. Zero fields select defaults.
+type IncrementalConfig = core.IncrementalConfig
+
+// NewStream returns a batch-mode stream that refits after every refitEvery
+// appended ticks (<= 0 selects the default of 26).
 func NewStream(opts Options, refitEvery int) *Stream {
 	return core.NewStream(opts, refitEvery)
+}
+
+// NewIncrementalStream returns a stream maintained incrementally: O(tail)
+// work per appended tick, with full refits amortised behind the debt
+// counter (refitEvery becomes the debt unit and retry-backoff spacing).
+func NewIncrementalStream(opts Options, refitEvery int, cfg IncrementalConfig) *Stream {
+	return core.NewIncrementalStream(opts, refitEvery, cfg)
 }
 
 // Band holds per-tick forecast quantiles from Model.ForecastBands — a

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dspot/internal/stats"
+	"dspot/internal/tensor"
+)
+
+// driftSeries synthesises the warm-start scale-drift scenario: a quiet
+// annual-spike prefix, then an extension whose last annual occurrence blows
+// up to roughly double the series maximum (the event went viral) — so the
+// refit's normalisation scale drifts far past scaleDriftLimit.
+func driftSeries(n int, burstLo, burstHi int, burstGain float64, seed int64) []float64 {
+	full := grammyLike(n, seed)
+	for t := burstLo; t < burstHi && t < n; t++ {
+		full[t] *= burstGain
+	}
+	return full
+}
+
+// TestContinueScaleDriftConvergesToColdFit is the regression test for the
+// warm-start scale-drift bug: fit a prefix, then refit after appending
+// ticks that double the series max. The warm-started search used to stay in
+// the stale shock basin judged under the old normalisation and return a
+// materially worse MDL cost than a cold fit of the same data; with the
+// scale-drift guard the continuation must match (or beat) the cold fit.
+func TestContinueScaleDriftConvergesToColdFit(t *testing.T) {
+	const prefix = 280
+	full := driftSeries(360, 316, 324, 3.0, 29)
+
+	preMax := stats.Max(full[:prefix])
+	fullMax := stats.Max(full)
+	if ratio := fullMax / preMax; ratio < 1.8 {
+		t.Fatalf("scenario precondition: extension should double the max, got ratio %.3f", ratio)
+	}
+
+	opts := FitOptions{DisableGrowth: true}
+	prev, err := FitGlobalSequence(full[:prefix], 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := ContinueGlobalSequence(full, 0, prev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := FitGlobalSequence(full, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if drift := cont.Scale / prev.Scale; drift < scaleDriftLimit {
+		t.Fatalf("scenario precondition: scale drift %.3f should exceed the guard limit %v", drift, scaleDriftLimit)
+	}
+	// The continuation must be at least as good as the cold fit (same
+	// normalised data, same coding scheme — costs are directly comparable).
+	if cont.Cost > cold.Cost+1e-6 {
+		t.Fatalf("warm continuation stuck in stale basin: cost %.4f vs cold %.4f", cont.Cost, cold.Cost)
+	}
+	// And it must actually model the new burst: the continued model's
+	// simulation has to reach the doubled amplitude, not the pre-drift one.
+	m := &Model{Keywords: []string{"k"}, Ticks: len(full),
+		Global: []KeywordParams{cont.Params}, Shocks: cont.Shocks}
+	sim := m.SimulateGlobal(0, len(full))
+	simMax := stats.Max(sim)
+	if simMax < 0.6*fullMax {
+		t.Fatalf("continued model never reaches the burst amplitude: sim max %.2f vs observed max %.2f", simMax, fullMax)
+	}
+}
+
+// warmStartCost evaluates the MDL cost of the warm-start state
+// ContinueGlobalSequence would begin from, with the carried strengths
+// either verbatim or rescaled by prev.Scale/scale (the fix a naive reading
+// of the normalisation suggests).
+func warmStartCost(full []float64, prev GlobalFitResult, rescale bool) float64 {
+	norm, scale := tensor.Normalize(full)
+	n := len(norm)
+	st := &gfit{seq: norm, n: n, keyword: 0, opts: FitOptions{}.withDefaults()}
+	st.params = prev.Params
+	if scale > 0 {
+		st.params.N = prev.Params.N / scale
+	}
+	ratio := 1.0
+	if rescale && scale > 0 && prev.Scale > 0 {
+		ratio = prev.Scale / scale
+	}
+	for _, s := range prev.Shocks {
+		if s.Start >= n || s.Width <= 0 {
+			continue
+		}
+		occ := s.Occurrences(n)
+		strengths := make([]float64, occ)
+		mean := s.MeanStrength()
+		for m := range strengths {
+			if m < len(s.Strength) {
+				strengths[m] = s.Strength[m] * ratio
+			} else {
+				strengths[m] = mean * ratio
+			}
+		}
+		s.Strength = strengths
+		s.Local = nil
+		st.shocks = append(st.shocks, s)
+	}
+	return st.cost()
+}
+
+// TestWarmStartStrengthsScaleInvariant pins the analysis behind the
+// scale-drift fix: shock strengths are dimensionless — the normalisation
+// scale is absorbed entirely by N (output = N·i(t); the s/i/v fraction
+// dynamics never see N) — so carrying them verbatim across a scale change
+// is correct, and "rescaling strengths by prev.Scale/scale" (the obvious
+// but wrong fix) must produce a strictly worse warm start.
+func TestWarmStartStrengthsScaleInvariant(t *testing.T) {
+	const prefix = 280
+	full := driftSeries(360, 316, 324, 2.2, 71)
+	prev, err := FitGlobalSequence(full[:prefix], 0, FitOptions{DisableGrowth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev.Shocks) == 0 {
+		t.Fatal("prefix fit found no shocks; scenario broken")
+	}
+	verbatim := warmStartCost(full, prev, false)
+	rescaled := warmStartCost(full, prev, true)
+	if math.IsNaN(verbatim) || math.IsNaN(rescaled) {
+		t.Fatalf("non-finite warm costs: verbatim %v rescaled %v", verbatim, rescaled)
+	}
+	if verbatim >= rescaled {
+		t.Fatalf("verbatim carry should beat rescaled carry: verbatim %.4f rescaled %.4f", verbatim, rescaled)
+	}
+}

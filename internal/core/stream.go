@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"dspot/internal/numcheck"
@@ -17,6 +18,12 @@ import (
 // seed the LM search, previously discovered shocks are kept (their
 // occurrence lists extended into the new window) and only *new* shocks are
 // searched for — and Stream wraps this into an append-and-refit API.
+
+// scaleDriftLimit is the normalisation-scale ratio (either direction)
+// beyond which a warm-started refit cross-checks itself against a cold fit:
+// past it, the carried shock set was judged under a materially different
+// residual normalisation and the warm basin may no longer be the best one.
+const scaleDriftLimit = 1.25
 
 // ContinueGlobalSequence refits keyword's single-sequence model on an
 // extended sequence, warm-starting from prev (typically the result of
@@ -42,7 +49,13 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 		st.params.N = prev.Params.N / scale // back into normalised space
 	}
 	// Carry the previous shocks into the longer window: each cyclic shock
-	// gains occurrences, seeded with its historical mean strength.
+	// gains occurrences, seeded with its historical mean strength. The
+	// strengths transfer *verbatim* even when the normalisation scale
+	// changed: output = N·i(t) and the s/i/v fraction dynamics never see N,
+	// so a rescaled window is absorbed entirely by N (divided below) while
+	// β, δ, γ, i0, η and the shock strengths are dimensionless
+	// (TestWarmStartStrengthsScaleInvariant pins this — rescaling them by
+	// prev.Scale/scale demonstrably worsens the warm start).
 	for _, s := range prev.Shocks {
 		if s.Start >= n || s.Width <= 0 {
 			continue
@@ -93,6 +106,27 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 		return GlobalFitResult{}, fmt.Errorf("core: refit cancelled: %w", err)
 	}
 
+	// Scale-drift guard. What does NOT transfer across a rescaled window is
+	// the MDL balance: residual coding cost is computed on [0,1]-normalised
+	// residuals, so when the window max grows (or shrinks) materially, the
+	// residual landscape the previous shocks were judged under shifts — and
+	// the warm search, which only ever adds shocks to the carried set, can
+	// stay stuck in the stale basin at a worse cost than a cold fit finds.
+	// When the scale drifted past scaleDriftLimit, run the cold fit too and
+	// keep whichever explains the data more cheaply; the costs are directly
+	// comparable (same normalised sequence, same coding scheme).
+	if prev.Scale > 0 && scale > 0 {
+		drift := scale / prev.Scale
+		if drift < 1 {
+			drift = 1 / drift
+		}
+		if drift > scaleDriftLimit {
+			if cold, cerr := FitGlobalSequence(seq, keyword, opts); cerr == nil && cold.Cost < bestCost-1e-9 {
+				return cold, nil
+			}
+		}
+	}
+
 	params, shocks := best.params, best.shocks
 	params.N *= scale
 	if opts.Progress != nil {
@@ -132,69 +166,266 @@ func (g *gfit) refineStrengthsAll() {
 }
 
 // Stream maintains a Δ-SPOT single-sequence model over an append-only
-// series, refitting incrementally every RefitEvery appended ticks.
+// series. In RefitBatch mode it re-enters the warm-start batch fitter every
+// RefitEvery appended ticks; in RefitIncremental mode it maintains the
+// model in O(TailWindow) per tick and amortises batch refits behind a
+// refit-debt counter (see incremental.go).
 type Stream struct {
 	opts       FitOptions
 	refitEvery int
+	mode       RefitMode
+	cfg        IncrementalConfig
 
 	seq        []float64
 	fitted     bool
 	result     GlobalFitResult
 	sinceRefit int
+
+	// Incremental-maintenance state (RefitIncremental only). inc is derived
+	// — rebuilt from seq+result on restore — while debt and lastScan are
+	// decision state that must persist for bit-identical continuation.
+	debt     float64
+	lastScan int
+	inc      *incState
+
+	// Refit retry backoff (both modes): failures counts consecutive refit
+	// errors, coolOff is how many more appended ticks to wait before the
+	// next attempt. Cancelled refits are exempt (retried on next trigger).
+	failures int
+	coolOff  int
 }
 
-// NewStream returns a stream that refits after every refitEvery appended
-// ticks (default 26). The fitting options apply to every (re)fit.
+// NewStream returns a batch-mode stream that refits after every refitEvery
+// appended ticks (default 26). The fitting options apply to every (re)fit.
 func NewStream(opts FitOptions, refitEvery int) *Stream {
 	if refitEvery <= 0 {
 		refitEvery = 26
 	}
-	return &Stream{opts: opts, refitEvery: refitEvery}
+	return &Stream{
+		opts:       opts,
+		refitEvery: refitEvery,
+		cfg:        IncrementalConfig{}.withDefaults(),
+		lastScan:   -1,
+	}
 }
 
-// Append adds observations; pass tensor.Missing for gaps. It refits (fully
-// the first time, incrementally afterwards) once enough ticks accumulated,
-// and reports whether a refit happened.
+// NewIncrementalStream returns a stream in RefitIncremental mode: appends do
+// O(cfg.TailWindow) work per tick and a full batch refit fires only when
+// the accumulated refit debt crosses the limit (or via RefitNow). refitEvery
+// keeps its batch meaning as the debt unit (default 26); the zero cfg
+// selects defaults.
+func NewIncrementalStream(opts FitOptions, refitEvery int, cfg IncrementalConfig) *Stream {
+	s := NewStream(opts, refitEvery)
+	s.mode = RefitIncremental
+	s.cfg = cfg.withDefaults()
+	return s
+}
+
+// Mode returns the stream's maintenance mode.
+func (s *Stream) Mode() RefitMode { return s.mode }
+
+// RefitEvery returns the effective refit cadence (batch mode) / debt unit
+// (incremental mode).
+func (s *Stream) RefitEvery() int { return s.refitEvery }
+
+// SetRefitEvery changes the refit cadence; non-positive values are ignored.
+func (s *Stream) SetRefitEvery(v int) {
+	if v > 0 {
+		s.refitEvery = v
+	}
+}
+
+// SetMode switches the maintenance mode in place. Switching to
+// RefitIncremental on a fitted stream pays one O(n) replay to build the
+// incremental state; switching back to RefitBatch drops it. Pending refit
+// debt is cleared either way — the new mode starts from a clean slate.
+func (s *Stream) SetMode(m RefitMode) {
+	if m == s.mode {
+		return
+	}
+	s.mode = m
+	s.debt = 0
+	s.lastScan = -1
+	if m == RefitIncremental && s.fitted {
+		s.inc = newIncState(s.seq, &s.result, nil, s.cfg.TailWindow)
+	} else {
+		s.inc = nil
+	}
+}
+
+// Debt returns the accumulated refit debt (always 0 in batch mode).
+func (s *Stream) Debt() float64 { return s.debt }
+
+// DebtLimit returns the effective debt threshold at which a full batch
+// refit fires: the configured limit, or 8×RefitEvery (at least
+// 2×TailWindow) when unset.
+func (s *Stream) DebtLimit() float64 {
+	if s.cfg.DebtLimit > 0 {
+		return s.cfg.DebtLimit
+	}
+	lim := 8 * float64(s.refitEvery)
+	if m := 2 * float64(s.cfg.TailWindow); lim < m {
+		lim = m
+	}
+	return lim
+}
+
+// RetryIn returns how many more appended ticks a failed refit backs off
+// for (0 when no backoff is pending).
+func (s *Stream) RetryIn() int { return s.coolOff }
+
+// Append adds observations; pass tensor.Missing for gaps. It reports
+// whether a *full* batch (re)fit happened.
+//
+// The maintenance contract depends on the mode. In RefitBatch mode the
+// first fit happens once 8 observed ticks accumulated and the warm-start
+// batch fitter re-runs every RefitEvery ticks — O(n) per refit. In
+// RefitIncremental mode every appended tick is folded into the model in
+// O(TailWindow): the ε(t) profile and the SIV simulation are extended one
+// tick from a checkpointed state, the trailing TailWindow residuals are
+// re-scanned for new shocks (discovered one-shots are strength-fitted and
+// MDL-gated in the tail window; recurring occurrences of known shocks get
+// their strength refitted in place), and each tick accrues refit debt —
+// more for structural events — until the debt crosses DebtLimit and one
+// consolidating batch refit runs (Append then returns true). RefitNow
+// forces that consolidation on demand.
 func (s *Stream) Append(values ...float64) (refitted bool, err error) {
 	return s.AppendCtx(nil, values...)
 }
 
-// AppendCtx is Append under a cancellation context covering any refit the
-// append triggers (nil behaves like Append; a non-nil ctx overrides the
+// AppendCtx is Append under a cancellation context covering any full refit
+// the append triggers (nil behaves like Append; a non-nil ctx overrides the
 // stream options' Context for this call). The appended ticks are always
-// kept. When the refit fails — including a cancelled or timed-out refit —
-// the last good fit is preserved: Model, Forecast and the next incremental
-// warm start all keep using it, and the refit is retried on the next
-// trigger.
+// kept. When a refit fails — including a cancelled or timed-out refit —
+// the last good fit is preserved: Model, Forecast and the next warm start
+// all keep using it. A failed (non-cancelled) refit backs off
+// exponentially: the retry waits RefitEvery ticks, then 2×, 4×, … (capped
+// at 64×), so a stream with poisoned data degrades to cheap appends
+// instead of paying a doomed full fit per tick; appends during the
+// back-off window return (false, nil). Cancelled refits retry on the next
+// trigger as before.
 func (s *Stream) AppendCtx(ctx context.Context, values ...float64) (refitted bool, err error) {
-	s.seq = append(s.seq, values...)
+	if s.fitted && s.mode == RefitIncremental && s.inc != nil {
+		s.appendIncremental(values)
+	} else {
+		s.seq = append(s.seq, values...)
+	}
 	s.sinceRefit += len(values)
-	if tensor.ObservedCount(s.seq) < 8 {
-		return false, nil
+	if s.coolOff > 0 {
+		s.coolOff -= len(values)
+		if s.coolOff > 0 {
+			return false, nil
+		}
+		s.coolOff = 0
 	}
-	if s.fitted && s.sinceRefit < s.refitEvery {
-		return false, nil
+	switch {
+	case !s.fitted:
+		if tensor.ObservedCount(s.seq) < 8 {
+			return false, nil
+		}
+	case s.mode == RefitIncremental:
+		if s.debt < s.DebtLimit() {
+			return false, nil
+		}
+	default:
+		if s.sinceRefit < s.refitEvery {
+			return false, nil
+		}
 	}
+	return s.refitFull(ctx)
+}
+
+// appendIncremental folds new ticks into the incremental state: extend the
+// simulation per tick, accrue debt, then re-scan the tail once for new
+// structure. Invalid observations (negative / ±Inf) are treated as missing
+// here and left for the next full refit's validator to report, mirroring
+// the batch path's defer-to-refit behaviour.
+func (s *Stream) appendIncremental(values []float64) {
+	st := s.inc
+	for _, v := range values {
+		s.seq = append(s.seq, v)
+		st.advance(s.result.Shocks, v)
+		s.debt++
+		if !tensor.IsMissing(v) && !math.IsInf(v, 0) && v >= 0 && st.scale > 0 && v/st.scale > 1 {
+			// Observation beyond the fitted normalisation scale: the [0,1]
+			// normalisation no longer covers the data, pull the refit closer.
+			s.debt += debtStaleScale
+		}
+	}
+	s.scanTail()
+}
+
+// refitFull runs the batch fitter (cold the first time, warm-started
+// afterwards) and commits the result. Fit into a temporary: assigning
+// s.result directly would clobber the warm-start state with the zero
+// GlobalFitResult on error while fitted stayed true, leaving
+// Model()/Forecast() serving a zero-params model.
+func (s *Stream) refitFull(ctx context.Context) (bool, error) {
 	opts := s.opts
 	if ctx != nil {
 		opts.Context = ctx
 	}
-	// Fit into a temporary: assigning s.result directly would clobber the
-	// warm-start state with the zero GlobalFitResult on error while fitted
-	// stayed true, leaving Model()/Forecast() serving a zero-params model.
 	var res GlobalFitResult
+	var err error
 	if !s.fitted {
 		res, err = FitGlobalSequence(s.seq, 0, opts)
 	} else {
 		res, err = ContinueGlobalSequence(s.seq, 0, s.result, opts)
 	}
 	if err != nil {
+		s.noteRefitError(err)
 		return false, err
 	}
+	s.commitFit(res)
+	return true, nil
+}
+
+// commitFit installs a fresh batch fit and resets all maintenance state;
+// in incremental mode it rebuilds the derived simulation state (O(n), the
+// amortised cost the debt counter paid for).
+func (s *Stream) commitFit(res GlobalFitResult) {
 	s.result = res
 	s.fitted = true
 	s.sinceRefit = 0
-	return true, nil
+	s.debt = 0
+	s.failures = 0
+	s.coolOff = 0
+	s.lastScan = -1
+	if s.mode == RefitIncremental {
+		s.inc = newIncState(s.seq, &s.result, nil, s.cfg.TailWindow)
+	} else {
+		s.inc = nil
+	}
+}
+
+// noteRefitError applies the exponential retry backoff after a failed
+// refit. Cooperative cancellation is not a model failure — the caller chose
+// to stop — so it keeps the historical retry-on-next-trigger behaviour.
+func (s *Stream) noteRefitError(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	s.failures++
+	shift := s.failures - 1
+	if shift > 6 {
+		shift = 6 // cap the spacing at 64×RefitEvery ticks
+	}
+	unit := s.refitEvery
+	if unit < 1 {
+		unit = 1
+	}
+	s.coolOff = unit << shift
+}
+
+// RefitNow forces a full batch refit immediately, regardless of cadence,
+// pending debt or retry backoff. The stream must have at least 8 observed
+// ticks.
+func (s *Stream) RefitNow(ctx context.Context) error {
+	if tensor.ObservedCount(s.seq) < 8 {
+		return errors.New("core: sequence too short to fit")
+	}
+	_, err := s.refitFull(ctx)
+	return err
 }
 
 // Len returns the number of ticks appended so far.
@@ -267,31 +498,72 @@ type StreamState struct {
 	Fitted     bool
 	Result     GlobalFitResult
 	SinceRefit int
+
+	// Incremental-maintenance state. Zero values are exactly what a legacy
+	// batch snapshot decodes to: RefitBatch mode with no pending debt, so
+	// old snapshots restore with their historical behaviour. The simulation
+	// rings themselves are NOT serialised — RestoreStream rebuilds them
+	// deterministically from Seq+Result, and Future pins the projected
+	// per-shock strengths so the rebuild is bit-identical to the live
+	// stream.
+	Mode       RefitMode
+	TailWindow int
+	DebtLimit  float64
+	Debt       float64
+	Failures   int
+	CoolOff    int
+	LastScan   int       // tail tick of the last examined residual peak; -1 = none
+	Future     []float64 // per shock: projected strength for unseen occurrences
 }
 
 // State snapshots the stream for persistence.
 func (s *Stream) State() StreamState {
 	res := s.result
 	res.Shocks = CopyShocks(res.Shocks)
-	return StreamState{
+	st := StreamState{
 		RefitEvery: s.refitEvery,
 		Seq:        append([]float64(nil), s.seq...),
 		Fitted:     s.fitted,
 		Result:     res,
 		SinceRefit: s.sinceRefit,
+		Mode:       s.mode,
+		TailWindow: s.cfg.TailWindow,
+		DebtLimit:  s.cfg.DebtLimit,
+		Debt:       s.debt,
+		Failures:   s.failures,
+		CoolOff:    s.coolOff,
+		LastScan:   s.lastScan,
 	}
+	if s.inc != nil {
+		st.Future = append([]float64(nil), s.inc.future...)
+	}
+	return st
 }
 
 // RestoreStream reconstructs a stream from a snapshot taken with State.
 // The fitting options are supplied by the caller (they hold a func hook and
-// are not part of the serialisable state).
+// are not part of the serialisable state). An incremental stream replays
+// its sequence once (O(n)) to rebuild the simulation state and then
+// continues bit-identically to the stream the snapshot was taken from,
+// pending refit debt included.
 func RestoreStream(opts FitOptions, st StreamState) *Stream {
 	s := NewStream(opts, st.RefitEvery)
+	s.mode = st.Mode
+	s.cfg = IncrementalConfig{TailWindow: st.TailWindow, DebtLimit: st.DebtLimit}.withDefaults()
 	s.seq = append([]float64(nil), st.Seq...)
 	s.fitted = st.Fitted
 	s.result = st.Result
 	s.result.Shocks = CopyShocks(st.Result.Shocks)
 	s.sinceRefit = st.SinceRefit
+	s.debt = st.Debt
+	s.failures = st.Failures
+	s.coolOff = st.CoolOff
+	s.lastScan = st.LastScan
+	if s.mode == RefitIncremental && s.fitted {
+		s.inc = newIncState(s.seq, &s.result, st.Future, s.cfg.TailWindow)
+	} else if s.mode != RefitIncremental {
+		s.lastScan = -1
+	}
 	return s
 }
 

@@ -357,11 +357,11 @@ func TestChaosStreamSnapshotFaults(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := r.AppendStream(context.Background(), "s", series[:60], 30); err != nil {
+			if _, err := r.AppendStream(context.Background(), "s", series[:60], AppendOptions{RefitEvery: 30}); err != nil {
 				t.Fatal(err)
 			}
 			in.FailNth(faultfs.OpAny, k, nil)
-			st, appendErr := r.AppendStream(context.Background(), "s", series[60:], 0)
+			st, appendErr := r.AppendStream(context.Background(), "s", series[60:], AppendOptions{})
 			if appendErr != nil && !errors.Is(appendErr, faultfs.ErrInjected) {
 				t.Fatalf("append error is not the injected fault: %v", appendErr)
 			}
@@ -381,7 +381,7 @@ func TestChaosStreamSnapshotFaults(t *testing.T) {
 				t.Fatalf("reopened stream len = %d, want 60 (old) or 80 (new)", got.Len)
 			}
 			// Whatever snapshot survived must keep accepting appends.
-			if _, err := r2.AppendStream(context.Background(), "s", []float64{1, 2}, 0); err != nil {
+			if _, err := r2.AppendStream(context.Background(), "s", []float64{1, 2}, AppendOptions{}); err != nil {
 				t.Fatalf("surviving snapshot rejects appends: %v", err)
 			}
 		})
@@ -396,7 +396,7 @@ func TestChaosCorruptStreamQuarantined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.AppendStream(context.Background(), "ok", []float64{1, 2, 3}, 0); err != nil {
+	if _, err := r.AppendStream(context.Background(), "ok", []float64{1, 2, 3}, AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	bad := filepath.Join(dir, "streams", "bad.json")
@@ -555,4 +555,90 @@ func TestLegacyManifestWithoutChecksumsLoads(t *testing.T) {
 		t.Fatalf("legacy entry counted corrupt: %v", met.corrupt.Value())
 	}
 	_ = r
+}
+
+// TestChaosStreamRefitFaults appends through injected refit faults: a
+// poisoned Progress hook makes every full refit panic inside the fitter.
+// The appended ticks must survive in memory, the last good fit must keep
+// serving, the retry backoff must keep the error rate far below one per
+// append, and persistence must round-trip the backoff state so a restart
+// does not reset the schedule. Healing the fault lets a forced refit
+// succeed and clear the backoff.
+func TestChaosStreamRefitFaults(t *testing.T) {
+	poisoned := false
+	fit := core.FitOptions{DisableGrowth: true, Workers: 1, MaxShocks: 3,
+		Progress: func(core.FitEvent) {
+			if poisoned {
+				panic("injected refit fault")
+			}
+		}}
+	dir := t.TempDir()
+	r, err := Open(Options{DataDir: dir, StreamFit: fit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := streamSeries(160)
+	if _, err := r.AppendStream(context.Background(), "s", series[:60], AppendOptions{RefitEvery: 10}); err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := r.StreamStatusFor("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	poisoned = true
+	errs := 0
+	for _, v := range series[60:120] {
+		st, err := r.AppendStream(context.Background(), "s", []float64{v}, AppendOptions{})
+		if err != nil {
+			errs++
+			continue
+		}
+		if !st.Ready {
+			t.Fatalf("faulted stream lost its last good fit: %+v", st)
+		}
+	}
+	if errs == 0 {
+		t.Fatal("poisoned refits never surfaced an error")
+	}
+	if errs > 4 {
+		t.Fatalf("backoff ineffective: %d refit errors over 60 appends", errs)
+	}
+	st, err := r.StreamStatusFor("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len != 120 {
+		t.Fatalf("faulted refits lost ticks: %+v", st)
+	}
+	// No refit succeeded, yet the stream still serves the last good fit.
+	if st.Refits != seeded.Refits || !st.Ready {
+		t.Fatalf("faulted stream state = %+v, want last good fit intact (refits %d)", st, seeded.Refits)
+	}
+	if fc, err := r.StreamForecast("s", 10); err != nil || len(fc) != 10 {
+		t.Fatalf("faulted stream stopped forecasting: %v, %v", fc, err)
+	}
+
+	// Restart mid-backoff: the snapshot carries the retry schedule.
+	r2, err := Open(Options{DataDir: dir, StreamFit: fit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := r2.StreamStatusFor("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.RetryIn != st.RetryIn {
+		t.Fatalf("backoff state lost across restart: %d != %d", st2.RetryIn, st.RetryIn)
+	}
+
+	// Heal the fault: a forced refit succeeds and clears the backoff.
+	poisoned = false
+	st3, err := r2.RefitStream(context.Background(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.Refitted || st3.RetryIn != 0 {
+		t.Fatalf("healed refit status = %+v, want refitted with no backoff", st3)
+	}
 }

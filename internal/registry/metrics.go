@@ -16,9 +16,9 @@ type Metrics struct {
 	streams       *obs.Gauge   // registry_streams
 	evictions     *obs.Counter // registry_evictions_total
 	refits        *obs.Counter // registry_stream_refits_total
-	persistErrors *obs.Counter   // registry_persist_errors_total
-	corrupt       *obs.Counter   // registry_corrupt_total
-	appendSec     *obs.Histogram // stream_append_seconds
+	persistErrors *obs.Counter      // registry_persist_errors_total
+	corrupt       *obs.Counter      // registry_corrupt_total
+	appendSec     *obs.HistogramVec // stream_append_seconds{path}
 }
 
 // NewMetricsOn registers the registry metrics on reg.
@@ -38,10 +38,11 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Failed writes of model, stream or manifest files."),
 		corrupt: reg.Counter("registry_corrupt_total",
 			"Persisted files found missing or corrupt (checksum mismatch, bad JSON) and quarantined."),
-		appendSec: reg.Histogram("stream_append_seconds",
-			"Stream append latency in seconds, including any triggered "+
-				"refit and the persistence write.",
-			obs.DefBuckets()),
+		appendSec: reg.HistogramVec("stream_append_seconds",
+			"Stream append latency in seconds, including the persistence "+
+				"write, split by maintenance path: \"incremental\" for "+
+				"O(tail) appends, \"full\" when a batch refit ran.",
+			obs.DefBuckets(), "path"),
 	}
 }
 
@@ -81,11 +82,11 @@ func (m *Metrics) persistError() {
 	m.persistErrors.Inc()
 }
 
-func (m *Metrics) streamAppend(d time.Duration) {
+func (m *Metrics) streamAppend(path string, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.appendSec.Observe(d.Seconds())
+	m.appendSec.With(path).Observe(d.Seconds())
 }
 
 func (m *Metrics) corruptFile() {

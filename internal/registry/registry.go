@@ -44,8 +44,9 @@ import (
 // Registry errors recognised by callers (the HTTP layer maps them to
 // status codes).
 var (
-	ErrNotFound = errors.New("registry: not found")
-	ErrBadID    = errors.New("registry: bad id")
+	ErrNotFound   = errors.New("registry: not found")
+	ErrBadID      = errors.New("registry: bad id")
+	ErrBadRequest = errors.New("registry: bad request")
 )
 
 // DefaultMaxLoaded bounds in-memory models when Options.MaxLoaded is 0.
@@ -73,6 +74,14 @@ type Options struct {
 	// RefitEvery is the default stream refit cadence in ticks (0 selects
 	// core.NewStream's default).
 	RefitEvery int
+	// StreamMode is the default maintenance mode for new streams:
+	// "incremental" for O(tail) per-tick maintenance, anything else (and "")
+	// for classic batch refits. Per-append options override it.
+	StreamMode string
+	// StreamIncremental tunes incremental maintenance (tail window, debt
+	// limit) for streams created in incremental mode; zero fields select the
+	// core defaults.
+	StreamIncremental core.IncrementalConfig
 	// FS abstracts the persistence filesystem (nil selects the real one).
 	// Chaos tests pass a faultfs.Injector to schedule write faults.
 	FS faultfs.FS

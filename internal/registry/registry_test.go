@@ -402,7 +402,7 @@ func TestStreamAppendPersistRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	series := streamSeries(80)
-	st, err := r.AppendStream(context.Background(), "ticker", series[:60], 30)
+	st, err := r.AppendStream(context.Background(), "ticker", series[:60], AppendOptions{RefitEvery: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +438,7 @@ func TestStreamAppendPersistRestore(t *testing.T) {
 			t.Fatalf("stream forecast diverges after restart at %d", i)
 		}
 	}
-	if _, err := r2.AppendStream(context.Background(), "ticker", series[60:], 0); err != nil {
+	if _, err := r2.AppendStream(context.Background(), "ticker", series[60:], AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got, _ := r2.StreamStatusFor("ticker"); got.Len != 80 {
@@ -469,14 +469,14 @@ func TestStreamAppendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.AppendStream(context.Background(), "bad id", []float64{1}, 0); !errors.Is(err, ErrBadID) {
+	if _, err := r.AppendStream(context.Background(), "bad id", []float64{1}, AppendOptions{}); !errors.Is(err, ErrBadID) {
 		t.Fatalf("bad stream id accepted: %v", err)
 	}
-	if _, err := r.AppendStream(context.Background(), "s", nil, 0); err == nil {
+	if _, err := r.AppendStream(context.Background(), "s", nil, AppendOptions{}); err == nil {
 		t.Fatal("empty append accepted")
 	}
 	// Missing values survive the append path.
-	if _, err := r.AppendStream(context.Background(), "s", []float64{1, tensor.Missing, 2}, 0); err != nil {
+	if _, err := r.AppendStream(context.Background(), "s", []float64{1, tensor.Missing, 2}, AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	st, err := r.StreamStatusFor("s")
@@ -491,7 +491,7 @@ func TestCorruptStreamSnapshotSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.AppendStream(context.Background(), "ok", []float64{1, 2, 3}, 0); err != nil {
+	if _, err := r.AppendStream(context.Background(), "ok", []float64{1, 2, 3}, AppendOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "streams", "bad.json"),

@@ -30,17 +30,36 @@ type stream struct {
 	refits int
 }
 
-// StreamStatus is the client-visible state of a stream.
+// StreamStatus is the client-visible state of a stream, including the
+// effective maintenance configuration (mode and cadence) so callers can tell
+// whether a requested change actually took effect.
 type StreamStatus struct {
-	ID       string `json:"id"`
-	Len      int    `json:"len"`
-	Ready    bool   `json:"ready"`
-	Refits   int    `json:"refits"`
-	Refitted bool   `json:"refitted,omitempty"` // set by AppendStream only
+	ID         string  `json:"id"`
+	Len        int     `json:"len"`
+	Ready      bool    `json:"ready"`
+	Refits     int     `json:"refits"`
+	Mode       string  `json:"mode"`
+	RefitEvery int     `json:"refit_every"`
+	Debt       float64 `json:"debt,omitempty"`
+	DebtLimit  float64 `json:"debt_limit,omitempty"`
+	RetryIn    int     `json:"retry_in,omitempty"` // ticks until a failed refit retries
+	Refitted   bool    `json:"refitted,omitempty"` // set by AppendStream only
+}
+
+// AppendOptions carries per-append stream configuration. Zero values mean
+// "leave as is": a positive RefitEvery (re)sets the cadence — on existing
+// streams too, not only at creation — and a non-empty Mode switches the
+// maintenance mode ("batch" or "incremental").
+type AppendOptions struct {
+	RefitEvery int
+	Mode       string
 }
 
 // streamJSON is the persisted snapshot. JSON cannot carry NaN, so the
-// sequence is encoded with null marking missing ticks.
+// sequence is encoded with null marking missing ticks. The incremental
+// fields are omitted when zero, which is also how legacy batch snapshots —
+// written before incremental maintenance existed — decode: mode "" maps to
+// RefitBatch with no pending debt, preserving their historical behaviour.
 type streamJSON struct {
 	RefitEvery int                   `json:"refit_every"`
 	Seq        []*float64            `json:"seq"`
@@ -48,26 +67,43 @@ type streamJSON struct {
 	Result     *core.GlobalFitResult `json:"result,omitempty"`
 	SinceRefit int                   `json:"since_refit"`
 	Refits     int                   `json:"refits"`
+
+	Mode       string     `json:"mode,omitempty"`
+	TailWindow int        `json:"tail_window,omitempty"`
+	DebtLimit  float64    `json:"debt_limit,omitempty"`
+	Debt       float64    `json:"debt,omitempty"`
+	Failures   int        `json:"refit_failures,omitempty"`
+	CoolOff    int        `json:"refit_cooloff,omitempty"`
+	LastScan   *int       `json:"last_scan,omitempty"` // nil = no peak examined yet (-1)
+	Future     []*float64 `json:"future,omitempty"`    // projected per-shock strengths
 }
 
 func (r *Registry) streamPath(id string) string {
 	return filepath.Join(r.dir, streamsDir, id+".json")
 }
 
-// AppendStream appends ticks to the named stream, creating it on first
-// use (refitEvery applies only then; 0 selects the registry default). The
-// incremental refit — when one triggers — runs outside the registry lock
-// and under ctx (nil = never cancelled): a cancelled or timed-out refit
-// stops cooperatively, keeps the stream's last good fit, and is retried on
-// the next trigger. With a data dir the post-append state is snapshotted
-// atomically so a restart resumes the stream mid-series.
-func (r *Registry) AppendStream(ctx context.Context, id string, values []float64, refitEvery int) (status StreamStatus, err error) {
+// AppendStream appends ticks to the named stream, creating it on first use.
+// opts.RefitEvery, when positive, sets the refit cadence — honored on
+// existing streams too, with the effective value reported in the returned
+// StreamStatus. opts.Mode ("batch"/"incremental") likewise switches the
+// maintenance mode; "" keeps the current one. A full refit — when one
+// triggers — runs outside the registry lock and under ctx (nil = never
+// cancelled): a cancelled or timed-out refit stops cooperatively, keeps the
+// stream's last good fit, and is retried per the stream's backoff schedule.
+// With a data dir the post-append state is snapshotted atomically so a
+// restart resumes the stream mid-series.
+func (r *Registry) AppendStream(ctx context.Context, id string, values []float64, opts AppendOptions) (status StreamStatus, err error) {
 	start := time.Now()
+	refitted := false
 	ctx, span := r.opts.Tracer.Start(ctx, "stream.append",
 		trace.String("stream_id", id), trace.Int("ticks", len(values)))
 	defer func() {
-		r.opts.Metrics.streamAppend(time.Since(start))
-		span.SetAttr("refitted", status.Refitted)
+		path := "incremental"
+		if refitted {
+			path = "full"
+		}
+		r.opts.Metrics.streamAppend(path, time.Since(start))
+		span.SetAttr("refitted", refitted)
 		if err != nil {
 			span.SetAttr("err", err.Error())
 		}
@@ -79,10 +115,20 @@ func (r *Registry) AppendStream(ctx context.Context, id string, values []float64
 	if len(values) == 0 {
 		return StreamStatus{}, errors.New("registry: empty append")
 	}
-	st := r.getOrCreateStream(id, refitEvery)
+	mode, ok := core.ParseRefitMode(opts.Mode)
+	if !ok {
+		return StreamStatus{}, fmt.Errorf("%w: unknown stream mode %q", ErrBadRequest, opts.Mode)
+	}
+	st := r.getOrCreateStream(id, opts)
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	refitted, err := st.s.AppendCtx(ctx, values...)
+	if opts.RefitEvery > 0 {
+		st.s.SetRefitEvery(opts.RefitEvery)
+	}
+	if opts.Mode != "" {
+		st.s.SetMode(mode)
+	}
+	refitted, err = st.s.AppendCtx(ctx, values...)
 	if err != nil {
 		return StreamStatus{}, fmt.Errorf("registry: stream %q: %w", id, err)
 	}
@@ -90,8 +136,8 @@ func (r *Registry) AppendStream(ctx context.Context, id string, values []float64
 		st.refits++
 		r.opts.Metrics.streamRefit()
 	}
-	status = StreamStatus{ID: id, Len: st.s.Len(), Ready: st.s.Ready(),
-		Refits: st.refits, Refitted: refitted}
+	status = st.statusLocked()
+	status.Refitted = refitted
 	if r.dir != "" {
 		if perr := r.saveStream(st); perr != nil {
 			r.opts.Metrics.persistError()
@@ -102,16 +148,64 @@ func (r *Registry) AppendStream(ctx context.Context, id string, values []float64
 	return status, nil
 }
 
-func (r *Registry) getOrCreateStream(id string, refitEvery int) *stream {
+// RefitStream forces a full consolidating refit of the named stream now,
+// regardless of cadence, pending debt or retry backoff.
+func (r *Registry) RefitStream(ctx context.Context, id string) (StreamStatus, error) {
+	st, err := r.lookupStream(id)
+	if err != nil {
+		return StreamStatus{}, err
+	}
+	start := time.Now()
+	ctx, span := r.opts.Tracer.Start(ctx, "stream.refit", trace.String("stream_id", id))
+	defer span.End()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.s.RefitNow(ctx); err != nil {
+		span.SetAttr("err", err.Error())
+		return StreamStatus{}, fmt.Errorf("registry: stream %q: %w", id, err)
+	}
+	st.refits++
+	r.opts.Metrics.streamRefit()
+	r.opts.Metrics.streamAppend("full", time.Since(start))
+	status := st.statusLocked()
+	status.Refitted = true
+	if r.dir != "" {
+		if perr := r.saveStream(st); perr != nil {
+			r.opts.Metrics.persistError()
+			return status, fmt.Errorf("registry: persisting stream %q: %w", id, perr)
+		}
+	}
+	return status, nil
+}
+
+// statusLocked builds the client-visible status (st.mu held by the caller).
+func (st *stream) statusLocked() StreamStatus {
+	return StreamStatus{ID: st.id, Len: st.s.Len(), Ready: st.s.Ready(),
+		Refits: st.refits, Mode: st.s.Mode().String(), RefitEvery: st.s.RefitEvery(),
+		Debt: st.s.Debt(), DebtLimit: st.s.DebtLimit(), RetryIn: st.s.RetryIn()}
+}
+
+func (r *Registry) getOrCreateStream(id string, opts AppendOptions) *stream {
 	r.streamMu.Lock()
 	defer r.streamMu.Unlock()
 	if st, ok := r.streams[id]; ok {
 		return st
 	}
+	refitEvery := opts.RefitEvery
 	if refitEvery <= 0 {
 		refitEvery = r.opts.RefitEvery
 	}
-	st := &stream{id: id, s: core.NewStream(r.opts.StreamFit, refitEvery)}
+	mode := opts.Mode
+	if mode == "" {
+		mode = r.opts.StreamMode
+	}
+	var s *core.Stream
+	if m, _ := core.ParseRefitMode(mode); m == core.RefitIncremental {
+		s = core.NewIncrementalStream(r.opts.StreamFit, refitEvery, r.opts.StreamIncremental)
+	} else {
+		s = core.NewStream(r.opts.StreamFit, refitEvery)
+	}
+	st := &stream{id: id, s: s}
 	r.streams[id] = st
 	r.opts.Metrics.setStreams(len(r.streams))
 	return st
@@ -125,7 +219,7 @@ func (r *Registry) StreamStatusFor(id string) (StreamStatus, error) {
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return StreamStatus{ID: id, Len: st.s.Len(), Ready: st.s.Ready(), Refits: st.refits}, nil
+	return st.statusLocked(), nil
 }
 
 // StreamModel materialises the named stream's current model (nil until the
@@ -189,8 +283,7 @@ func (r *Registry) ListStreams() []StreamStatus {
 	out := make([]StreamStatus, 0, len(streams))
 	for _, st := range streams {
 		st.mu.Lock()
-		out = append(out, StreamStatus{ID: st.id, Len: st.s.Len(),
-			Ready: st.s.Ready(), Refits: st.refits})
+		out = append(out, st.statusLocked())
 		st.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -216,6 +309,23 @@ func (r *Registry) saveStream(st *stream) error {
 		Fitted:     state.Fitted,
 		SinceRefit: state.SinceRefit,
 		Refits:     st.refits,
+		Mode:       "",
+		TailWindow: state.TailWindow,
+		DebtLimit:  state.DebtLimit,
+		Debt:       state.Debt,
+		Failures:   state.Failures,
+		CoolOff:    state.CoolOff,
+		Future:     encodeSeq(state.Future),
+	}
+	if state.Mode != core.RefitBatch {
+		sj.Mode = state.Mode.String()
+	}
+	if state.LastScan >= 0 {
+		ls := state.LastScan
+		sj.LastScan = &ls
+	}
+	if len(state.Future) == 0 {
+		sj.Future = nil
 	}
 	if state.Fitted {
 		res := state.Result
@@ -238,11 +348,29 @@ func decodeStreamState(data []byte) (core.StreamState, int, error) {
 	if err := json.Unmarshal(data, &sj); err != nil {
 		return core.StreamState{}, 0, err
 	}
+	mode, ok := core.ParseRefitMode(sj.Mode)
+	if !ok {
+		return core.StreamState{}, 0, fmt.Errorf("unknown stream mode %q", sj.Mode)
+	}
 	state := core.StreamState{
 		RefitEvery: sj.RefitEvery,
 		Seq:        decodeSeq(sj.Seq),
 		Fitted:     sj.Fitted,
 		SinceRefit: sj.SinceRefit,
+		Mode:       mode,
+		TailWindow: sj.TailWindow,
+		DebtLimit:  sj.DebtLimit,
+		Debt:       sj.Debt,
+		Failures:   sj.Failures,
+		CoolOff:    sj.CoolOff,
+		LastScan:   -1,
+		Future:     decodeSeq(sj.Future),
+	}
+	if sj.LastScan != nil && *sj.LastScan >= 0 {
+		state.LastScan = *sj.LastScan
+	}
+	if len(sj.Future) == 0 {
+		state.Future = nil
 	}
 	if err := numcheck.Sequence("stream snapshot", state.Seq); err != nil {
 		return core.StreamState{}, 0, err

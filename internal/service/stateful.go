@@ -12,9 +12,11 @@
 //	GET    /v1/models/{id}/forecast ?keyword=NAME&horizon=H
 //	GET    /v1/models/{id}/events   detected events
 //	POST   /v1/streams/{id}/append  {"values":[…]} (null = missing tick)
-//	                                ?refit_every=N (first append only)
+//	                                ?refit_every=N (honored on existing streams)
+//	                                ?mode=batch|incremental (maintenance mode)
+//	POST   /v1/streams/{id}/refit   force a full consolidating refit now
 //	GET    /v1/streams              list streams
-//	GET    /v1/streams/{id}         stream status
+//	GET    /v1/streams/{id}         stream status (mode, refit debt, cadence)
 //	GET    /v1/streams/{id}/forecast ?horizon=H (409 until first fit)
 //	DELETE /v1/streams/{id}         → 204
 package service
@@ -56,6 +58,7 @@ func (s *Server) statefulRoutes(route func(string, http.HandlerFunc)) {
 	route("GET /v1/models/{id}/forecast", s.handleModelForecast)
 	route("GET /v1/models/{id}/events", s.handleModelEvents)
 	route("POST /v1/streams/{id}/append", s.handleStreamAppend)
+	route("POST /v1/streams/{id}/refit", s.handleStreamRefit)
 	route("GET /v1/streams", s.handleStreamList)
 	route("GET /v1/streams/{id}", s.handleStreamGet)
 	route("GET /v1/streams/{id}/forecast", s.handleStreamForecast)
@@ -67,7 +70,7 @@ func registryError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, registry.ErrNotFound):
 		httpError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, registry.ErrBadID):
+	case errors.Is(err, registry.ErrBadID), errors.Is(err, registry.ErrBadRequest):
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
 		httpError(w, http.StatusInternalServerError, "%v", err)
@@ -320,22 +323,37 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		values[i] = *p
 	}
-	refitEvery := 0
+	opts := registry.AppendOptions{}
 	if re := r.URL.Query().Get("refit_every"); re != "" {
 		n, err := strconv.Atoi(re)
 		if err != nil || n < 1 || n > 1_000_000 {
 			httpError(w, http.StatusBadRequest, "bad refit_every %q", re)
 			return
 		}
-		refitEvery = n
+		opts.RefitEvery = n
 	}
-	status, err := s.Registry.AppendStream(r.Context(), id, values, refitEvery)
+	// The mode string is passed through verbatim; the registry owns the
+	// vocabulary ("batch"/"incremental") and rejects unknown names with
+	// ErrBadRequest, which maps to a 400 below.
+	opts.Mode = r.URL.Query().Get("mode")
+	status, err := s.Registry.AppendStream(r.Context(), id, values, opts)
 	if err != nil {
-		if errors.Is(err, registry.ErrBadID) {
+		if errors.Is(err, registry.ErrBadID) || errors.Is(err, registry.ErrBadRequest) {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.writeJSON(w, status)
+}
+
+// handleStreamRefit forces a full consolidating refit, regardless of the
+// stream's cadence, pending debt or retry backoff.
+func (s *Server) handleStreamRefit(w http.ResponseWriter, r *http.Request) {
+	status, err := s.Registry.RefitStream(r.Context(), r.PathValue("id"))
+	if err != nil {
+		registryError(w, err)
 		return
 	}
 	s.writeJSON(w, status)

@@ -357,6 +357,55 @@ func TestStreamAppendOverHTTP(t *testing.T) {
 	}
 }
 
+// TestStreamIncrementalOverHTTP drives the incremental maintenance surface
+// end to end: mode selection on append, the mode/debt fields in the status
+// JSON, and the on-demand consolidation endpoint.
+func TestStreamIncrementalOverHTTP(t *testing.T) {
+	srv, _, _ := statefulServer(t, "", jobs.Options{})
+
+	resp, body := post(t, srv.URL+"/v1/streams/s1/append?refit_every=40&mode=incremental",
+		"application/json", streamBody(50, 0, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s", resp.StatusCode, body)
+	}
+	var status registry.StreamStatus
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Mode != "incremental" || status.RefitEvery != 40 || !status.Ready {
+		t.Fatalf("status = %+v, want a fitted incremental stream at cadence 40", status)
+	}
+
+	// Post-fit appends run on the incremental path and accrue refit debt.
+	resp, body = post(t, srv.URL+"/v1/streams/s1/append",
+		"application/json", streamBody(30, 50, 0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal([]byte(body), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Debt <= 0 || status.DebtLimit <= 0 {
+		t.Fatalf("status = %+v, want pending debt below a positive limit", status)
+	}
+
+	// Forced consolidation clears the debt.
+	resp, body = post(t, srv.URL+"/v1/streams/s1/refit", "application/json", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refit status %d: %s", resp.StatusCode, body)
+	}
+	var after registry.StreamStatus // fresh: debt is omitempty, 0 would keep the stale value
+	if err := json.Unmarshal([]byte(body), &after); err != nil {
+		t.Fatal(err)
+	}
+	if !after.Refitted || after.Debt != 0 {
+		t.Fatalf("refit status = %+v, want refitted with debt 0", after)
+	}
+	if resp, body := post(t, srv.URL+"/v1/streams/ghost/refit", "application/json", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stream refit status %d: %s", resp.StatusCode, body)
+	}
+}
+
 func TestStreamAppendValidation(t *testing.T) {
 	srv, _, _ := statefulServer(t, "", jobs.Options{})
 	cases := []struct {
@@ -366,6 +415,7 @@ func TestStreamAppendValidation(t *testing.T) {
 		{"negative value", "/v1/streams/s1/append", `{"values":[1,-2]}`},
 		{"bad json", "/v1/streams/s1/append", `{"values":`},
 		{"bad refit_every", "/v1/streams/s1/append?refit_every=zero", `{"values":[1]}`},
+		{"bad mode", "/v1/streams/s1/append?mode=turbo", `{"values":[1]}`},
 		{"bad id", "/v1/streams/.dot/append", `{"values":[1]}`},
 	}
 	for _, tc := range cases {
