@@ -29,6 +29,13 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestWriteFileAtomicCleansUp|TestLegacy' ./internal/registry/
 	$(GO) test -race ./internal/faultfs/
 	$(GO) test -race -run 'Rejects|ContainsPanic|ContainsWorkerPanic|ContainsCellPanic|TestSimulateSanitises|TestFitGlobalValidatesTensor' ./internal/core/
+	# Hostile-input matrix and overload resilience: the five adversarial
+	# append schedules over HTTP against bounded streams, the breaker
+	# lifecycle under injected fit faults, structured admission sheds, and
+	# the 100-stream refit-stampede bound.
+	$(GO) test -race -run 'TestHostileScenarioMatrix|TestBreakerLifecycleOverHTTP|TestJobFitShedsOnOpenBreaker|TestJobFitOverBudget429|TestAppendLagSheds429|TestReadyzEnumeratesReasons' ./internal/service/
+	$(GO) test -race -run 'TestRefitStampedeBounded|TestBoundedStreamPersistRestore|TestAppendStreamPositioned' ./internal/registry/
+	$(GO) test -race ./internal/admit/ ./internal/datagen/
 
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .

@@ -6,6 +6,9 @@
 //	            [-pprof] [-shutdown-timeout 30s]
 //	            [-data-dir DIR] [-fit-workers N] [-queue-depth N]
 //	            [-job-timeout 15m] [-abandon-grace 2s] [-max-models N]
+//	            [-stream-retention N] [-max-refits N]
+//	            [-admit-budget D] [-append-budget D]
+//	            [-breaker-threshold N] [-breaker-open-for 30s]
 //	            [-trace] [-trace-max N] [-trace-slow 1s]
 //	            [-runtime-metrics-every 15s]
 //
@@ -54,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"dspot/internal/admit"
 	modelengine "dspot/internal/engine"
 	"dspot/internal/jobs"
 	"dspot/internal/obs"
@@ -87,6 +91,23 @@ func main() {
 	streamMode := flag.String("stream-mode", "batch",
 		"default maintenance mode for new streams: batch|incremental "+
 			"(per-append ?mode= overrides)")
+	streamRetention := flag.Int("stream-retention", 0,
+		"retention horizon in ticks for new streams: older ticks fold into "+
+			"checkpointed state and evict (0: unbounded; per-append "+
+			"?retention= overrides)")
+	maxRefits := flag.Int("max-refits", registry.DefaultMaxConcurrentRefits,
+		"concurrent scheduler-admitted stream consolidations (forced "+
+			"/refit bypasses the cap)")
+	admitBudget := flag.Duration("admit-budget", 0,
+		"reject async fits with 429 when the estimated queue wait exceeds "+
+			"this budget (0: only request deadlines gate admission)")
+	appendBudget := flag.Duration("append-budget", 0,
+		"shed stream appends with 429 while the smoothed append latency "+
+			"exceeds this budget (0: only request deadlines gate)")
+	breakerThreshold := flag.Int("breaker-threshold", admit.DefaultFailureThreshold,
+		"consecutive fit failures that open an engine's circuit breaker")
+	breakerOpenFor := flag.Duration("breaker-open-for", admit.DefaultOpenFor,
+		"cool-off before an open engine breaker admits probe fits again")
 	traceOn := flag.Bool("trace", true,
 		"record request traces and serve them at /debug/traces")
 	traceMax := flag.Int("trace-max", 0,
@@ -180,12 +201,14 @@ func main() {
 	fatal := make(chan error, 1)
 	go func() {
 		reg, err := registry.Open(registry.Options{
-			DataDir:    *dataDir,
-			MaxLoaded:  *maxModels,
-			Logger:     logger,
-			Metrics:    registry.NewMetricsOn(metrics.Registry),
-			Tracer:     tracer,
-			StreamMode: *streamMode,
+			DataDir:             *dataDir,
+			MaxLoaded:           *maxModels,
+			Logger:              logger,
+			Metrics:             registry.NewMetricsOn(metrics.Registry),
+			Tracer:              tracer,
+			StreamMode:          *streamMode,
+			StreamRetention:     *streamRetention,
+			MaxConcurrentRefits: *maxRefits,
 		})
 		if err != nil {
 			fatal <- fmt.Errorf("opening registry (data_dir %q): %w", *dataDir, err)
@@ -196,6 +219,7 @@ func main() {
 			QueueDepth:   *queueDepth,
 			Timeout:      *jobTimeout,
 			AbandonGrace: *abandonGrace,
+			AdmitBudget:  *admitBudget,
 			Logger:       logger,
 			Metrics:      jobs.NewMetricsOn(metrics.Registry),
 			Tracer:       tracer,
@@ -211,6 +235,11 @@ func main() {
 			Registry:      reg,
 			Jobs:          e,
 			Tracer:        tracer,
+			Breakers: service.NewBreakerSet(admit.BreakerOptions{
+				FailureThreshold: *breakerThreshold,
+				OpenFor:          *breakerOpenFor,
+			}, metrics),
+			AppendBudget: *appendBudget,
 		}).Handler())
 		logger.Info("registry ready", "data_dir", *dataDir, "models", reg.Len())
 	}()

@@ -1,0 +1,83 @@
+// Package admit holds the serving layer's overload-protection primitives:
+// an EWMA load tracker for deadline-aware admission decisions and a
+// per-engine circuit breaker (breaker.go). The package is deliberately
+// mechanism-only — no HTTP, no metrics registry, no policy — so the jobs
+// engine and the HTTP service can share the same primitives without an
+// import cycle, and tests can drive them with a fake clock.
+package admit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultAlpha is the EWMA smoothing factor used when NewEWMA is given a
+// non-positive one: each observation contributes 30%, so the estimate
+// tracks a shifting load level within a few observations without flapping
+// on a single outlier.
+const DefaultAlpha = 0.3
+
+// EWMA tracks an exponentially weighted moving average of observed
+// durations. The zero estimate (before any observation) reads as "no load
+// information" — admission built on it starts optimistic and only begins
+// shedding once real latencies accumulate. Safe for concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	val   float64 // seconds
+	seen  bool
+}
+
+// NewEWMA returns a tracker with the given smoothing factor in (0,1]
+// (non-positive or >1 selects DefaultAlpha).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		alpha = DefaultAlpha
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one observed duration into the average. Negative durations
+// are ignored (a clock step backwards must not poison the estimate).
+func (e *EWMA) Observe(d time.Duration) {
+	if e == nil || d < 0 {
+		return
+	}
+	s := d.Seconds()
+	e.mu.Lock()
+	if !e.seen {
+		e.val, e.seen = s, true
+	} else {
+		e.val = e.alpha*s + (1-e.alpha)*e.val
+	}
+	e.mu.Unlock()
+}
+
+// Seconds returns the current estimate in seconds (0 before any
+// observation).
+func (e *EWMA) Seconds() float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.val
+}
+
+// Estimate returns the current estimate as a duration (0 before any
+// observation).
+func (e *EWMA) Estimate() time.Duration {
+	return time.Duration(e.Seconds() * float64(time.Second))
+}
+
+// RetryAfterSeconds converts a wait estimate into a Retry-After value:
+// whole seconds, rounded up, at least 1 (clients treat 0 as "immediately",
+// which defeats the point of shedding).
+func RetryAfterSeconds(wait time.Duration) int {
+	s := int(math.Ceil(wait.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

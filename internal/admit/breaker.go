@@ -1,0 +1,266 @@
+package admit
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed passes traffic and counts consecutive failures.
+	Closed State = 0
+	// HalfOpen lets a bounded number of probes through; one success closes
+	// the breaker, one failure re-opens it.
+	HalfOpen State = 1
+	// Open sheds all traffic until the cool-off elapses.
+	Open State = 2
+)
+
+// String returns the conventional lowercase name.
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker defaults applied by NewBreaker for zero option fields.
+const (
+	DefaultFailureThreshold = 5
+	DefaultOpenFor          = 30 * time.Second
+	DefaultHalfOpenProbes   = 1
+)
+
+// BreakerOptions configures a Breaker; zero fields select the defaults.
+type BreakerOptions struct {
+	// FailureThreshold is how many consecutive failures trip the breaker.
+	FailureThreshold int
+	// OpenFor is the cool-off before an open breaker admits probes again.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probes while half-open.
+	HalfOpenProbes int
+
+	// Now overrides the clock (tests); nil selects time.Now.
+	Now func() time.Time
+	// OnChange, when non-nil, observes every state transition (metrics
+	// export). Called outside the breaker lock is NOT guaranteed — keep it
+	// cheap and non-reentrant.
+	OnChange func(State)
+}
+
+// Breaker is a consecutive-failure circuit breaker:
+//
+//	closed --threshold failures--> open --cool-off--> half-open
+//	half-open --probe success--> closed
+//	half-open --probe failure--> open
+//
+// Callers bracket each protected operation with Acquire; the returned
+// release reports the outcome. Cancellations must be reported as
+// failure=false — a caller hanging up says nothing about the engine's
+// health. Safe for concurrent use.
+type Breaker struct {
+	mu     sync.Mutex
+	opts   BreakerOptions
+	state  State
+	fails  int
+	opened time.Time
+	probes int // in-flight half-open probes
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = DefaultFailureThreshold
+	}
+	if opts.OpenFor <= 0 {
+		opts.OpenFor = DefaultOpenFor
+	}
+	if opts.HalfOpenProbes <= 0 {
+		opts.HalfOpenProbes = DefaultHalfOpenProbes
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Breaker{opts: opts}
+}
+
+// Acquire asks to run one protected operation. ok=false means the breaker
+// is shedding (open, or half-open with all probe slots taken) and the
+// caller must fail fast. ok=true returns a release that MUST be called
+// exactly once with the outcome: failure=true for a genuine failure or
+// timeout, false for success or caller-side cancellation.
+func (b *Breaker) Acquire() (release func(failure bool), ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.opts.Now().Sub(b.opened) < b.opts.OpenFor {
+			return nil, false
+		}
+		b.transition(HalfOpen)
+		b.probes = 0
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.opts.HalfOpenProbes {
+			return nil, false
+		}
+		b.probes++
+		return b.releaseProbe, true
+	default:
+		return b.releaseClosed, true
+	}
+}
+
+// Allow reports whether an Acquire would currently succeed, without
+// reserving a probe slot. Use it for cheap early rejection (e.g. before
+// queueing async work whose real Acquire happens at run time).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		return b.opts.Now().Sub(b.opened) >= b.opts.OpenFor
+	case HalfOpen:
+		return b.probes < b.opts.HalfOpenProbes
+	default:
+		return true
+	}
+}
+
+// State returns the current position (Open flips to HalfOpen lazily, on the
+// next Acquire/Allow, so State may report Open past the cool-off).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns how long until an open breaker admits probes again
+// (0 when not open).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	d := b.opts.OpenFor - b.opts.Now().Sub(b.opened)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (b *Breaker) releaseClosed(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Closed {
+		// A trip raced this release (another operation already opened the
+		// breaker); its verdict stands.
+		return
+	}
+	if !failure {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.opts.FailureThreshold {
+		b.trip()
+	}
+}
+
+func (b *Breaker) releaseProbe(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probes > 0 {
+		b.probes--
+	}
+	if b.state != HalfOpen {
+		return
+	}
+	if failure {
+		b.trip()
+		return
+	}
+	b.fails = 0
+	b.transition(Closed)
+}
+
+// trip opens the breaker (b.mu held).
+func (b *Breaker) trip() {
+	b.opened = b.opts.Now()
+	b.fails = 0
+	b.transition(Open)
+}
+
+// transition changes state and notifies (b.mu held).
+func (b *Breaker) transition(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.opts.OnChange != nil {
+		b.opts.OnChange(s)
+	}
+}
+
+// BreakerSet lazily manages one Breaker per name (per model engine, in the
+// serving layer). Safe for concurrent use.
+type BreakerSet struct {
+	mu   sync.Mutex
+	opts BreakerOptions
+	set  map[string]*Breaker
+
+	// onChange observes (name, state) transitions across the whole set.
+	onChange func(string, State)
+}
+
+// NewBreakerSet returns an empty set; every breaker it creates shares opts.
+// onChange, when non-nil, observes each member's state transitions.
+func NewBreakerSet(opts BreakerOptions, onChange func(name string, s State)) *BreakerSet {
+	return &BreakerSet{opts: opts, set: make(map[string]*Breaker), onChange: onChange}
+}
+
+// For returns the named breaker, creating it closed on first use.
+func (bs *BreakerSet) For(name string) *Breaker {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b, ok := bs.set[name]; ok {
+		return b
+	}
+	opts := bs.opts
+	if bs.onChange != nil {
+		fn := bs.onChange
+		opts.OnChange = func(s State) { fn(name, s) }
+	}
+	b := NewBreaker(opts)
+	bs.set[name] = b
+	if bs.onChange != nil {
+		bs.onChange(name, Closed)
+	}
+	return b
+}
+
+// Open returns the names of breakers currently not closed, sorted — the
+// readiness probe enumerates these as tripped gates.
+func (bs *BreakerSet) Open() []string {
+	if bs == nil {
+		return nil
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var out []string
+	for name, b := range bs.set {
+		if b.State() != Closed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,179 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clock *fakeClock, transitions *[]State) *Breaker {
+	return NewBreaker(BreakerOptions{
+		FailureThreshold: 3,
+		OpenFor:          10 * time.Second,
+		Now:              clock.now,
+		OnChange: func(s State) {
+			if transitions != nil {
+				*transitions = append(*transitions, s)
+			}
+		},
+	})
+}
+
+func mustAcquire(t *testing.T, b *Breaker) func(bool) {
+	t.Helper()
+	release, ok := b.Acquire()
+	if !ok {
+		t.Fatalf("Acquire refused in state %v", b.State())
+	}
+	return release
+}
+
+// TestBreakerOpenHalfOpenClosed walks the full recovery cycle under
+// injected faults: consecutive failures trip it, the cool-off admits a
+// probe, a failed probe re-opens, a successful probe closes.
+func TestBreakerOpenHalfOpenClosed(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []State
+	b := newTestBreaker(clock, &transitions)
+
+	// Three consecutive failures trip the breaker.
+	for i := 0; i < 3; i++ {
+		if b.State() != Closed {
+			t.Fatalf("breaker left Closed after %d failures", i)
+		}
+		mustAcquire(t, b)(true)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures, want Open", b.State())
+	}
+	if _, ok := b.Acquire(); ok {
+		t.Fatal("open breaker admitted traffic before cool-off")
+	}
+	if ra := b.RetryAfter(); ra != 10*time.Second {
+		t.Fatalf("RetryAfter = %v, want 10s", ra)
+	}
+
+	// Cool-off elapses: exactly one probe is admitted.
+	clock.advance(11 * time.Second)
+	release := mustAcquire(t, b)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v during probe, want HalfOpen", b.State())
+	}
+	if _, ok := b.Acquire(); ok {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Failed probe re-opens.
+	release(true)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want Open", b.State())
+	}
+
+	// Second cool-off; successful probe closes the breaker.
+	clock.advance(11 * time.Second)
+	mustAcquire(t, b)(false)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want Closed", b.State())
+	}
+	// And the closed breaker serves traffic again.
+	mustAcquire(t, b)(false)
+
+	want := []State{Open, HalfOpen, Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak pins "consecutive": a success
+// between failures keeps the breaker closed indefinitely.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clock, nil)
+	for i := 0; i < 20; i++ {
+		mustAcquire(t, b)(true)
+		mustAcquire(t, b)(true)
+		mustAcquire(t, b)(false) // breaks the streak at 2 of 3
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed", b.State())
+	}
+}
+
+// TestBreakerAllowDoesNotReserve pins that Allow is a read-only check: it
+// must not consume the half-open probe slot.
+func TestBreakerAllowDoesNotReserve(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clock, nil)
+	for i := 0; i < 3; i++ {
+		mustAcquire(t, b)(true)
+	}
+	clock.advance(11 * time.Second)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("Allow refused past the cool-off")
+	}
+	// The probe slot is still available after the Allow calls.
+	mustAcquire(t, b)(false)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want Closed", b.State())
+	}
+}
+
+func TestBreakerSetTracksOpenMembers(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	var got []string
+	bs := NewBreakerSet(BreakerOptions{FailureThreshold: 1, Now: clock.now},
+		func(name string, s State) { got = append(got, name+":"+s.String()) })
+	if open := bs.Open(); len(open) != 0 {
+		t.Fatalf("fresh set reports open breakers: %v", open)
+	}
+	bs.For("dspot") // created closed
+	release, _ := bs.For("hip").Acquire()
+	release(true) // threshold 1: trips immediately
+	open := bs.Open()
+	if len(open) != 1 || open[0] != "hip" {
+		t.Fatalf("Open() = %v, want [hip]", open)
+	}
+	if bs.For("hip") != bs.For("hip") {
+		t.Fatal("For returns distinct breakers for one name")
+	}
+	wantEvents := map[string]bool{"dspot:closed": true, "hip:closed": true, "hip:open": true}
+	for _, ev := range got {
+		if !wantEvents[ev] {
+			t.Fatalf("unexpected transition event %q (all: %v)", ev, got)
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Seconds() != 0 {
+		t.Fatal("fresh EWMA not zero")
+	}
+	e.Observe(100 * time.Millisecond)
+	if got := e.Seconds(); got != 0.1 {
+		t.Fatalf("first observation = %g, want 0.1 (seeds the average)", got)
+	}
+	e.Observe(300 * time.Millisecond)
+	if got := e.Seconds(); got < 0.19 || got > 0.21 {
+		t.Fatalf("after second observation = %g, want ~0.2", got)
+	}
+	e.Observe(-time.Second) // ignored
+	if got := e.Seconds(); got < 0.19 || got > 0.21 {
+		t.Fatalf("negative observation moved the average to %g", got)
+	}
+	if got := RetryAfterSeconds(0); got != 1 {
+		t.Fatalf("RetryAfterSeconds(0) = %d, want 1", got)
+	}
+	if got := RetryAfterSeconds(2300 * time.Millisecond); got != 3 {
+		t.Fatalf("RetryAfterSeconds(2.3s) = %d, want 3", got)
+	}
+}

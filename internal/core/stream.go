@@ -193,7 +193,73 @@ type Stream struct {
 	// next attempt. Cancelled refits are exempt (retried on next trigger).
 	failures int
 	coolOff  int
+
+	// Bounded-memory state (evict.go): retention is the sliding-window
+	// horizon in ticks (0 = unbounded) and evicted counts ticks dropped off
+	// the front, so Head() = evicted + len(seq) is the absolute tick index
+	// appends continue at.
+	retention int
+	evicted   int64
+
+	// Hostile-input accounting (AppendAtCtx): duplicate ticks idempotently
+	// dropped and missing ticks synthesised to bridge forward gaps.
+	dropped   int64
+	gapFilled int64
+
+	// Refit desynchronisation (see RefitGate): jitterFrac deterministically
+	// staggers this stream's refit trigger, gate rate-limits consolidations
+	// across a fleet, deferred counts refits the gate pushed back.
+	jitterFrac float64
+	gate       RefitGate
+	deferred   int64
 }
+
+// RefitGate rate-limits full consolidating refits across a fleet of
+// streams. TryAcquire reserves a refit slot: ok=false defers the refit —
+// the stream keeps its accrued debt/cadence overshoot and tries again on
+// the next append — and ok=true obliges the caller to invoke release once
+// the refit returns. Implementations must be safe for concurrent use.
+// RefitNow bypasses the gate: a forced refit is explicit operator intent.
+type RefitGate interface {
+	TryAcquire() (release func(), ok bool)
+}
+
+// SetRefitGate installs the cross-stream refit rate limiter (nil removes
+// it). Runtime wiring, not part of the serialisable state.
+func (s *Stream) SetRefitGate(g RefitGate) { s.gate = g }
+
+// SetRefitJitter sets the deterministic trigger-jitter fraction in [0,1):
+// batch-mode refits trigger at RefitEvery + frac·RefitEvery/2 ticks and
+// debt-mode refits at DebtLimit·(1 + frac/4), so a fleet of streams created
+// (or restored) together consolidates staggered instead of in lockstep.
+// Out-of-range values reset to 0 (exact cadence, the historical behaviour).
+func (s *Stream) SetRefitJitter(frac float64) {
+	if frac < 0 || frac >= 1 || math.IsNaN(frac) {
+		frac = 0
+	}
+	s.jitterFrac = frac
+}
+
+// cadenceJitter is the batch-mode trigger offset in ticks.
+func (s *Stream) cadenceJitter() int {
+	return int(s.jitterFrac * float64(s.refitEvery) / 2)
+}
+
+// debtJitter is the incremental-mode trigger offset in debt units.
+func (s *Stream) debtJitter() float64 {
+	return s.jitterFrac * s.DebtLimit() / 4
+}
+
+// DroppedTicks returns how many duplicate/late ticks AppendAtCtx has
+// idempotently dropped so far.
+func (s *Stream) DroppedTicks() int64 { return s.dropped }
+
+// GapTicks returns how many missing ticks AppendAtCtx has synthesised to
+// bridge forward gaps.
+func (s *Stream) GapTicks() int64 { return s.gapFilled }
+
+// DeferredRefits returns how many due refits the gate pushed back.
+func (s *Stream) DeferredRefits() int64 { return s.deferred }
 
 // NewStream returns a batch-mode stream that refits after every refitEvery
 // appended ticks (default 26). The fitting options apply to every (re)fit.
@@ -293,6 +359,38 @@ func (s *Stream) Append(values ...float64) (refitted bool, err error) {
 	return s.AppendCtx(nil, values...)
 }
 
+// AppendReceipt reports what one positioned append actually did — the
+// serving layer turns these into per-stream metrics.
+type AppendReceipt struct {
+	// Refitted reports whether a full batch (re)fit ran (Append's bool).
+	Refitted bool
+	// Deferred reports that a refit was due but the RefitGate pushed it
+	// back; the accrued debt/cadence overshoot is kept.
+	Deferred bool
+	// DroppedTicks counts duplicate/late ticks idempotently dropped.
+	DroppedTicks int
+	// GapTicks counts missing ticks synthesised to bridge a forward gap.
+	GapTicks int
+	// EvictedTicks counts ticks evicted off the front by the retention
+	// horizon during this append.
+	EvictedTicks int
+}
+
+// ErrGapTooLarge rejects a positioned append whose forward gap would force
+// the stream to synthesise more missing ticks than its gap limit allows.
+var ErrGapTooLarge = errors.New("core: gap exceeds the stream's gap limit")
+
+// gapLimit bounds how many missing ticks a single positioned append may
+// synthesise: a bounded stream accepts up to 4 retention windows (anything
+// further means every real tick has already slid out), an unbounded one
+// caps at 64Ki so a hostile timestamp cannot allocate without limit.
+func (s *Stream) gapLimit() int64 {
+	if s.retention > 0 {
+		return int64(4 * s.retention)
+	}
+	return 1 << 16
+}
+
 // AppendCtx is Append under a cancellation context covering any full refit
 // the append triggers (nil behaves like Append; a non-nil ctx overrides the
 // stream options' Context for this call). The appended ticks are always
@@ -305,34 +403,95 @@ func (s *Stream) Append(values ...float64) (refitted bool, err error) {
 // back-off window return (false, nil). Cancelled refits retry on the next
 // trigger as before.
 func (s *Stream) AppendCtx(ctx context.Context, values ...float64) (refitted bool, err error) {
+	rec, err := s.AppendAtCtx(ctx, -1, values...)
+	return rec.Refitted, err
+}
+
+// AppendAtCtx appends values positioned at absolute tick index at (at < 0
+// means "at the head", i.e. plain AppendCtx). Positioned appends make
+// replayed, late and gapped feeds safe to ingest idempotently:
+//
+//   - at < Head(): the overlap with already-ingested ticks is dropped — a
+//     full replay is a no-op success, a partial one appends only the novel
+//     suffix. Late data never rewrites history.
+//   - at > Head(): the gap is bridged with tensor.Missing ticks, up to the
+//     gap limit (4 retention windows, or 64Ki when unbounded); a larger gap
+//     fails with ErrGapTooLarge and ingests nothing.
+//
+// After ingestion the retention horizon is enforced (see SetRetention) and
+// the usual refit triggers run, offset by the configured jitter and subject
+// to the RefitGate; the receipt reports each of these outcomes.
+func (s *Stream) AppendAtCtx(ctx context.Context, at int64, values ...float64) (AppendReceipt, error) {
+	var rec AppendReceipt
+	if at >= 0 {
+		head := s.Head()
+		if overlap := head - at; overlap > 0 {
+			if overlap >= int64(len(values)) {
+				s.dropped += int64(len(values))
+				rec.DroppedTicks = len(values)
+				return rec, nil
+			}
+			s.dropped += overlap
+			rec.DroppedTicks = int(overlap)
+			values = values[overlap:]
+		} else if gap := at - head; gap > 0 {
+			if lim := s.gapLimit(); gap > lim {
+				return rec, fmt.Errorf("%w: append at tick %d with head %d needs %d filler ticks (limit %d)",
+					ErrGapTooLarge, at, head, gap, lim)
+			}
+			fill := make([]float64, gap+int64(len(values)))
+			for i := int64(0); i < gap; i++ {
+				fill[i] = tensor.Missing
+			}
+			copy(fill[gap:], values)
+			values = fill
+			s.gapFilled += gap
+			rec.GapTicks = int(gap)
+		}
+	}
+	if len(values) == 0 {
+		return rec, nil
+	}
 	if s.fitted && s.mode == RefitIncremental && s.inc != nil {
 		s.appendIncremental(values)
 	} else {
-		s.seq = append(s.seq, values...)
+		s.appendBulk(values)
 	}
 	s.sinceRefit += len(values)
+	rec.EvictedTicks = s.maybeEvict()
 	if s.coolOff > 0 {
 		s.coolOff -= len(values)
 		if s.coolOff > 0 {
-			return false, nil
+			return rec, nil
 		}
 		s.coolOff = 0
 	}
 	switch {
 	case !s.fitted:
 		if tensor.ObservedCount(s.seq) < 8 {
-			return false, nil
+			return rec, nil
 		}
 	case s.mode == RefitIncremental:
-		if s.debt < s.DebtLimit() {
-			return false, nil
+		if s.debt < s.DebtLimit()+s.debtJitter() {
+			return rec, nil
 		}
 	default:
-		if s.sinceRefit < s.refitEvery {
-			return false, nil
+		if s.sinceRefit < s.refitEvery+s.cadenceJitter() {
+			return rec, nil
 		}
 	}
-	return s.refitFull(ctx)
+	if s.gate != nil {
+		release, ok := s.gate.TryAcquire()
+		if !ok {
+			s.deferred++
+			rec.Deferred = true
+			return rec, nil
+		}
+		defer release()
+	}
+	var err error
+	rec.Refitted, err = s.refitFull(ctx)
+	return rec, err
 }
 
 // appendIncremental folds new ticks into the incremental state: extend the
@@ -343,7 +502,7 @@ func (s *Stream) AppendCtx(ctx context.Context, values ...float64) (refitted boo
 func (s *Stream) appendIncremental(values []float64) {
 	st := s.inc
 	for _, v := range values {
-		s.seq = append(s.seq, v)
+		s.appendTick(v)
 		st.advance(s.result.Shocks, v)
 		s.debt++
 		if !tensor.IsMissing(v) && !math.IsInf(v, 0) && v >= 0 && st.scale > 0 && v/st.scale > 1 {
@@ -514,6 +673,16 @@ type StreamState struct {
 	CoolOff    int
 	LastScan   int       // tail tick of the last examined residual peak; -1 = none
 	Future     []float64 // per shock: projected strength for unseen occurrences
+
+	// Bounded-memory and hostile-input bookkeeping. Zero values are again
+	// the legacy decoding: an unbounded stream that never dropped or
+	// synthesised a tick. The refit gate and jitter fraction are runtime
+	// wiring, re-derived by the owner on restore, and not serialised.
+	Retention int
+	Evicted   int64
+	Dropped   int64
+	GapFilled int64
+	Deferred  int64
 }
 
 // State snapshots the stream for persistence.
@@ -533,6 +702,11 @@ func (s *Stream) State() StreamState {
 		Failures:   s.failures,
 		CoolOff:    s.coolOff,
 		LastScan:   s.lastScan,
+		Retention:  s.retention,
+		Evicted:    s.evicted,
+		Dropped:    s.dropped,
+		GapFilled:  s.gapFilled,
+		Deferred:   s.deferred,
 	}
 	if s.inc != nil {
 		st.Future = append([]float64(nil), s.inc.future...)
@@ -559,6 +733,11 @@ func RestoreStream(opts FitOptions, st StreamState) *Stream {
 	s.failures = st.Failures
 	s.coolOff = st.CoolOff
 	s.lastScan = st.LastScan
+	s.SetRetention(st.Retention)
+	s.evicted = st.Evicted
+	s.dropped = st.Dropped
+	s.gapFilled = st.GapFilled
+	s.deferred = st.Deferred
 	if s.mode == RefitIncremental && s.fitted {
 		s.inc = newIncState(s.seq, &s.result, st.Future, s.cfg.TailWindow)
 	} else if s.mode != RefitIncremental {

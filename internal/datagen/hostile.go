@@ -1,0 +1,218 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dspot/internal/tensor"
+)
+
+// Hostile-input generators: scripted adversarial append schedules for the
+// serving layer's chaos matrix. Where scenarios.go asks "which engine
+// explains this world most cheaply?", these ask "does the serving layer
+// degrade gracefully when the world misbehaves?" — regime changes that
+// invalidate every fitted model at once, producers that replay or reorder
+// ticks, outages that blank most of the signal, counters that overflow
+// toward the float ceiling, and heavy-tailed spike trains. Every value is
+// non-negative and finite (or tensor.Missing): the point is input that is
+// *plausible at the wire* yet hostile to the models behind it.
+
+// StreamOp is one append in a hostile schedule: Values lands at absolute
+// tick At, or at the stream head when At is negative.
+type StreamOp struct {
+	At     int64
+	Values []float64
+}
+
+// HostileScenario is one named adversarial append schedule.
+type HostileScenario struct {
+	Name string
+	Ops  []StreamOp
+}
+
+// Ticks returns the total number of values the schedule carries (fillers
+// and duplicates included) — the chaos matrix uses it to bound expected
+// stream growth.
+func (h HostileScenario) Ticks() int {
+	n := 0
+	for _, op := range h.Ops {
+		n += len(op.Values)
+	}
+	return n
+}
+
+// hostileSeedSalt decorrelates hostile schedules from the world generators
+// sharing a seed.
+const hostileSeedSalt = 0x6f57a11
+
+// HostileScenarios returns the full chaos matrix: all five generators,
+// each scripting about n ticks, deterministic in seed.
+func HostileScenarios(seed int64, n int) []HostileScenario {
+	if n < 40 {
+		n = 40
+	}
+	rng := rand.New(rand.NewSource(seed ^ hostileSeedSalt))
+	return []HostileScenario{
+		RegimeChange(rng, n),
+		DuplicateReplay(rng, n),
+		MissingStorm(rng, n),
+		CountOverflow(rng, n),
+		SpikeTrainBurst(rng, n),
+	}
+}
+
+// chunked splits series into head appends of the given chunk size.
+func chunked(series []float64, chunk int) []StreamOp {
+	var ops []StreamOp
+	for lo := 0; lo < len(series); lo += chunk {
+		hi := lo + chunk
+		if hi > len(series) {
+			hi = len(series)
+		}
+		ops = append(ops, StreamOp{At: -1, Values: series[lo:hi]})
+	}
+	return ops
+}
+
+// RegimeChange scripts a ×25 level shift at mid-series: every model fitted
+// on the first regime is instantly wrong, so the fleet's refit debt spikes
+// in lockstep — the stampede input.
+func RegimeChange(rng *rand.Rand, n int) HostileScenario {
+	series := make([]float64, n)
+	for t := range series {
+		level := 20.0
+		if t >= n/2 {
+			level = 500
+		}
+		series[t] = level * (0.8 + 0.4*rng.Float64())
+	}
+	return HostileScenario{Name: "regime-change", Ops: chunked(series, 10)}
+}
+
+// DuplicateReplay scripts a misbehaving producer: normal head appends
+// interleaved with full replays of earlier chunks (exact duplicates),
+// partial overlaps (late ticks straddling the head) and the occasional
+// small forward gap. A correct server drops the duplicates idempotently
+// and bridges the gaps; history must never be rewritten.
+func DuplicateReplay(rng *rand.Rand, n int) HostileScenario {
+	var ops []StreamOp
+	head := int64(0)
+	chunk := 8
+	emit := func(at int64, k int) []float64 {
+		vals := make([]float64, k)
+		for i := range vals {
+			vals[i] = 30 + 10*math.Sin(float64(int64(i)+at)/6) + 3*rng.Float64()
+		}
+		return vals
+	}
+	for int(head) < n {
+		vals := emit(head, chunk)
+		ops = append(ops, StreamOp{At: head, Values: vals})
+		head += int64(len(vals))
+		switch rng.Intn(4) {
+		case 0: // exact replay of the chunk just sent
+			ops = append(ops, StreamOp{At: head - int64(chunk), Values: vals})
+		case 1: // late ticks straddling the head: half duplicate, half new
+			straddle := emit(head-int64(chunk)/2, chunk)
+			ops = append(ops, StreamOp{At: head - int64(chunk)/2, Values: straddle})
+			head += int64(chunk) - int64(chunk)/2
+		case 2: // short forward gap the server must bridge with missing ticks
+			gap := int64(1 + rng.Intn(3))
+			vals := emit(head+gap, chunk)
+			ops = append(ops, StreamOp{At: head + gap, Values: vals})
+			head += gap + int64(len(vals))
+		}
+	}
+	return HostileScenario{Name: "duplicate-replay", Ops: ops}
+}
+
+// MissingStorm scripts a collection outage: long runs where 50–80% of
+// ticks arrive as tensor.Missing, with brief clear windows between storms.
+func MissingStorm(rng *rand.Rand, n int) HostileScenario {
+	series := make([]float64, n)
+	inStorm := false
+	left := 0
+	dropP := 0.0
+	for t := range series {
+		if left == 0 {
+			inStorm = !inStorm
+			if inStorm {
+				left = 10 + rng.Intn(15)
+				dropP = 0.5 + 0.3*rng.Float64()
+			} else {
+				left = 5 + rng.Intn(10)
+			}
+		}
+		left--
+		if inStorm && rng.Float64() < dropP {
+			series[t] = tensor.Missing
+		} else {
+			series[t] = 25 + 8*rng.Float64()
+		}
+	}
+	return HostileScenario{Name: "missing-storm", Ops: chunked(series, 10)}
+}
+
+// CountOverflow scripts a runaway counter: values escalating geometrically
+// from ordinary counts toward ~1e300 — still finite at the wire, but any
+// squared residual or population product downstream overflows. The serving
+// layer must answer with a 4xx or a degraded model, never a panic or an
+// Inf leaking into state.
+func CountOverflow(rng *rand.Rand, n int) HostileScenario {
+	series := make([]float64, n)
+	v := 50.0
+	for t := range series {
+		series[t] = v * (0.9 + 0.2*rng.Float64())
+		if t > n/4 {
+			v *= 1e4 // four decades per tick: hits the 1e300 cap well inside the schedule
+			if v > 1e300 {
+				v = 1e300
+			}
+		}
+	}
+	return HostileScenario{Name: "count-overflow", Ops: chunked(series, 10)}
+}
+
+// SpikeTrainBurst scripts a heavy-tailed spike train: a low baseline with
+// Pareto-distributed bursts arriving in clusters, the shape that makes
+// shock-candidate scans explode combinatorially if unbounded.
+func SpikeTrainBurst(rng *rand.Rand, n int) HostileScenario {
+	series := make([]float64, n)
+	for t := range series {
+		series[t] = 5 + 2*rng.Float64()
+	}
+	t := 0
+	for t < n {
+		t += 3 + rng.Intn(12)
+		// Pareto tail (α≈1.2) capped to stay plausibly countish.
+		spike := 100 * math.Pow(rng.Float64()+1e-9, -1/1.2)
+		if spike > 1e6 {
+			spike = 1e6
+		}
+		for w := 0; w < 1+rng.Intn(3) && t+w < n; w++ {
+			series[t+w] += spike / float64(w+1)
+		}
+	}
+	return HostileScenario{Name: "spike-train-burst", Ops: chunked(series, 10)}
+}
+
+// Validate checks a schedule's invariants: every value non-negative and
+// finite or Missing, and every positioned op at a non-negative tick. The
+// generators' own tests call it; chaos harnesses may too.
+func (h HostileScenario) Validate() error {
+	for i, op := range h.Ops {
+		if op.At < -1 {
+			return fmt.Errorf("%s op %d: bad position %d", h.Name, i, op.At)
+		}
+		for j, v := range op.Values {
+			if tensor.IsMissing(v) {
+				continue
+			}
+			if v < 0 || math.IsInf(v, 0) {
+				return fmt.Errorf("%s op %d value %d: %g not wire-plausible", h.Name, i, j, v)
+			}
+		}
+	}
+	return nil
+}

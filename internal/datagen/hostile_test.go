@@ -1,0 +1,106 @@
+package datagen
+
+import (
+	"testing"
+
+	"dspot/internal/tensor"
+)
+
+// schedulesEqual compares scenario lists treating Missing (NaN) as equal to
+// itself, which reflect.DeepEqual does not.
+func schedulesEqual(a, b []HostileScenario) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Ops) != len(b[i].Ops) {
+			return false
+		}
+		for j := range a[i].Ops {
+			oa, ob := a[i].Ops[j], b[i].Ops[j]
+			if oa.At != ob.At || len(oa.Values) != len(ob.Values) {
+				return false
+			}
+			for k := range oa.Values {
+				if tensor.IsMissing(oa.Values[k]) && tensor.IsMissing(ob.Values[k]) {
+					continue
+				}
+				if oa.Values[k] != ob.Values[k] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestHostileScenariosDeterministic(t *testing.T) {
+	a := HostileScenarios(42, 120)
+	b := HostileScenarios(42, 120)
+	if !schedulesEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := HostileScenarios(43, 120)
+	if schedulesEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestHostileScenariosShape(t *testing.T) {
+	const n = 120
+	scenarios := HostileScenarios(7, n)
+	want := []string{"regime-change", "duplicate-replay", "missing-storm",
+		"count-overflow", "spike-train-burst"}
+	if len(scenarios) != len(want) {
+		t.Fatalf("%d scenarios, want %d", len(scenarios), len(want))
+	}
+	for i, sc := range scenarios {
+		if sc.Name != want[i] {
+			t.Fatalf("scenario %d named %q, want %q", i, sc.Name, want[i])
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if sc.Ticks() < n {
+			t.Fatalf("%s carries %d ticks, want >= %d", sc.Name, sc.Ticks(), n)
+		}
+	}
+}
+
+func TestHostileScenariosCharacter(t *testing.T) {
+	byName := map[string]HostileScenario{}
+	for _, sc := range HostileScenarios(11, 120) {
+		byName[sc.Name] = sc
+	}
+	missing := 0
+	for _, op := range byName["missing-storm"].Ops {
+		for _, v := range op.Values {
+			if tensor.IsMissing(v) {
+				missing++
+			}
+		}
+	}
+	if missing < 20 {
+		t.Fatalf("missing-storm blanked only %d ticks", missing)
+	}
+	peak := 0.0
+	for _, op := range byName["count-overflow"].Ops {
+		for _, v := range op.Values {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	if peak < 1e250 {
+		t.Fatalf("count-overflow peaked at %g, want near the float ceiling", peak)
+	}
+	positioned := 0
+	for _, op := range byName["duplicate-replay"].Ops {
+		if op.At >= 0 {
+			positioned++
+		}
+	}
+	if positioned == 0 {
+		t.Fatal("duplicate-replay never positioned an append")
+	}
+}

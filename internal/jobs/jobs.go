@@ -3,9 +3,11 @@
 // poll instead of holding a connection open for the whole fit.
 //
 // The engine is deliberately generic — it runs any Func — with a bounded
-// queue (backpressure surfaces as ErrQueueFull, not unbounded memory), a
-// fixed worker pool, a per-job timeout, cooperative cancellation, and one
-// retry for failures marked Transient. A job moves through
+// queue (backpressure surfaces as ErrQueueFull, not unbounded memory),
+// deadline-aware admission (a submission whose estimated queue wait cannot
+// meet its deadline bounces with OverBudgetError instead of queueing dead
+// work), a fixed worker pool, a per-job timeout, cooperative cancellation,
+// and one retry for failures marked Transient. A job moves through
 //
 //	queued → running → done | failed | cancelled
 //
@@ -32,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"dspot/internal/admit"
 	"dspot/internal/obs/trace"
 )
 
@@ -63,6 +66,24 @@ var (
 	ErrNotFound  = errors.New("jobs: not found")
 	ErrTerminal  = errors.New("jobs: job already finished")
 )
+
+// OverBudgetError rejects a submission whose estimated queue wait exceeds
+// the admission budget: the job would be dead on arrival — queued past its
+// caller's deadline, cancelled before a worker picks it up — so the engine
+// refuses it up front instead of wasting a queue slot on it. Callers match
+// it with errors.As and surface Estimate as a Retry-After hint.
+type OverBudgetError struct {
+	// Estimate is the predicted queue wait at submission time.
+	Estimate time.Duration
+	// Budget is the admission budget the estimate exceeded (the configured
+	// AdmitBudget, tightened by the submitting context's deadline).
+	Budget time.Duration
+}
+
+func (e *OverBudgetError) Error() string {
+	return fmt.Sprintf("jobs: estimated queue wait %v exceeds admission budget %v",
+		e.Estimate.Round(time.Millisecond), e.Budget.Round(time.Millisecond))
+}
 
 // transientError marks an error as retryable.
 type transientError struct{ err error }
@@ -121,6 +142,12 @@ type Options struct {
 	// from failing the whole instance's readiness probe and flapping it out
 	// of load-balancer rotation.
 	SaturationGrace time.Duration
+	// AdmitBudget, when positive, enables deadline-aware admission: a
+	// submission whose EstimatedWait exceeds the budget (or the submitting
+	// context's remaining deadline, whichever is tighter) is rejected with
+	// an OverBudgetError before it consumes a queue slot. Zero disables the
+	// check; a context deadline alone still enforces admission when set.
+	AdmitBudget time.Duration
 	// Logger, when non-nil, reports job transitions and abandoned Funcs.
 	Logger *slog.Logger
 	// Metrics, when non-nil, exports queue depth, busy workers, outcomes
@@ -181,6 +208,10 @@ type Engine struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// runtime tracks the EWMA of completed-job run latencies; EstimatedWait
+	// scales it by the queue depth for admission decisions.
+	runtime *admit.EWMA
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	terminal []string // terminal job ids, oldest first, for history eviction
@@ -210,11 +241,12 @@ func New(opts Options) *Engine {
 	}
 	root, stop := context.WithCancel(context.Background())
 	e := &Engine{
-		opts:  opts,
-		root:  root,
-		stop:  stop,
-		queue: make(chan *job, opts.QueueDepth),
-		jobs:  make(map[string]*job),
+		opts:    opts,
+		root:    root,
+		stop:    stop,
+		queue:   make(chan *job, opts.QueueDepth),
+		jobs:    make(map[string]*job),
+		runtime: admit.NewEWMA(0),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -249,12 +281,15 @@ func (e *Engine) Submit(kind string, fn Func) (string, error) {
 	return e.SubmitCtx(context.Background(), kind, fn)
 }
 
-// SubmitCtx is Submit carrying trace identity: the span active in ctx (or
-// a remote span context extracted from an inbound traceparent) becomes the
-// parent of the job's queue-wait and run spans, and its trace id rides on
-// every lifecycle log line. ctx is read for identity only — the job's
-// lifetime is still bound to the engine, never to the (typically
-// short-lived) submitting request.
+// SubmitCtx is Submit carrying trace identity and an admission deadline:
+// the span active in ctx (or a remote span context extracted from an
+// inbound traceparent) becomes the parent of the job's queue-wait and run
+// spans, and its trace id rides on every lifecycle log line. ctx's deadline
+// (when set, or Options.AdmitBudget) also gates admission — a submission
+// whose estimated queue wait already exceeds it is rejected with an
+// OverBudgetError instead of queueing a job that would be cancelled before
+// a worker reaches it. The job's lifetime is still bound to the engine,
+// never to the (typically short-lived) submitting request.
 func (e *Engine) SubmitCtx(ctx context.Context, kind string, fn Func) (string, error) {
 	jctx, cancel := context.WithCancel(e.root)
 	j := &job{
@@ -267,6 +302,15 @@ func (e *Engine) SubmitCtx(ctx context.Context, kind string, fn Func) (string, e
 		trace.String("job_id", j.id), trace.String("kind", kind))
 	if sc := j.waitSpan.Context(); sc.Valid() {
 		j.traceID = sc.TraceID.String()
+	}
+	if budget, gated := e.admitBudget(ctx); gated {
+		if est := e.EstimatedWait(); est > budget {
+			cancel()
+			e.opts.Metrics.rejected()
+			j.waitSpan.SetAttr("outcome", "rejected_over_budget")
+			j.waitSpan.End()
+			return "", &OverBudgetError{Estimate: est, Budget: budget}
+		}
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -299,6 +343,48 @@ func (e *Engine) SubmitCtx(ctx context.Context, kind string, fn Func) (string, e
 	e.logger().Debug("job queued", j.logArgs("id", j.id, "kind", kind)...)
 	return j.id, nil
 }
+
+// admitBudget resolves the effective admission budget for one submission:
+// the configured AdmitBudget, tightened by the submitting context's
+// remaining deadline when it has one. gated=false means admission is
+// unbounded (no budget, no deadline) and the estimate is not consulted.
+func (e *Engine) admitBudget(ctx context.Context) (budget time.Duration, gated bool) {
+	budget, gated = e.opts.AdmitBudget, e.opts.AdmitBudget > 0
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); !gated || rem < budget {
+			budget, gated = rem, true
+		}
+	}
+	return budget, gated
+}
+
+// EstimatedWait predicts how long a job submitted now would sit in the
+// queue: queued jobs ahead of it spread over the worker pool, scaled by the
+// EWMA of observed run latencies. It deliberately ignores the remaining
+// time of in-flight jobs (a mild underestimate) and reads zero until the
+// first job completes — admission starts optimistic and only sheds once
+// real latencies accumulate.
+func (e *Engine) EstimatedWait() time.Duration {
+	per := e.runtime.Seconds()
+	if per <= 0 {
+		return 0
+	}
+	w := e.opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	wait := float64(len(e.queue)) / float64(w) * per
+	return time.Duration(wait * float64(time.Second))
+}
+
+// QueueLen returns the number of queued-but-not-running jobs.
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// QueueCap returns the configured queue depth.
+func (e *Engine) QueueCap() int { return cap(e.queue) }
+
+// WorkerCount returns the fixed worker-pool size.
+func (e *Engine) WorkerCount() int { return e.opts.Workers }
 
 // Saturated reports whether the job queue has been continuously full for at
 // least Options.SaturationGrace. Readiness probes use it to steer load away
@@ -562,6 +648,7 @@ func (e *Engine) finishLocked(j *job, state State, errMsg string, result any) {
 	var latency time.Duration
 	if !j.started.IsZero() {
 		latency = j.finished.Sub(j.started)
+		e.runtime.Observe(latency)
 	}
 	e.opts.Metrics.finished(j.kind, state, latency)
 	e.logger().Info("job finished", j.logArgs("id", j.id, "kind", j.kind,

@@ -392,3 +392,93 @@ func TestConcurrentSubmitCancelGet(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestAdmissionOverBudget pins deadline-aware admission: once the runtime
+// EWMA is seeded and the single worker is pinned, a queued job ahead makes
+// the estimated wait exceed a tight budget and the submission bounces with
+// OverBudgetError — without consuming a queue slot.
+func TestAdmissionOverBudget(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 4, AdmitBudget: time.Millisecond})
+	defer e.Close()
+
+	// Seed the runtime estimate with one measurably slow job.
+	id, err := e.Submit("seed", func(ctx context.Context) (any, error) {
+		time.Sleep(50 * time.Millisecond)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e, id)
+	if e.EstimatedWait() != 0 {
+		t.Fatalf("empty queue must estimate zero wait, got %v", e.EstimatedWait())
+	}
+
+	// Pin the worker and put one job in the queue.
+	block := make(chan struct{})
+	defer close(block)
+	blocker := func(ctx context.Context) (any, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	if _, err := e.Submit("blocker", blocker); err != nil {
+		t.Fatal(err)
+	}
+	for e.QueueLen() != 0 { // wait until the worker holds it
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e.Submit("queued", blocker); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = e.Submit("rejected", blocker)
+	var ob *OverBudgetError
+	if !errors.As(err, &ob) {
+		t.Fatalf("err = %v, want OverBudgetError", err)
+	}
+	if ob.Budget != time.Millisecond || ob.Estimate < 10*time.Millisecond {
+		t.Fatalf("OverBudgetError = %+v", ob)
+	}
+	if e.QueueLen() != 1 {
+		t.Fatalf("rejected submission consumed a queue slot: depth %d", e.QueueLen())
+	}
+
+	// An expired context deadline gates admission even without AdmitBudget.
+	e2 := New(Options{Workers: 1, QueueDepth: 4})
+	defer e2.Close()
+	sid, err := e2.Submit("seed", func(ctx context.Context) (any, error) {
+		time.Sleep(20 * time.Millisecond)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, e2, sid)
+	if _, err := e2.Submit("blocker", blocker); err != nil {
+		t.Fatal(err)
+	}
+	for e2.QueueLen() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := e2.Submit("queued", blocker); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Millisecond))
+	defer cancel()
+	if _, err := e2.SubmitCtx(ctx, "rejected", blocker); !errors.As(err, &ob) {
+		t.Fatalf("deadline-only submission: err = %v, want OverBudgetError", err)
+	}
+}
+
+// TestQueueIntrospection covers the accessors the service layer's shed
+// responses are built from.
+func TestQueueIntrospection(t *testing.T) {
+	e := New(Options{Workers: 3, QueueDepth: 7})
+	defer e.Close()
+	if e.QueueCap() != 7 || e.WorkerCount() != 3 || e.QueueLen() != 0 {
+		t.Fatalf("cap=%d workers=%d len=%d", e.QueueCap(), e.WorkerCount(), e.QueueLen())
+	}
+}

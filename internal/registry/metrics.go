@@ -19,6 +19,11 @@ type Metrics struct {
 	persistErrors *obs.Counter      // registry_persist_errors_total
 	corrupt       *obs.Counter      // registry_corrupt_total
 	appendSec     *obs.HistogramVec // stream_append_seconds{path}
+
+	evictedTicks   *obs.Counter    // stream_evicted_ticks_total
+	rejectedTicks  *obs.CounterVec // stream_rejected_ticks_total{reason}
+	gapFilledTicks *obs.Counter    // stream_gap_filled_ticks_total
+	refitsDeferred *obs.Counter    // stream_refits_deferred_total
 }
 
 // NewMetricsOn registers the registry metrics on reg.
@@ -43,6 +48,16 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 				"write, split by maintenance path: \"incremental\" for "+
 				"O(tail) appends, \"full\" when a batch refit ran.",
 			obs.DefBuckets(), "path"),
+		evictedTicks: reg.Counter("stream_evicted_ticks_total",
+			"Ticks evicted off stream fronts by the retention horizon."),
+		rejectedTicks: reg.CounterVec("stream_rejected_ticks_total",
+			"Appended ticks refused or idempotently dropped, by reason: "+
+				"\"duplicate\" for replayed/late ticks, \"gap_too_large\" "+
+				"for positioned appends past the gap limit.", "reason"),
+		gapFilledTicks: reg.Counter("stream_gap_filled_ticks_total",
+			"Missing ticks synthesised to bridge forward gaps in positioned appends."),
+		refitsDeferred: reg.Counter("stream_refits_deferred_total",
+			"Due stream refits deferred by the concurrency gate."),
 	}
 }
 
@@ -94,4 +109,32 @@ func (m *Metrics) corruptFile() {
 		return
 	}
 	m.corrupt.Inc()
+}
+
+func (m *Metrics) streamEvicted(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.evictedTicks.Add(float64(n))
+}
+
+func (m *Metrics) streamRejected(reason string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.rejectedTicks.With(reason).Add(float64(n))
+}
+
+func (m *Metrics) streamGapFilled(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.gapFilledTicks.Add(float64(n))
+}
+
+func (m *Metrics) streamRefitDeferred() {
+	if m == nil {
+		return
+	}
+	m.refitsDeferred.Inc()
 }

@@ -82,6 +82,19 @@ type Options struct {
 	// limit) for streams created in incremental mode; zero fields select the
 	// core defaults.
 	StreamIncremental core.IncrementalConfig
+	// StreamRetention, when positive, bounds every stream to its newest N
+	// ticks: older ticks are evicted and folded into the checkpointed fit
+	// state (see core.Stream.SetRetention). A horizon already persisted on a
+	// restored stream wins over this default. 0 keeps streams unbounded.
+	StreamRetention int
+	// MaxConcurrentRefits caps scheduler-admitted full stream refits running
+	// at once (default DefaultMaxConcurrentRefits); streams whose refit is
+	// deferred keep their debt and retry on the next append. Ignored when
+	// RefitGate is set.
+	MaxConcurrentRefits int
+	// RefitGate, when non-nil, replaces the built-in semaphore gate —
+	// chaos tests inject counting gates here.
+	RefitGate core.RefitGate
 	// FS abstracts the persistence filesystem (nil selects the real one).
 	// Chaos tests pass a faultfs.Injector to schedule write faults.
 	FS faultfs.FS
@@ -126,6 +139,10 @@ type Registry struct {
 
 	streamMu sync.Mutex
 	streams  map[string]*stream
+
+	// refitGate rate-limits consolidating stream refits fleet-wide
+	// (scheduler.go); shared by every stream the registry owns.
+	refitGate core.RefitGate
 }
 
 // ValidateID checks a model or stream identifier: 1–64 characters from
@@ -158,12 +175,16 @@ func Open(opts Options) (*Registry, error) {
 		opts.FS = faultfs.OS{}
 	}
 	r := &Registry{
-		opts:    opts,
-		dir:     opts.DataDir,
-		fs:      opts.FS,
-		models:  make(map[string]*entry),
-		lru:     list.New(),
-		streams: make(map[string]*stream),
+		opts:      opts,
+		dir:       opts.DataDir,
+		fs:        opts.FS,
+		models:    make(map[string]*entry),
+		lru:       list.New(),
+		streams:   make(map[string]*stream),
+		refitGate: opts.RefitGate,
+	}
+	if r.refitGate == nil {
+		r.refitGate = newSemGate(opts.MaxConcurrentRefits)
 	}
 	if r.dir == "" {
 		r.gauges()

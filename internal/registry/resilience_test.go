@@ -1,0 +1,227 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dspot/internal/core"
+)
+
+// trackingGate wraps a RefitGate and records peak concurrency and denials.
+type trackingGate struct {
+	inner core.RefitGate
+
+	mu     sync.Mutex
+	cur    int
+	peak   int
+	denied int
+	admits int
+}
+
+func (g *trackingGate) TryAcquire() (func(), bool) {
+	release, ok := g.inner.TryAcquire()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !ok {
+		g.denied++
+		return nil, false
+	}
+	g.admits++
+	g.cur++
+	if g.cur > g.peak {
+		g.peak = g.cur
+	}
+	return func() {
+		g.mu.Lock()
+		g.cur--
+		g.mu.Unlock()
+		release()
+	}, true
+}
+
+// TestRefitStampedeBounded is the desynchronisation acceptance test: 100
+// streams fed the same series in lockstep — the worst case, every debt
+// counter crossing its limit on the same append wave — must never run more
+// concurrent consolidating refits than the scheduler cap admits.
+func TestRefitStampedeBounded(t *testing.T) {
+	const nStreams, cap = 100, 2
+	gate := &trackingGate{inner: newSemGate(cap)}
+	r, err := Open(Options{
+		StreamFit: core.FitOptions{DisableGrowth: true, Workers: 1, MaxShocks: 3},
+		RefitGate: gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := streamSeries(120)
+	var wg sync.WaitGroup
+	errs := make(chan error, nStreams)
+	for i := 0; i < nStreams; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for lo := 0; lo < len(series); lo += 10 {
+				hi := lo + 10
+				if hi > len(series) {
+					hi = len(series)
+				}
+				if _, err := r.AppendStream(context.Background(), id, series[lo:hi],
+					AppendOptions{RefitEvery: 30}); err != nil {
+					errs <- fmt.Errorf("stream %s: %w", id, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("s-%03d", i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if gate.peak > cap {
+		t.Fatalf("refit stampede: %d concurrent refits, scheduler cap is %d", gate.peak, cap)
+	}
+	if gate.admits == 0 {
+		t.Fatal("no refit was ever admitted")
+	}
+	if gate.denied == 0 {
+		t.Fatal("100 synchronised streams against a cap of 2 should deny some refits")
+	}
+
+	// Deferred streams keep their debt and retry as ticks keep arriving —
+	// model the continuing feed with further waves until the fleet drains.
+	extra := streamSeries(10)
+	for wave := 0; wave < 200; wave++ {
+		ready := 0
+		for _, st := range r.ListStreams() {
+			if st.Ready {
+				ready++
+				continue
+			}
+			if _, err := r.AppendStream(context.Background(), st.ID, extra,
+				AppendOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ready == nStreams {
+			break
+		}
+	}
+	ready, deferred := 0, int64(0)
+	for _, st := range r.ListStreams() {
+		if st.Ready {
+			ready++
+		}
+		deferred += st.Deferred
+	}
+	t.Logf("peak concurrency %d, %d admits, %d denials, %d/%d ready, %d deferrals",
+		gate.peak, gate.admits, gate.denied, ready, nStreams, deferred)
+	if ready != nStreams {
+		t.Fatalf("only %d/%d streams fitted — the gate starved the fleet", ready, nStreams)
+	}
+	if deferred == 0 {
+		t.Fatal("gate denials not reflected in stream deferral counters")
+	}
+	if gate.peak > cap {
+		t.Fatalf("recovery waves exceeded the cap: peak %d", gate.peak)
+	}
+}
+
+// TestBoundedStreamPersistRestore proves the eviction state survives a
+// restart: a stream bounded by the registry-wide retention default evicts
+// while appending, its snapshot round-trips through disk, and the restored
+// stream reports the same absolute head and forecasts identically.
+func TestBoundedStreamPersistRestore(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		DataDir:         dir,
+		StreamFit:       core.FitOptions{DisableGrowth: true, Workers: 1, MaxShocks: 3},
+		StreamMode:      "incremental",
+		StreamRetention: 64,
+	}
+	r1, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := streamSeries(400)
+	var st StreamStatus
+	for lo := 0; lo < len(series); lo += 40 {
+		if st, err = r1.AppendStream(context.Background(), "b", series[lo:lo+40], AppendOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Evicted == 0 || st.Retention != 64 {
+		t.Fatalf("bounded stream never evicted: %+v", st)
+	}
+	if st.Head != int64(len(series)) || st.Len > 64+64/8 {
+		t.Fatalf("head/len wrong after eviction: %+v", st)
+	}
+	fc1, err := r1.StreamForecast("b", 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := r2.StreamStatusFor("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Head != st.Head || st2.Evicted != st.Evicted || st2.Retention != st.Retention ||
+		st2.Len != st.Len || st2.Dropped != st.Dropped {
+		t.Fatalf("eviction state did not survive the restart:\nbefore %+v\nafter  %+v", st, st2)
+	}
+	fc2, err := r2.StreamForecast("b", 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fc1 {
+		if fc1[i] != fc2[i] {
+			t.Fatalf("forecast diverged at h=%d: %v != %v", i, fc1[i], fc2[i])
+		}
+	}
+	// And the restored stream keeps accepting (positioned) appends.
+	if _, err := r2.AppendStream(context.Background(), "b", []float64{1, 2},
+		AppendOptions{At: st2.Head, AtSet: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendStreamPositioned covers the registry mapping of positioned
+// appends: duplicate replays drop idempotently with the drop reported in
+// the status, and an oversized gap maps to ErrBadRequest (an HTTP 400), not
+// an internal error.
+func TestAppendStreamPositioned(t *testing.T) {
+	r, err := Open(Options{StreamFit: core.FitOptions{DisableGrowth: true, Workers: 1, MaxShocks: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := r.AppendStream(ctx, "p", []float64{1, 2, 3}, AppendOptions{RefitEvery: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.AppendStream(ctx, "p", []float64{1, 2, 3}, AppendOptions{At: 0, AtSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len != 3 || st.Dropped != 3 || st.Head != 3 {
+		t.Fatalf("replay not dropped idempotently: %+v", st)
+	}
+	st, err = r.AppendStream(ctx, "p", []float64{4}, AppendOptions{At: 5, AtSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len != 6 || st.GapFilled != 2 {
+		t.Fatalf("gap not bridged: %+v", st)
+	}
+	_, err = r.AppendStream(ctx, "p", []float64{9}, AppendOptions{At: 1 << 40, AtSet: true})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversized gap: err = %v, want ErrBadRequest", err)
+	}
+}

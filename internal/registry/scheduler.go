@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"hash/fnv"
+
+	"dspot/internal/core"
+)
+
+// Refit desynchronisation: a fleet of streams created (or restored) at the
+// same moment accrues refit debt in lockstep, so without intervention their
+// consolidating batch refits all fire on the same append wave and stampede
+// the fitters. The registry breaks the lockstep twice over — each stream
+// gets a deterministic per-id jitter on its refit trigger, and every
+// debt/cadence-scheduled refit must win a slot on a shared semaphore gate
+// (losers defer and retry on their next append, keeping their accrued
+// debt). Forced refits (RefitStream → core.RefitNow) bypass the gate:
+// explicit operator intent outranks the scheduler.
+
+// DefaultMaxConcurrentRefits bounds scheduler-admitted full refits when
+// Options.MaxConcurrentRefits is zero.
+const DefaultMaxConcurrentRefits = 2
+
+// semGate is the built-in RefitGate: a non-blocking counting semaphore.
+type semGate struct{ slots chan struct{} }
+
+func newSemGate(n int) *semGate {
+	if n <= 0 {
+		n = DefaultMaxConcurrentRefits
+	}
+	return &semGate{slots: make(chan struct{}, n)}
+}
+
+func (g *semGate) TryAcquire() (func(), bool) {
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	default:
+		return nil, false
+	}
+}
+
+// jitterFor derives a stream's trigger-jitter fraction in [0,1) from its id
+// (FNV-1a), so the stagger is stable across restarts without persisting
+// anything.
+func jitterFor(id string) float64 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return float64(h.Sum32()%1000) / 1000
+}
+
+// configureStream applies the registry's runtime stream policy — retention
+// horizon, refit gate, trigger jitter — to a new or freshly restored
+// stream. A retention horizon already persisted on the stream wins over the
+// registry default.
+func (r *Registry) configureStream(id string, s *core.Stream) {
+	if s.Retention() == 0 && r.opts.StreamRetention > 0 {
+		s.SetRetention(r.opts.StreamRetention)
+	}
+	s.SetRefitGate(r.refitGate)
+	s.SetRefitJitter(jitterFor(id))
+}

@@ -44,15 +44,34 @@ type StreamStatus struct {
 	DebtLimit  float64 `json:"debt_limit,omitempty"`
 	RetryIn    int     `json:"retry_in,omitempty"` // ticks until a failed refit retries
 	Refitted   bool    `json:"refitted,omitempty"` // set by AppendStream only
+
+	// Bounded-memory and hostile-input accounting. Head is the absolute
+	// tick index the next append lands on (Evicted + Len — it never
+	// decreases); Dropped/GapFilled count duplicate ticks ignored and
+	// missing ticks synthesised; Deferred counts refits the scheduler
+	// pushed back.
+	Head      int64 `json:"head,omitempty"`
+	Retention int   `json:"retention,omitempty"`
+	Evicted   int64 `json:"evicted_ticks,omitempty"`
+	Dropped   int64 `json:"dropped_ticks,omitempty"`
+	GapFilled int64 `json:"gap_filled_ticks,omitempty"`
+	Deferred  int64 `json:"deferred_refits,omitempty"`
 }
 
 // AppendOptions carries per-append stream configuration. Zero values mean
 // "leave as is": a positive RefitEvery (re)sets the cadence — on existing
-// streams too, not only at creation — and a non-empty Mode switches the
-// maintenance mode ("batch" or "incremental").
+// streams too, not only at creation — a non-empty Mode switches the
+// maintenance mode ("batch" or "incremental"), and a positive Retention
+// (re)bounds the stream's sliding window. AtSet positions the append at
+// absolute tick index At: the overlap with already-ingested ticks is
+// dropped idempotently and a forward gap is bridged with missing ticks
+// (bounded — see core.Stream.AppendAtCtx).
 type AppendOptions struct {
 	RefitEvery int
 	Mode       string
+	Retention  int
+	At         int64
+	AtSet      bool
 }
 
 // streamJSON is the persisted snapshot. JSON cannot carry NaN, so the
@@ -76,6 +95,14 @@ type streamJSON struct {
 	CoolOff    int        `json:"refit_cooloff,omitempty"`
 	LastScan   *int       `json:"last_scan,omitempty"` // nil = no peak examined yet (-1)
 	Future     []*float64 `json:"future,omitempty"`    // projected per-shock strengths
+
+	// Bounded-memory bookkeeping; zero (omitted) decodes legacy snapshots
+	// as unbounded streams that never dropped a tick.
+	Retention int   `json:"retention,omitempty"`
+	Evicted   int64 `json:"evicted_ticks,omitempty"`
+	Dropped   int64 `json:"dropped_ticks,omitempty"`
+	GapFilled int64 `json:"gap_ticks,omitempty"`
+	Deferred  int64 `json:"deferred_refits,omitempty"`
 }
 
 func (r *Registry) streamPath(id string) string {
@@ -128,9 +155,27 @@ func (r *Registry) AppendStream(ctx context.Context, id string, values []float64
 	if opts.Mode != "" {
 		st.s.SetMode(mode)
 	}
-	refitted, err = st.s.AppendCtx(ctx, values...)
+	if opts.Retention > 0 {
+		st.s.SetRetention(opts.Retention)
+	}
+	at := int64(-1)
+	if opts.AtSet {
+		at = opts.At
+	}
+	rec, err := st.s.AppendAtCtx(ctx, at, values...)
 	if err != nil {
+		if errors.Is(err, core.ErrGapTooLarge) {
+			r.opts.Metrics.streamRejected("gap_too_large", len(values))
+			return StreamStatus{}, fmt.Errorf("%w: stream %q: %v", ErrBadRequest, id, err)
+		}
 		return StreamStatus{}, fmt.Errorf("registry: stream %q: %w", id, err)
+	}
+	refitted = rec.Refitted
+	r.opts.Metrics.streamRejected("duplicate", rec.DroppedTicks)
+	r.opts.Metrics.streamGapFilled(rec.GapTicks)
+	r.opts.Metrics.streamEvicted(rec.EvictedTicks)
+	if rec.Deferred {
+		r.opts.Metrics.streamRefitDeferred()
 	}
 	if refitted {
 		st.refits++
@@ -182,7 +227,10 @@ func (r *Registry) RefitStream(ctx context.Context, id string) (StreamStatus, er
 func (st *stream) statusLocked() StreamStatus {
 	return StreamStatus{ID: st.id, Len: st.s.Len(), Ready: st.s.Ready(),
 		Refits: st.refits, Mode: st.s.Mode().String(), RefitEvery: st.s.RefitEvery(),
-		Debt: st.s.Debt(), DebtLimit: st.s.DebtLimit(), RetryIn: st.s.RetryIn()}
+		Debt: st.s.Debt(), DebtLimit: st.s.DebtLimit(), RetryIn: st.s.RetryIn(),
+		Head: st.s.Head(), Retention: st.s.Retention(), Evicted: st.s.EvictedTicks(),
+		Dropped: st.s.DroppedTicks(), GapFilled: st.s.GapTicks(),
+		Deferred: st.s.DeferredRefits()}
 }
 
 func (r *Registry) getOrCreateStream(id string, opts AppendOptions) *stream {
@@ -205,6 +253,7 @@ func (r *Registry) getOrCreateStream(id string, opts AppendOptions) *stream {
 	} else {
 		s = core.NewStream(r.opts.StreamFit, refitEvery)
 	}
+	r.configureStream(id, s)
 	st := &stream{id: id, s: s}
 	r.streams[id] = st
 	r.opts.Metrics.setStreams(len(r.streams))
@@ -316,6 +365,11 @@ func (r *Registry) saveStream(st *stream) error {
 		Failures:   state.Failures,
 		CoolOff:    state.CoolOff,
 		Future:     encodeSeq(state.Future),
+		Retention:  state.Retention,
+		Evicted:    state.Evicted,
+		Dropped:    state.Dropped,
+		GapFilled:  state.GapFilled,
+		Deferred:   state.Deferred,
 	}
 	if state.Mode != core.RefitBatch {
 		sj.Mode = state.Mode.String()
@@ -365,6 +419,11 @@ func decodeStreamState(data []byte) (core.StreamState, int, error) {
 		CoolOff:    sj.CoolOff,
 		LastScan:   -1,
 		Future:     decodeSeq(sj.Future),
+		Retention:  sj.Retention,
+		Evicted:    sj.Evicted,
+		Dropped:    sj.Dropped,
+		GapFilled:  sj.GapFilled,
+		Deferred:   sj.Deferred,
 	}
 	if sj.LastScan != nil && *sj.LastScan >= 0 {
 		state.LastScan = *sj.LastScan
@@ -415,9 +474,9 @@ func (r *Registry) loadStreams() error {
 			r.quarantine(path, "stream", id, err)
 			continue
 		}
-		r.streams[id] = &stream{id: id,
-			s:      core.RestoreStream(r.opts.StreamFit, state),
-			refits: refits}
+		s := core.RestoreStream(r.opts.StreamFit, state)
+		r.configureStream(id, s)
+		r.streams[id] = &stream{id: id, s: s, refits: refits}
 	}
 	r.opts.Metrics.setStreams(len(r.streams))
 	return nil

@@ -1,0 +1,105 @@
+// Admission control and load shedding: every rejection the serving layer
+// makes under pressure goes through one structured path, so clients always
+// get a machine-readable reason, a Retry-After, and operators get a
+// http_sheds_total{reason} data point. The mechanisms live in
+// internal/admit; this file is the HTTP policy around them.
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dspot/internal/admit"
+)
+
+// Shed reasons carried in shedResponse.Reason and the
+// http_sheds_total{reason} metric label.
+const (
+	// ShedBreakerOpen: the target engine's circuit breaker is open after
+	// consecutive fit failures; the request failed fast.
+	ShedBreakerOpen = "breaker_open"
+	// ShedOverBudget: the estimated queue wait exceeds the request's
+	// admission budget (server default or the request's own deadline).
+	ShedOverBudget = "over_budget"
+	// ShedQueueFull: the jobs queue has no free slot at all.
+	ShedQueueFull = "queue_full"
+	// ShedAppendLag: the smoothed stream-append latency exceeds the append
+	// budget — ingest is backed up and more appends only deepen the lag.
+	ShedAppendLag = "append_lag"
+)
+
+// shedResponse is the structured body of every load-shed rejection (429 or
+// 503). Error keeps the {"error": …} shape existing clients parse; the rest
+// tells a well-behaved client what tripped and when to come back.
+type shedResponse struct {
+	Error             string `json:"error"`
+	Reason            string `json:"reason"`
+	Engine            string `json:"engine,omitempty"`
+	QueueDepth        int    `json:"queue_depth,omitempty"`
+	QueueCap          int    `json:"queue_cap,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
+// shed writes one structured rejection: Retry-After header (at least 1s,
+// default 5s), JSON body, and the shed counter.
+func (s *Server) shed(w http.ResponseWriter, code int, resp shedResponse) {
+	if resp.RetryAfterSeconds < 1 {
+		resp.RetryAfterSeconds = 5
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfterSeconds))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+	s.Metrics.ObserveShed(resp.Reason)
+}
+
+// breakerFor returns the breaker guarding engName, or nil when breakers are
+// not configured. Auto fits are guarded by a breaker named "auto": the
+// candidate sweep is itself the operation that can stampede a sick fleet.
+func (s *Server) breakerFor(engName string) *admit.Breaker {
+	if s.Breakers == nil {
+		return nil
+	}
+	return s.Breakers.For(engName)
+}
+
+// shedBreakerOpen answers one breaker rejection.
+func (s *Server) shedBreakerOpen(w http.ResponseWriter, engName string, b *admit.Breaker) {
+	s.shed(w, http.StatusServiceUnavailable, shedResponse{
+		Error:             "engine " + strconv.Quote(engName) + " circuit breaker open",
+		Reason:            ShedBreakerOpen,
+		Engine:            engName,
+		RetryAfterSeconds: admit.RetryAfterSeconds(b.RetryAfter()),
+	})
+}
+
+// appendEWMA lazily builds the smoothed append-latency tracker feeding the
+// append_lag admission gate.
+func (s *Server) appendEWMA() *admit.EWMA {
+	s.appendOnce.Do(func() { s.appendLat = admit.NewEWMA(0) })
+	return s.appendLat
+}
+
+// appendBudget resolves the effective append admission budget: the server's
+// AppendBudget, tightened by the request's own deadline when it has one.
+// gated=false (no budget at all) admits unconditionally.
+func (s *Server) appendBudget(r *http.Request) (budget time.Duration, gated bool) {
+	budget = s.AppendBudget
+	if dl, ok := r.Context().Deadline(); ok {
+		if rem := time.Until(dl); budget <= 0 || rem < budget {
+			budget = rem
+		}
+	}
+	return budget, budget > 0
+}
+
+// NewBreakerSet builds the per-engine breaker set for a Server, mirroring
+// every state transition into the engine_breaker_state metric (m may be
+// nil for an unmetered server).
+func NewBreakerSet(opts admit.BreakerOptions, m *Metrics) *admit.BreakerSet {
+	return admit.NewBreakerSet(opts, func(name string, st admit.State) {
+		m.SetBreakerState(name, st)
+	})
+}

@@ -1,0 +1,444 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dspot/internal/admit"
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+	"dspot/internal/engine"
+	"dspot/internal/jobs"
+	"dspot/internal/registry"
+	"dspot/internal/tensor"
+)
+
+// faultyModel is the minimal fitted artefact of the fault-injection engine.
+type faultyModel struct {
+	Eng  string   `json:"engine"`
+	Kws  []string `json:"keywords"`
+	Locs []string `json:"locations"`
+	N    int      `json:"ticks"`
+}
+
+func (m *faultyModel) EngineName() string  { return "faulty" }
+func (m *faultyModel) Keywords() []string  { return m.Kws }
+func (m *faultyModel) Locations() []string { return m.Locs }
+func (m *faultyModel) Ticks() int          { return m.N }
+func (m *faultyModel) Validate() error     { return nil }
+
+// faultyEngine injects fit faults on demand: Fit fails while fail is set.
+// It registers once for the test binary; auto never selects it because its
+// coding cost always errors, so other tests are unaffected.
+type faultyEngine struct{ fail atomic.Bool }
+
+var faulty = func() *faultyEngine {
+	e := &faultyEngine{}
+	e.fail.Store(true)
+	engine.Register(e)
+	return e
+}()
+
+func (e *faultyEngine) Name() string { return "faulty" }
+
+func (e *faultyEngine) Fit(x *tensor.Tensor, opts engine.FitOptions) (engine.Model, error) {
+	if e.fail.Load() {
+		return nil, errors.New("injected fit fault")
+	}
+	return &faultyModel{Eng: "faulty", Kws: x.Keywords, Locs: x.Locations, N: x.Ticks}, nil
+}
+
+func (e *faultyEngine) Simulate(m engine.Model, kw string, n int) ([]float64, error) {
+	return make([]float64, n), nil
+}
+
+func (e *faultyEngine) Forecast(m engine.Model, kw string, horizon int) ([]float64, error) {
+	return make([]float64, horizon), nil
+}
+
+func (e *faultyEngine) CodingCost(m engine.Model, x *tensor.Tensor) (float64, error) {
+	return 0, errors.New("faulty engine prices nothing")
+}
+
+func (e *faultyEngine) EncodeModel(w io.Writer, m engine.Model) error {
+	return json.NewEncoder(w).Encode(m)
+}
+
+func (e *faultyEngine) DecodeModel(r io.Reader) (engine.Model, error) {
+	var m faultyModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// shedBody decodes one structured rejection body.
+func shedBody(t *testing.T, body string) shedResponse {
+	t.Helper()
+	var sr shedResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatalf("shed body not structured JSON: %v: %s", err, body)
+	}
+	return sr
+}
+
+// TestBreakerLifecycleOverHTTP drives the per-engine circuit breaker through
+// open → half-open → closed using injected fit faults, entirely over HTTP:
+// consecutive 422s trip it, the open breaker sheds with a structured 503 and
+// surfaces on /readyz, and after the cool-off one healthy fit closes it.
+func TestBreakerLifecycleOverHTTP(t *testing.T) {
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := NewMetrics()
+	s := &Server{
+		Registry: reg,
+		Metrics:  metrics,
+		Breakers: NewBreakerSet(admit.BreakerOptions{
+			FailureThreshold: 2, OpenFor: 100 * time.Millisecond,
+		}, metrics),
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	csv := smallTensorCSV(t)
+
+	faulty.fail.Store(true)
+	defer faulty.fail.Store(true)
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, srv.URL+"/v1/fit?engine=faulty", "text/csv", csv)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("faulty fit %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if st := s.Breakers.For("faulty").State(); st != admit.Open {
+		t.Fatalf("breaker %v after %d consecutive faults, want open", st, 2)
+	}
+
+	// Open: fits shed fast with the structured body, and /readyz names the gate.
+	resp, body := post(t, srv.URL+"/v1/fit?engine=faulty", "text/csv", csv)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker fit status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker shed without Retry-After")
+	}
+	sr := shedBody(t, body)
+	if sr.Reason != ShedBreakerOpen || sr.Engine != "faulty" || sr.RetryAfterSeconds < 1 {
+		t.Fatalf("breaker shed body %+v", sr)
+	}
+	rresp, rbody := probeJSON(t, srv.URL+"/readyz")
+	if rresp.StatusCode != http.StatusServiceUnavailable ||
+		rbody["reason"] != "engine breaker open: faulty" {
+		t.Fatalf("readyz with open breaker = %d %v", rresp.StatusCode, rbody)
+	}
+
+	// Past the cool-off with the fault cleared: the half-open probe succeeds
+	// and the breaker closes.
+	faulty.fail.Store(false)
+	time.Sleep(150 * time.Millisecond)
+	resp, body = post(t, srv.URL+"/v1/fit?engine=faulty", "text/csv", csv)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered fit status %d: %s", resp.StatusCode, body)
+	}
+	if st := s.Breakers.For("faulty").State(); st != admit.Closed {
+		t.Fatalf("breaker %v after successful probe, want closed", st)
+	}
+	if rresp, _ := probeJSON(t, srv.URL+"/readyz"); rresp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d after breaker closed, want 200", rresp.StatusCode)
+	}
+
+	// A fault while closed re-counts from zero: one failure does not re-trip.
+	faulty.fail.Store(true)
+	if resp, _ := post(t, srv.URL+"/v1/fit?engine=faulty", "text/csv", csv); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("single post-recovery fault status %d", resp.StatusCode)
+	}
+	if st := s.Breakers.For("faulty").State(); st != admit.Closed {
+		t.Fatalf("breaker %v after one post-recovery fault, want closed", st)
+	}
+}
+
+// TestJobFitShedsOnOpenBreaker covers the async path: an open breaker
+// rejects at submit time (no queue slot consumed), and the job-level
+// Acquire re-checks at run time.
+func TestJobFitShedsOnOpenBreaker(t *testing.T) {
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := jobs.New(jobs.Options{Workers: 1, QueueDepth: 4})
+	t.Cleanup(eng.Close)
+	s := &Server{
+		Registry: reg,
+		Jobs:     eng,
+		Breakers: NewBreakerSet(admit.BreakerOptions{
+			FailureThreshold: 1, OpenFor: time.Minute,
+		}, nil),
+	}
+	srv2 := httptest.NewServer(s.Handler())
+	defer srv2.Close()
+
+	// Trip the faulty breaker directly (threshold 1).
+	release, ok := s.Breakers.For("faulty").Acquire()
+	if !ok {
+		t.Fatal("closed breaker refused")
+	}
+	release(true)
+
+	resp, body := post(t, srv2.URL+"/v1/jobs/fit?engine=faulty", "text/csv", smallTensorCSV(t))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker job fit status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("job shed without Retry-After")
+	}
+	sr := shedBody(t, body)
+	if sr.Reason != ShedBreakerOpen || sr.Engine != "faulty" {
+		t.Fatalf("job shed body %+v", sr)
+	}
+	if got := s.Jobs.QueueLen(); got != 0 {
+		t.Fatalf("shed request consumed a queue slot: depth %d", got)
+	}
+}
+
+// TestJobFitOverBudget429 covers deadline-aware admission over HTTP: with a
+// queue wait estimated past the engine's admission budget, the fit answers
+// a structured 429 instead of queueing work it cannot finish in time.
+func TestJobFitOverBudget429(t *testing.T) {
+	reg, err := registry.Open(registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := jobs.New(jobs.Options{Workers: 1, QueueDepth: 4, AdmitBudget: time.Millisecond})
+	t.Cleanup(eng.Close)
+	s := &Server{Registry: reg, Jobs: eng}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Seed the runtime estimate with a slow job, then pin the worker and
+	// queue one more so the estimated wait dwarfs the 1ms budget.
+	slowID, err := eng.Submit("slow", func(ctx context.Context) (any, error) {
+		time.Sleep(50 * time.Millisecond)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, srv.URL, slowID)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	defer close(block)
+	if _, err := eng.Submit("blocker", func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := eng.Submit("queued", func(ctx context.Context) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, srv.URL+"/v1/jobs/fit", "text/csv", smallTensorCSV(t))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget fit status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	sr := shedBody(t, body)
+	if sr.Reason != ShedOverBudget || sr.QueueCap != 4 || sr.RetryAfterSeconds < 1 {
+		t.Fatalf("over-budget body %+v", sr)
+	}
+}
+
+// TestAppendLagSheds429 covers ingest admission: once the smoothed append
+// latency exceeds the budget, appends shed with a structured 429 until the
+// estimate decays.
+func TestAppendLagSheds429(t *testing.T) {
+	reg, err := registry.Open(registry.Options{
+		StreamFit: core.FitOptions{Workers: 1, DisableGrowth: true, MaxShocks: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Registry: reg, AppendBudget: 50 * time.Millisecond}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Healthy first: no latency signal yet, appends admit.
+	resp, body := post(t, srv.URL+"/v1/streams/lag/append?refit_every=1000",
+		"application/json", `{"values":[1,2,3]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline append status %d: %s", resp.StatusCode, body)
+	}
+
+	// Inject a lag estimate far past the budget.
+	s.appendEWMA().Observe(2 * time.Second)
+	resp, body = post(t, srv.URL+"/v1/streams/lag/append?refit_every=1000",
+		"application/json", `{"values":[4]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("lagging append status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("append shed without Retry-After")
+	}
+	sr := shedBody(t, body)
+	if sr.Reason != ShedAppendLag || sr.RetryAfterSeconds < 1 {
+		t.Fatalf("append shed body %+v", sr)
+	}
+
+	// A server without a budget never sheds on lag.
+	s2 := &Server{Registry: reg}
+	srv2 := httptest.NewServer(s2.Handler())
+	defer srv2.Close()
+	s2.appendEWMA().Observe(2 * time.Second)
+	if resp, body := post(t, srv2.URL+"/v1/streams/lag/append?refit_every=1000",
+		"application/json", `{"values":[5]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("unbudgeted append status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestReadyzEnumeratesReasons: with several gates tripped at once, /readyz
+// lists all of them, keeping the first as the scalar "reason" older probes
+// parse.
+func TestReadyzEnumeratesReasons(t *testing.T) {
+	bs := NewBreakerSet(admit.BreakerOptions{FailureThreshold: 1, OpenFor: time.Minute}, nil)
+	release, ok := bs.For("dspot").Acquire()
+	if !ok {
+		t.Fatal("closed breaker refused")
+	}
+	release(true)
+	srv := httptest.NewServer((&Server{
+		Ready:    func() error { return errors.New("registry loading") },
+		Breakers: bs,
+	}).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("unready without Retry-After")
+	}
+	var body struct {
+		Status  string   `json:"status"`
+		Reason  string   `json:"reason"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Reason != "registry loading" {
+		t.Fatalf("reason %q, want the first gate", body.Reason)
+	}
+	want := []string{"registry loading", "engine breaker open: dspot"}
+	if len(body.Reasons) != 2 || body.Reasons[0] != want[0] || body.Reasons[1] != want[1] {
+		t.Fatalf("reasons %v, want %v", body.Reasons, want)
+	}
+}
+
+// TestHostileScenarioMatrix is the chaos acceptance gate: every hostile
+// generator drives a bounded stream over HTTP and the server degrades
+// gracefully — only 200/400 answers, memory bounded by the retention
+// horizon, liveness green throughout, and forecasts either serve or answer
+// a clean 409.
+func TestHostileScenarioMatrix(t *testing.T) {
+	const retention = 64
+	for _, sc := range datagen.HostileScenarios(1, 150) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			reg, err := registry.Open(registry.Options{
+				StreamFit:       core.FitOptions{Workers: 1, DisableGrowth: true, MaxShocks: 2},
+				StreamRetention: retention,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics := NewMetrics()
+			s := &Server{
+				Registry: reg,
+				Metrics:  metrics,
+				Breakers: NewBreakerSet(admit.BreakerOptions{}, metrics),
+			}
+			srv := httptest.NewServer(s.Handler())
+			defer srv.Close()
+
+			id := "hostile-" + sc.Name
+			for i, op := range sc.Ops {
+				resp, body := post(t, srv.URL+"/v1/streams/"+id+"/append",
+					"application/json", appendBodyJSON(t, op))
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("%s op %d: status %d (graceful degradation is 200 or 400): %s",
+						sc.Name, i, resp.StatusCode, body)
+				}
+			}
+
+			var st registry.StreamStatus
+			if resp := getJSON(t, srv.URL+"/v1/streams/"+id, &st); resp.StatusCode != http.StatusOK {
+				t.Fatalf("stream status %d", resp.StatusCode)
+			}
+			if st.Len > retention+retention/8 {
+				t.Fatalf("%s: stream grew to %d ticks, retention %d — memory unbounded",
+					sc.Name, st.Len, retention)
+			}
+			if sc.Ticks() > 2*retention && st.Evicted == 0 {
+				t.Fatalf("%s: %d ticks in, nothing evicted", sc.Name, sc.Ticks())
+			}
+
+			// Liveness stays green and the forecast path answers cleanly:
+			// either a model is serving (last-good or current) or a 409.
+			if resp, _ := doRequest(t, http.MethodGet, srv.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: liveness failed under hostile input", sc.Name)
+			}
+			resp, body := doRequest(t, http.MethodGet, srv.URL+"/v1/streams/"+id+"/forecast?horizon=8")
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+				t.Fatalf("%s: forecast status %d: %s", sc.Name, resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+// appendBodyJSON renders one hostile StreamOp as the append wire body
+// (Missing → null, positioned ops carry "at").
+func appendBodyJSON(t *testing.T, op datagen.StreamOp) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"values":[`)
+	for i, v := range op.Values {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if tensor.IsMissing(v) {
+			sb.WriteString("null")
+		} else {
+			fmt.Fprintf(&sb, "%g", v)
+		}
+	}
+	sb.WriteString(`]`)
+	if op.At >= 0 {
+		fmt.Fprintf(&sb, `,"at":%d`, op.At)
+	}
+	sb.WriteString(`}`)
+	return sb.String()
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"dspot/internal/admit"
 	"dspot/internal/engine"
 	"dspot/internal/obs"
 	"dspot/internal/obs/trace"
@@ -31,6 +32,9 @@ type Metrics struct {
 	shocksTried    *obs.Counter      // fit_shocks_tried_total
 	shocksAccepted *obs.Counter      // fit_shocks_accepted_total
 	fitKeywords    *obs.Counter      // fit_keywords_total
+
+	sheds        *obs.CounterVec // http_sheds_total{reason}
+	breakerState *obs.GaugeVec   // engine_breaker_state{engine}
 }
 
 // NewMetrics returns service metrics registered on a fresh registry.
@@ -66,7 +70,32 @@ func NewMetricsOn(reg *obs.Registry) *Metrics {
 			"Shock candidates accepted by the MDL gate."),
 		fitKeywords: reg.Counter("fit_keywords_total",
 			"Keyword sequences fitted."),
+		sheds: reg.CounterVec("http_sheds_total",
+			"Requests rejected by admission control, by reason: "+
+				"\"breaker_open\", \"over_budget\", \"queue_full\", \"append_lag\".",
+			"reason"),
+		breakerState: reg.GaugeVec("engine_breaker_state",
+			"Per-engine circuit breaker position: 0 closed, 1 half-open, 2 open.",
+			"engine"),
 	}
+}
+
+// ObserveShed counts one admission-control rejection under its reason.
+func (m *Metrics) ObserveShed(reason string) {
+	if m == nil {
+		return
+	}
+	m.sheds.With(reason).Inc()
+}
+
+// SetBreakerState exports one engine breaker's position (0 closed,
+// 1 half-open, 2 open). Wired as the BreakerSet's transition observer by
+// NewBreakerSet.
+func (m *Metrics) SetBreakerState(engineName string, s admit.State) {
+	if m == nil {
+		return
+	}
+	m.breakerState.With(engineName).Set(float64(s))
 }
 
 // ObserveFit counts one successful fit under the engine that produced the

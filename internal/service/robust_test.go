@@ -14,14 +14,16 @@ import (
 	"dspot/internal/registry"
 )
 
-func probeJSON(t *testing.T, url string) (*http.Response, map[string]string) {
+// probeJSON decodes loosely (any values): unready bodies carry a "reasons"
+// array alongside the scalar fields.
+func probeJSON(t *testing.T, url string) (*http.Response, map[string]any) {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var body map[string]string
+	var body map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("readyz body not JSON: %v", err)
 	}

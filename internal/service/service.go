@@ -32,6 +32,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,7 +40,10 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
+	"time"
 
+	"dspot/internal/admit"
 	"dspot/internal/dataset"
 	"dspot/internal/engine"
 	"dspot/internal/jobs"
@@ -84,6 +88,19 @@ type Server struct {
 	// fit-stage child spans, and — when the tracer has a flight recorder —
 	// the GET /debug/traces[/{id}] endpoints serving completed traces.
 	Tracer *trace.Tracer
+	// Breakers, when non-nil, guards every fit with a per-engine circuit
+	// breaker: consecutive fit failures open it, open breakers shed fit
+	// requests with a structured 503, and /readyz enumerates open breakers.
+	// Build with NewBreakerSet to mirror state into engine_breaker_state.
+	Breakers *admit.BreakerSet
+	// AppendBudget, when positive, sheds stream appends with 429 while the
+	// smoothed append latency exceeds it (a request deadline tightens the
+	// budget further). Zero disables the gate except for requests that
+	// carry their own deadline.
+	AppendBudget time.Duration
+
+	appendOnce sync.Once
+	appendLat  *admit.EWMA
 }
 
 // Handler returns the routed http.Handler, instrumented when Metrics
@@ -178,30 +195,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReady is the readiness probe, distinct from /healthz liveness: a
-// live process may still be loading its registry or have a saturated job
-// queue, and routing traffic to it then only turns into 5xxs downstream.
-// Unready answers 503 with a JSON reason so operators see *why* from the
+// live process may still be loading its registry, have a saturated job
+// queue, or be shedding an engine behind an open breaker — routing traffic
+// to it then only turns into 5xxs downstream. Unready answers 503 with
+// every tripped gate enumerated ("reasons"), the first one doubling as the
+// single "reason" older probes parse, so operators see *why* from the
 // probe output alone.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	var reasons []string
 	if s.Ready != nil {
 		if err := s.Ready(); err != nil {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusServiceUnavailable)
-			_ = json.NewEncoder(w).Encode(map[string]string{
-				"status": "unavailable", "reason": err.Error(),
-			})
-			return
+			reasons = append(reasons, err.Error())
 		}
 	}
 	if s.Jobs != nil && s.Jobs.Saturated() {
+		reasons = append(reasons, "job queue saturated")
+	}
+	for _, name := range s.Breakers.Open() {
+		reasons = append(reasons, "engine breaker open: "+name)
+	}
+	if len(reasons) > 0 {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Retry-After", "5")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]string{
-			"status": "unavailable", "reason": "job queue saturated",
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "unavailable", "reason": reasons[0], "reasons": reasons,
 		})
 		return
 	}
@@ -272,6 +293,16 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid tensor: %v", err)
 		return
 	}
+	// Breaker check sits after input validation: bad input answers 400 as
+	// before, only a healthy-looking request can be shed by a sick engine.
+	var release func(failure bool)
+	if br := s.breakerFor(engName); br != nil {
+		var admitted bool
+		if release, admitted = br.Acquire(); !admitted {
+			s.shedBreakerOpen(w, engName, br)
+			return
+		}
+	}
 	opts := s.fitOptions(r)
 	var ft *engine.FitTrace
 	if s.Metrics != nil || s.Logger != nil {
@@ -310,8 +341,16 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
+		if release != nil {
+			// A client hang-up is not an engine failure; everything else
+			// (including a deadline blown inside the fit) counts.
+			release(!errors.Is(err, context.Canceled))
+		}
 		httpError(w, http.StatusUnprocessableEntity, "fitting: %v", err)
 		return
+	}
+	if release != nil {
+		release(false)
 	}
 	s.Metrics.ObserveFit(engName)
 	s.writeModel(w, m, costs)

@@ -31,7 +31,9 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"time"
 
+	"dspot/internal/admit"
 	"dspot/internal/dataset"
 	"dspot/internal/engine"
 	"dspot/internal/jobs"
@@ -113,6 +115,13 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// Breaker early-reject (non-reserving): no point parsing a tensor and
+	// consuming a queue slot for an engine that will shed the fit at run
+	// time anyway. The reserving Acquire happens in runFitJob.
+	if br := s.breakerFor(engName); br != nil && !br.Allow() {
+		s.shedBreakerOpen(w, engName, br)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	x, err := dataset.ReadCSV(body)
 	if err != nil {
@@ -145,12 +154,28 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 		return s.runFitJob(ctx, x, opts, engName, modelID)
 	})
 	if err != nil {
-		if errors.Is(err, jobs.ErrQueueFull) {
-			w.Header().Set("Retry-After", "5")
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-			return
+		var over *jobs.OverBudgetError
+		switch {
+		case errors.As(err, &over):
+			// Deadline-aware admission: the queue has room, but this request
+			// cannot make its budget — reject now rather than time out later.
+			s.shed(w, http.StatusTooManyRequests, shedResponse{
+				Error:             err.Error(),
+				Reason:            ShedOverBudget,
+				QueueDepth:        s.Jobs.QueueLen(),
+				QueueCap:          s.Jobs.QueueCap(),
+				RetryAfterSeconds: admit.RetryAfterSeconds(over.Estimate),
+			})
+		case errors.Is(err, jobs.ErrQueueFull):
+			s.shed(w, http.StatusServiceUnavailable, shedResponse{
+				Error:      err.Error(),
+				Reason:     ShedQueueFull,
+				QueueDepth: s.Jobs.QueueLen(),
+				QueueCap:   s.Jobs.QueueCap(),
+			})
+		default:
+			httpError(w, http.StatusServiceUnavailable, "submitting job: %v", err)
 		}
-		httpError(w, http.StatusServiceUnavailable, "submitting job: %v", err)
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
@@ -165,6 +190,15 @@ func (s *Server) handleJobFit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts engine.FitOptions, engName, modelID string) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// The reserving breaker bracket: the Allow in handleJobFit was a
+	// snapshot at submit time; by run time the breaker may have tripped.
+	var release func(failure bool)
+	if br := s.breakerFor(engName); br != nil {
+		var admitted bool
+		if release, admitted = br.Acquire(); !admitted {
+			return nil, fmt.Errorf("engine %q circuit breaker open", engName)
+		}
 	}
 	ft := engine.NewFitTrace()
 	// The jobs engine installed the job.run span in ctx; fit-stage spans
@@ -203,7 +237,15 @@ func (s *Server) runFitJob(ctx context.Context, x *tensor.Tensor, opts engine.Fi
 			"shocks_accepted", rep.ShocksAccepted, "err", err)
 	}
 	if err != nil {
+		if release != nil {
+			// Cancellation says nothing about engine health; a timeout or a
+			// genuine fit failure is exactly what the breaker counts.
+			release(!errors.Is(err, context.Canceled))
+		}
 		return nil, fmt.Errorf("fitting: %w", err)
+	}
+	if release != nil {
+		release(false)
 	}
 	s.Metrics.ObserveFit(engName)
 	if err := ctx.Err(); err != nil {
@@ -294,13 +336,31 @@ func (s *Server) handleModelEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // appendRequest is the /v1/streams/{id}/append body. Values uses null for
-// missing ticks (JSON cannot carry NaN).
+// missing ticks (JSON cannot carry NaN). At, when present, positions the
+// first value at that absolute tick index: ticks the stream already holds
+// drop idempotently (a replaying producer is a no-op), a forward gap is
+// bridged with missing ticks, and a gap past the stream's limit answers 400.
 type appendRequest struct {
 	Values []*float64 `json:"values"`
+	At     *int64     `json:"at,omitempty"`
 }
 
 func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Append-lag admission: when the smoothed append latency already
+	// exceeds the budget this request could tolerate, more ingest only
+	// deepens the backlog — shed with 429 before reading the body.
+	if budget, gated := s.appendBudget(r); gated {
+		if est := s.appendEWMA().Estimate(); est > budget {
+			s.shed(w, http.StatusTooManyRequests, shedResponse{
+				Error: fmt.Sprintf("append latency %v exceeds admission budget %v",
+					est.Round(time.Millisecond), budget.Round(time.Millisecond)),
+				Reason:            ShedAppendLag,
+				RetryAfterSeconds: admit.RetryAfterSeconds(est),
+			})
+			return
+		}
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody())
 	var req appendRequest
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -332,10 +392,26 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.RefitEvery = n
 	}
+	if ret := r.URL.Query().Get("retention"); ret != "" {
+		n, err := strconv.Atoi(ret)
+		if err != nil || n < 0 || n > 100_000_000 {
+			httpError(w, http.StatusBadRequest, "bad retention %q", ret)
+			return
+		}
+		opts.Retention = n
+	}
+	if req.At != nil {
+		if *req.At < 0 {
+			httpError(w, http.StatusBadRequest, "bad at %d: absolute tick index must be >= 0", *req.At)
+			return
+		}
+		opts.At, opts.AtSet = *req.At, true
+	}
 	// The mode string is passed through verbatim; the registry owns the
 	// vocabulary ("batch"/"incremental") and rejects unknown names with
 	// ErrBadRequest, which maps to a 400 below.
 	opts.Mode = r.URL.Query().Get("mode")
+	start := time.Now()
 	status, err := s.Registry.AppendStream(r.Context(), id, values, opts)
 	if err != nil {
 		if errors.Is(err, registry.ErrBadID) || errors.Is(err, registry.ErrBadRequest) {
@@ -345,6 +421,9 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Only successful appends feed the lag estimate: a 400 is cheap and
+	// says nothing about ingest health.
+	s.appendEWMA().Observe(time.Since(start))
 	s.writeJSON(w, status)
 }
 

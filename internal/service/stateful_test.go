@@ -240,6 +240,15 @@ func TestJobFitQueueFull(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
 	}
+	// The rejection is structured: reason, queue depth and a retry hint, not
+	// just an error string.
+	sr := shedBody(t, body)
+	if sr.Reason != ShedQueueFull || sr.Error == "" {
+		t.Fatalf("queue-full body %+v, want reason %q", sr, ShedQueueFull)
+	}
+	if sr.QueueDepth != 1 || sr.QueueCap != 1 || sr.RetryAfterSeconds < 1 {
+		t.Fatalf("queue-full body %+v, want depth/cap 1/1 and a retry hint", sr)
+	}
 }
 
 // TestRestartDurabilityOverHTTP is the acceptance path: fit through a job,

@@ -14,8 +14,10 @@ PORT="${PORT:-18080}"
 BASE="http://127.0.0.1:${PORT}"
 WORKDIR="$(mktemp -d)"
 SERVE_PID=""
+SERVE2_PID=""
 cleanup() {
   [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$SERVE2_PID" ] && kill "$SERVE2_PID" 2>/dev/null || true
   rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
@@ -115,6 +117,41 @@ for m in go_goroutines go_heap_alloc_bytes go_gc_pause_seconds \
          jobs_queue_wait_seconds stream_append_seconds; do
   echo "$METRICS" | grep -q "$m" || fail "/metrics missing $m"
 done
+# The fits above touched their engines' breakers, so the state gauge must
+# be exported (0 = closed).
+echo "$METRICS" | grep -q 'engine_breaker_state{engine="dspot"}' \
+  || fail "/metrics missing engine_breaker_state for dspot"
+
+# --- load shedding: a shed request must carry Retry-After ----------------
+# A 1ns append budget makes the shed deterministic: the first append is
+# admitted (no latency estimate yet) and seeds the EWMA, the second must
+# answer 429 append_lag with a Retry-After and the structured body.
+PORT2=$((PORT + 1))
+BASE2="http://127.0.0.1:${PORT2}"
+"$WORKDIR/dspot-serve" -addr "127.0.0.1:${PORT2}" -log-json \
+  -append-budget 1ns >"$WORKDIR/serve2.log" 2>&1 &
+SERVE2_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE2/readyz" >/dev/null 2>&1 && break
+  kill -0 "$SERVE2_PID" 2>/dev/null || { cat "$WORKDIR/serve2.log" >&2; fail "budgeted server died during boot"; }
+  sleep 0.1
+done
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"values":[1,2,3]}' "$BASE2/v1/streams/shed/append" >/dev/null \
+  || fail "first budgeted append failed"
+SHED_STATUS=$(curl -sS -D "$WORKDIR/shed-headers.txt" -o "$WORKDIR/shed.json" \
+  -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d '{"values":[4]}' "$BASE2/v1/streams/shed/append")
+[ "$SHED_STATUS" = "429" ] || fail "shed append answered $SHED_STATUS, want 429: $(cat "$WORKDIR/shed.json")"
+grep -qi '^Retry-After:' "$WORKDIR/shed-headers.txt" \
+  || fail "shed response carries no Retry-After: $(cat "$WORKDIR/shed-headers.txt")"
+grep -q '"reason":"append_lag"' "$WORKDIR/shed.json" \
+  || fail "shed body not structured: $(cat "$WORKDIR/shed.json")"
+curl -fsS "$BASE2/metrics" | grep -q 'http_sheds_total{reason="append_lag"}' \
+  || fail "shed not counted in http_sheds_total"
+kill "$SERVE2_PID"
+wait "$SERVE2_PID" 2>/dev/null || true
+SERVE2_PID=""
 # Per-engine fit counts: the async dspot fit and the sync hip fit above
 # must each show up under their engine label.
 echo "$METRICS" | grep 'fits_total{engine="dspot"}' | grep -qv ' 0$' \
