@@ -42,7 +42,7 @@ bench:
 
 # The fast micro-benchmarks only (seconds, not the multi-minute figure
 # benchmarks): the hot-path kernels the performance work targets.
-BENCH_MICRO = Simulate576|LevenbergMarquardt|GlobalFitSequence|^BenchmarkForecast$$|MDLCost|RMSE576|^BenchmarkStreamAppend$$
+BENCH_MICRO = Simulate576|^BenchmarkJacobian$$|LevenbergMarquardt|GlobalFitSequence|^BenchmarkForecast$$|MDLCost|RMSE576|^BenchmarkStreamAppend$$
 bench-micro:
 	$(GO) test -bench='$(BENCH_MICRO)' -benchmem -run XXX .
 
@@ -51,7 +51,7 @@ bench-micro:
 # Point BENCH_BEFORE at a previously captured `go test -bench` text file to
 # record a proper before/after pair; without it the fresh run fills both
 # sides (a flat baseline for the next PR to diff against).
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
 BENCH_AFTER_TXT ?= /tmp/dspot-bench-after.txt
 bench-json:
 	$(GO) test -bench='$(BENCH_MICRO)' -benchmem -run XXX . | tee $(BENCH_AFTER_TXT)
@@ -68,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeManifest -fuzztime=30s ./internal/registry/
 	$(GO) test -fuzz=FuzzRestoreState -fuzztime=30s -fuzzminimizetime=5s ./internal/registry/
 	$(GO) test -fuzz=FuzzFitSequence -fuzztime=30s -fuzzminimizetime=5s ./internal/core/
+	$(GO) test -fuzz=FuzzJacobianConsistency -fuzztime=30s ./internal/core/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -328,6 +328,62 @@ func BenchmarkGlobalFitSequence(b *testing.B) {
 	}
 }
 
+// BenchmarkJacobian compares the cost of one LM Jacobian evaluation under
+// the two modes the fitters support: a single analytic forward-sensitivity
+// pass (BenchmarkJacobian/analytic) versus the p+1 re-simulations of the
+// finite-difference probe loop it replaced (BenchmarkJacobian/fd). The
+// workload is the base-parameter lane set {N, β, δ, γ, i0} over a
+// grammy-scale window, i.e. exactly the inner loop FitSequence runs
+// thousands of times per fit.
+func BenchmarkJacobian(b *testing.B) {
+	const n = 260
+	p := KeywordParams{N: 100, Beta: 0.55, Delta: 0.4, Gamma: 0.6,
+		I0: 0.01, TEta: NoGrowth}
+	specs := core.BaseSensSpecs()
+	np := len(specs)
+
+	b.Run("analytic", func(b *testing.B) {
+		out := make([]float64, n)
+		jac := make([]float64, n*np)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, jac = core.SimulateWithSensitivities(out, jac, &p, n, nil, -1, specs)
+		}
+		_ = jac
+	})
+
+	b.Run("fd", func(b *testing.B) {
+		base := make([]float64, n)
+		probe := make([]float64, n)
+		jac := make([]float64, n*np)
+		steps := []float64{1e-6 * p.N, 1e-7, 1e-7, 1e-7, 1e-7}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base = core.SimulateInto(base, &p, n, nil, -1)
+			for j := 0; j < np; j++ {
+				pp := p
+				switch specs[j].Param {
+				case core.SensN:
+					pp.N += steps[j]
+				case core.SensBeta:
+					pp.Beta += steps[j]
+				case core.SensDelta:
+					pp.Delta += steps[j]
+				case core.SensGamma:
+					pp.Gamma += steps[j]
+				case core.SensI0:
+					pp.I0 += steps[j]
+				}
+				probe = core.SimulateInto(probe, &pp, n, nil, -1)
+				for t := 0; t < n; t++ {
+					jac[t*np+j] = (probe[t] - base[t]) / steps[j]
+				}
+			}
+		}
+		_ = jac
+	})
+}
+
 // BenchmarkForecast measures forecasting from a fitted model.
 func BenchmarkForecast(b *testing.B) {
 	occ := make([]float64, 8)

@@ -9,11 +9,13 @@ import (
 )
 
 // Golden end-to-end pin of FitSequence on a fixed synthetic world. The
-// expected values were captured before the hot-path buffer-reuse pass
-// (SimulateInto / ε(t) window rebuilds / lm.FitInto) and every field is
-// compared bit-for-bit: the optimisation work is required to be numerically
-// invisible, and this test is the tripwire for any change that reorders a
-// float accumulation on the fitting path.
+// expected values were re-captured (deliberately — see DESIGN.md §11) when
+// the fitters switched from finite-difference to analytic Jacobians with
+// two-phase multi-start screening: the LM trajectories legitimately moved,
+// by ~1e-4 relative in every fitted field, while shock shape, scale, and
+// growth verdict stayed identical. Every field is compared bit-for-bit: any
+// *unintentional* change that reorders a float accumulation on the fitting
+// path trips this test.
 //
 // If this test fails after an *intentional* algorithmic change (new search
 // stage, different bracket, changed MDL costs), re-capture the constants by
@@ -28,9 +30,21 @@ func TestFitSequenceGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := FitSequence(truth.Tensor.Global(0), Options{})
+	tr := NewFitTrace()
+	m, err := FitSequence(truth.Tensor.Global(0), Options{Progress: tr.Hook()})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// The analytic-Jacobian fit must never stall on the golden scenario: a
+	// stall (damping driven to MaxLambda without an improving step) means LM
+	// predicted descent along a direction where the objective refused to
+	// move, which is exactly how a wrong Jacobian presents. Empirically the
+	// analytic path runs every synthetic keyword stall-free while the FD
+	// path stalls on 5 of 8 — see TestAnalyticJacobianStallFree.
+	if rep := tr.Report(); rep.LMStalls != 0 {
+		t.Errorf("analytic fit reported %d stalled LM runs over %d iterations, want 0",
+			rep.LMStalls, rep.LMIterations)
 	}
 
 	p := m.Global[0]
@@ -40,11 +54,11 @@ func TestFitSequenceGolden(t *testing.T) {
 			t.Errorf("%s = %x (%g), want %x (%g)", name, got, got, want, want)
 		}
 	}
-	pin("N", p.N, 0x1.9166cb34029cbp+05)
-	pin("Beta", p.Beta, 0x1.44d958cf769c1p-01)
-	pin("Delta", p.Delta, 0x1.237afecd4848ep-01)
-	pin("Gamma", p.Gamma, 0x1.004f119da0b23p+00)
-	pin("I0", p.I0, 0x1.90619deec2279p-05)
+	pin("N", p.N, 0x1.9168581d78295p+05)
+	pin("Beta", p.Beta, 0x1.44dea0b40ba48p-01)
+	pin("Delta", p.Delta, 0x1.23801a4f7c09p-01)
+	pin("Gamma", p.Gamma, 0x1.0058eb8faf7dep+00)
+	pin("I0", p.I0, 0x1.905ff9d14433p-05)
 	pin("Eta0", p.Eta0, 0x0p+00)
 	if p.TEta != NoGrowth {
 		t.Errorf("TEta = %d, want NoGrowth", p.TEta)
@@ -59,11 +73,11 @@ func TestFitSequenceGolden(t *testing.T) {
 		t.Fatalf("shock shape P=%d S=%d W=%d, want P=52 S=4 W=4", s.Period, s.Start, s.Width)
 	}
 	wantStr := []float64{
-		0x1.c26c685bc889dp-01,
-		0x1.42fe13ecce8b7p+02,
-		0x1.44f14c7dd84f7p+02,
-		0x1.42dd71e58ff4dp+02,
-		0x1.431383bb4bc2cp+02,
+		0x1.c265e8d009dfp-01,
+		0x1.42f85bac9ada8p+02,
+		0x1.44eb83d2e2aa8p+02,
+		0x1.42d7ac44ab046p+02,
+		0x1.430dc2275e069p+02,
 	}
 	if len(s.Strength) != len(wantStr) {
 		t.Fatalf("got %d occurrence strengths, want %d", len(s.Strength), len(wantStr))
@@ -109,5 +123,44 @@ func TestFitSequenceGolden(t *testing.T) {
 	}
 	for i, want := range s.Strength {
 		pin(fmt.Sprintf("engine Strength[%d]", i), es.Strength[i], want)
+	}
+}
+
+// TestAnalyticJacobianStallFree pins the sharpest behavioural difference the
+// analytic-sensitivity switch bought: LM never stalls with exact gradients on
+// the synthetic scenarios, while the finite-difference path — whose probe
+// step crosses the simulator's clamp/renormalisation subgradient kinks —
+// stalls repeatedly (measured: 8 stalled runs on "harry potter", 5 on
+// "grammy", stalls on 5 of the 8 keywords). A stall is LM driving damping to
+// MaxLambda without finding an improving step: the model predicted descent
+// where the objective would not move, i.e. the Jacobian disagreed with the
+// function. If this test starts failing, the analytic recurrence in
+// internal/core/sensitivity.go has drifted from Simulate — run the
+// FD-vs-analytic agreement tests to localise the broken term.
+func TestAnalyticJacobianStallFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full FitSequence runs")
+	}
+	// A spread of dynamics: "grammy" (the golden scenario, strongly
+	// periodic), "harry potter" (the FD path's worst stall case), and
+	// "olympics" (the heaviest fit, ~21k LM iterations).
+	for _, kw := range []string{"grammy", "harry potter", "olympics"} {
+		truth, err := SyntheticGoogleTrendsKeyword(kw,
+			SyntheticConfig{Locations: 8, Ticks: 260, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewFitTrace()
+		if _, err := FitSequence(truth.Tensor.Global(0), Options{Progress: tr.Hook()}); err != nil {
+			t.Fatalf("%s: %v", kw, err)
+		}
+		rep := tr.Report()
+		if rep.LMIterations == 0 {
+			t.Errorf("%s: trace saw no LM iterations; stall assertion is vacuous", kw)
+		}
+		if rep.LMStalls != 0 {
+			t.Errorf("%s: %d stalled LM runs over %d iterations, want 0",
+				kw, rep.LMStalls, rep.LMIterations)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+package core
+
+import "math"
+
+// Batched and incremental forms of the SIV simulation. Both share one
+// per-tick body (simState.tick) that is bit-identical to SimulateInto over
+// every input — the fast path's skipped ×1.0 growth factor and skipped ÷1.0
+// renormalisation are exact, and the per-tick ε sanitisation is a no-op on
+// clean profiles — so callers may mix SimulateInto, windowed advances, and
+// batched lanes freely without perturbing results (pinned by batch_test.go).
+//
+// The fitters use them in two ways:
+//
+//   - simState checkpoints: fitShockStrengths advances the state to an
+//     occurrence's window start once, then re-simulates only the window per
+//     golden-section evaluation (the state entering the window does not
+//     depend on the strength being searched, so the windowed SSE is
+//     bit-identical to a full re-simulation at a fraction of the cost).
+//   - SimulateBatchInto: multi-start LM candidates are scored by one batched
+//     forward pass — every parameter vector advanced per tick in one loop —
+//     so the fitters can prune hopeless starts before paying for full LM
+//     runs (fitBaseIter, evaluateCandidate).
+
+// simState is the running state of an incremental SIV simulation: the
+// sanitised parameters plus (s, i, v) at tick t. Copying the struct
+// checkpoints the simulation; advancing a copy never perturbs the original.
+type simState struct {
+	beta, delta, gamma float64
+	N                  float64
+	onePlusEta         float64
+	gStart             int // first tick with the growth factor active
+	s, i, v            float64
+	t                  int
+}
+
+// newSimState sanitises the inputs exactly as SimulateInto does and returns
+// the state at tick 0. growthRate overrides p's own η₀ when >= 0.
+func newSimState(p *KeywordParams, n int, growthRate float64) simState {
+	i := clamp01(p.I0)
+	eta := p.Eta0
+	if growthRate >= 0 {
+		eta = growthRate
+	}
+	N := p.N
+	if math.IsNaN(N) || math.IsInf(N, 0) || N < 0 {
+		N = 0
+	}
+	if math.IsNaN(eta) || math.IsInf(eta, 0) {
+		eta = 0
+	}
+	gStart := n
+	if p.TEta != NoGrowth {
+		gStart = p.TEta
+		if gStart < 0 {
+			gStart = 0
+		}
+		if gStart > n {
+			gStart = n
+		}
+	}
+	return simState{beta: p.Beta, delta: p.Delta, gamma: p.Gamma, N: N,
+		onePlusEta: 1 + eta, gStart: gStart, s: 1 - i, i: i, v: 0}
+}
+
+// tick advances the state one step under susceptible rate e and returns the
+// observation N·i(t) of the tick being left. The op sequence mirrors
+// SimulateInto's general loop; ×1.0 and ÷1.0 are bit-exact, so the result
+// matches the split fast path too.
+func (st *simState) tick(e float64) float64 {
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		e = 1
+	}
+	factor := 1.0
+	if st.t >= st.gStart {
+		factor = st.onePlusEta
+	}
+	out := st.N * st.i
+	infect := st.beta * st.s * e * st.i * factor
+	lose := st.delta * st.i
+	wake := st.gamma * st.v
+	s := clamp01(st.s - infect + wake)
+	i := clamp01(st.i + infect - lose)
+	v := clamp01(st.v + lose - wake)
+	if tot := s + i + v; tot > 0 && tot != 1 {
+		s, i, v = s/tot, i/tot, v/tot
+	}
+	st.s, st.i, st.v = s, i, v
+	st.t++
+	return out
+}
+
+// advance simulates ticks [st.t, t1), writing the observations into the
+// corresponding dst entries (dst indexes absolute ticks; entries outside the
+// window are untouched). eps may be nil for ε ≡ 1.
+func (st *simState) advance(dst, eps []float64, t1 int) {
+	for st.t < t1 {
+		t := st.t // tick advances st.t; index the entered tick
+		e := 1.0
+		if eps != nil {
+			e = eps[t]
+		}
+		dst[t] = st.tick(e)
+	}
+}
+
+// SimulateBatchInto advances k parameter vectors through the SIV recurrence
+// together, one tick-major loop over all lanes, and returns the k
+// simulations packed lane-major: lane j occupies out[j*n : (j+1)*n]. Each
+// lane's values are bit-identical to Simulate(&params[j], n, eps[j],
+// growthRate). eps must either be nil (ε ≡ 1 for every lane) or hold one
+// profile per lane; lanes may share a profile slice, and individual entries
+// may be nil. dst is reused when it has capacity for k*n values.
+//
+// The batch form exists for probe workloads — scoring many candidate
+// parameter vectors against the same window — where the per-call overhead
+// and cache churn of k separate simulations dominates: the fitters use it to
+// rank multi-start LM candidates by one forward pass (see fitBaseIter).
+func SimulateBatchInto(dst []float64, params []KeywordParams, n int,
+	eps [][]float64, growthRate float64) []float64 {
+	k := len(params)
+	if cap(dst) < k*n {
+		dst = make([]float64, k*n)
+	}
+	out := dst[:k*n]
+	states := make([]simState, k)
+	for j := range states {
+		states[j] = newSimState(&params[j], n, growthRate)
+	}
+	for t := 0; t < n; t++ {
+		for j := range states {
+			e := 1.0
+			if eps != nil && eps[j] != nil {
+				e = eps[j][t]
+			}
+			out[j*n+t] = states[j].tick(e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The batch/incremental simulator promises bit-identity with SimulateInto —
+// the fitters interleave full, windowed, and batched simulations of the same
+// model and rely on every path producing the same bits.
+
+func TestSimStateAdvanceMatchesSimulate(t *testing.T) {
+	n := 96
+	dirty := epsilonFromShocks(hotpathShocks(), n)
+	dirty[17] = math.NaN()
+	dirty[40] = math.Inf(1)
+	cases := append(sensCases(),
+		sensCase{"degenerate-N", KeywordParams{N: -5, Beta: 0.6, Delta: 0.35,
+			Gamma: 0.9, I0: 0.01, TEta: NoGrowth}, -1, hotpathShocks()},
+		sensCase{"clamping", KeywordParams{N: 50, Beta: 40, Delta: 0.2,
+			Gamma: 0.9, I0: 0.3, TEta: NoGrowth}, -1, hotpathShocks()},
+	)
+	for _, tc := range cases {
+		var eps []float64
+		if tc.shocks != nil {
+			eps = epsilonFromShocks(tc.shocks, n)
+		}
+		for _, ep := range [][]float64{eps, dirty} {
+			want := SimulateInto(nil, &tc.p, n, ep, tc.rate)
+			// Advance in irregular chunks: checkpoint/resume across window
+			// boundaries must not perturb a single bit.
+			got := make([]float64, n)
+			st := newSimState(&tc.p, n, tc.rate)
+			for _, stop := range []int{1, 7, 30, 31, 64, n} {
+				st.advance(got, ep, stop)
+			}
+			assertBitEqual(t, tc.name, want, got)
+			// A copied checkpoint must advance independently: re-running the
+			// tail from a mid-sequence copy reproduces the same bits.
+			st2 := newSimState(&tc.p, n, tc.rate)
+			st2.advance(got, ep, 40)
+			saved := st2
+			tail := make([]float64, n)
+			st2.advance(tail, ep, n)
+			st3 := saved
+			tail2 := make([]float64, n)
+			st3.advance(tail2, ep, n)
+			assertBitEqual(t, tc.name+"/checkpoint", tail[40:], tail2[40:])
+		}
+	}
+}
+
+func TestSimulateBatchMatchesSimulate(t *testing.T) {
+	n := 96
+	cases := sensCases()
+	params := make([]KeywordParams, 0, len(cases))
+	eps := make([][]float64, 0, len(cases))
+	for _, tc := range cases {
+		if tc.rate >= 0 {
+			continue // batch lanes share one growthRate; override tested below
+		}
+		params = append(params, tc.p)
+		if tc.shocks != nil {
+			eps = append(eps, epsilonFromShocks(tc.shocks, n))
+		} else {
+			eps = append(eps, nil)
+		}
+	}
+	out := SimulateBatchInto(nil, params, n, eps, -1)
+	if len(out) != len(params)*n {
+		t.Fatalf("batch output length %d, want %d", len(out), len(params)*n)
+	}
+	for j := range params {
+		want := SimulateInto(nil, &params[j], n, eps[j], -1)
+		assertBitEqual(t, cases[j].name, want, out[j*n:(j+1)*n])
+	}
+
+	// nil eps table (ε ≡ 1 everywhere) and a growthRate override.
+	out = SimulateBatchInto(out, params, n, nil, 0.02)
+	for j := range params {
+		want := SimulateInto(nil, &params[j], n, nil, 0.02)
+		assertBitEqual(t, cases[j].name+"/rate", want, out[j*n:(j+1)*n])
+	}
+}
+
+// One states slice is the only allocation of a batched pass with a
+// caller-provided dst — the probe-pruning hot path depends on that.
+func TestSimulateBatchAllocs(t *testing.T) {
+	n := 96
+	shocks := hotpathShocks()
+	ep := epsilonFromShocks(shocks, n)
+	params := []KeywordParams{hotpathParams(), hotpathParams(), hotpathParams()}
+	params[1].Beta = 1.2
+	params[2].N = 4
+	eps := [][]float64{ep, ep, ep}
+	dst := make([]float64, len(params)*n)
+	allocs := testing.AllocsPerRun(20, func() {
+		SimulateBatchInto(dst, params, n, eps, -1)
+	})
+	if allocs > 1 {
+		t.Fatalf("SimulateBatchInto with caller dst: %v allocs/op, want <= 1", allocs)
+	}
+}

@@ -43,6 +43,13 @@ type FitOptions struct {
 	// Workers bounds fitting concurrency across keywords/locations
 	// (default: 4; 1 disables parallelism).
 	Workers int
+	// FDJacobian forces the LM sub-problems back onto finite-difference
+	// Jacobians instead of the analytic sensitivity kernel
+	// (SimulateWithSensitivities). The FD path is the documented fallback
+	// and the cross-check oracle for the analytic derivatives (DESIGN.md
+	// §11); production fits should leave this off — it costs p+1 full
+	// simulations per LM iteration instead of one sensitivity pass.
+	FDJacobian bool
 	// Prevalidated asserts the caller already ran x.Validate() on this
 	// exact tensor, letting Fit/FitGlobal skip the redundant O(d·l·n)
 	// rescan. The HTTP boundary sets it after validating at parse time (so
@@ -163,10 +170,18 @@ func FitGlobalSequence(seq []float64, keyword int, opts FitOptions) (res GlobalF
 	}
 	params, shocks := best.params, best.shocks
 	params.N *= scale // back to raw counts
+	if math.IsInf(params.N, 0) || math.IsNaN(params.N) {
+		// A near-float-ceiling input (scale ~1e308) can push the rescaled
+		// population past the float64 range even though every fitted value
+		// was finite. Honour the finite-parameters contract with an error
+		// rather than handing a non-finite model to the registry.
+		return GlobalFitResult{}, fmt.Errorf(
+			"core: fitted population overflows at data scale %g", scale)
+	}
 	if opts.Progress != nil {
 		opts.Progress(FitEvent{Stage: StageKeyword, Keyword: keyword, Location: -1,
-			Round: rounds, LMIters: st.lmIters, Residual: bestCost,
-			Duration: time.Since(start)})
+			Round: rounds, LMIters: st.lmIters, LMStalls: st.lmStalls,
+			Residual: bestCost, Duration: time.Since(start)})
 	}
 	return GlobalFitResult{Params: params, Shocks: shocks, Scale: scale, Cost: bestCost}, nil
 }
@@ -183,7 +198,8 @@ type gfit struct {
 	params KeywordParams
 	shocks []Shock
 
-	lmIters int // LM iterations spent on this keyword so far
+	lmIters  int // LM iterations spent on this keyword so far
+	lmStalls int // LM runs that ended Stalled (damping hit MaxLambda)
 
 	// Scratch buffers threaded through the objective closures (see
 	// DESIGN.md, "Hot path & memory discipline"). The fitting stages run
@@ -192,9 +208,85 @@ type gfit struct {
 	// evaluation. epsBase additionally caches a stage's fixed base ε(t)
 	// profile across evaluations (the accepted shocks' contribution in
 	// evaluateCandidate), which is why it is distinct from epsBuf.
+	// sensBuf is the per-parameter lane state of the analytic Jacobian
+	// passes (3 lanes per differentiated parameter).
 	epsBuf  []float64
 	epsBase []float64
 	simBuf  []float64
+	sensBuf []float64
+	// batchBuf and epsBatchBuf back the multi-start pruning passes: one
+	// lane-major simulation block and (for shock candidates, whose starts
+	// carry different strengths) one ε profile per candidate start.
+	batchBuf    []float64
+	epsBatchBuf []float64
+}
+
+// evaluateCandidate's multi-start budget: of the 8 warm/masked/canonical
+// candidate starts, one batched forward pass (SimulateBatchInto) keeps the
+// candKeep most promising by initial SSE (warm and masked always survive);
+// each survivor gets a candScreenIter-iteration screening LM run; and the
+// candPolish best screened results — ranked by MDL cost, the measure that
+// judges the final candidate — are polished with the remaining budget.
+// Initial SSE alone is too blunt an instrument to pick LM winners (a
+// spiky-basin start can look terrible at its starting point yet win after
+// LM, which is why the base fit prunes per population-scale group instead —
+// see fitBaseIter), but it is safe for shaving the clearly hopeless tail
+// when screening does the real ranking: after a dozen LM iterations each
+// start has descended into its basin, so the screened costs compare basin
+// floors rather than arbitrary starting heights.
+const (
+	candKeep       = 6
+	candScreenIter = 20
+	candPolishIter = 40
+	candPolish     = 2
+)
+
+// batchStartSSE scores each candidate LM start by the SSE of one batched
+// forward pass against the observed sequence. NaN (all-missing) scores
+// become +Inf so every ordering built on them is total.
+func (g *gfit) batchStartSSE(params []KeywordParams, eps [][]float64) []float64 {
+	g.batchBuf = SimulateBatchInto(g.batchBuf, params, g.n, eps, -1)
+	sses := make([]float64, len(params))
+	for i := range params {
+		sse := stats.SSE(g.seq, g.batchBuf[i*g.n:(i+1)*g.n])
+		if math.IsNaN(sse) {
+			sse = math.Inf(1)
+		}
+		sses[i] = sse
+	}
+	return sses
+}
+
+// bestStartIdx returns the indices of the starts worth a full LM run, in
+// their original order: the first force entries unconditionally (warm and
+// masked starts are kept for the basin they open up, not their initial SSE),
+// then the lowest-SSE remainder up to keep total. Ties break on index, so
+// the selection is deterministic.
+func bestStartIdx(sses []float64, keep, force int) []int {
+	k := len(sses)
+	if keep > k {
+		keep = k
+	}
+	idx := make([]int, 0, keep)
+	for i := 0; i < force && i < keep; i++ {
+		idx = append(idx, i)
+	}
+	if len(idx) == keep {
+		return idx
+	}
+	rest := make([]int, 0, k-len(idx))
+	for i := force; i < k; i++ {
+		rest = append(rest, i)
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		if sses[rest[a]] != sses[rest[b]] {
+			return sses[rest[a]] < sses[rest[b]]
+		}
+		return rest[a] < rest[b]
+	})
+	idx = append(idx, rest[:keep-len(idx)]...)
+	sort.Ints(idx)
+	return idx
 }
 
 // ensureLen returns buf resized to n, reallocating only when the capacity
@@ -233,8 +325,50 @@ func (g *gfit) cancelErr() error {
 
 // lmOpts builds the LM options for this fit's sub-problems, carrying the
 // cancellation context so a mid-fit cancel stops within one LM iteration.
-func (g *gfit) lmOpts(maxIter int, lo, hi []float64) lm.Options {
-	return lm.Options{MaxIter: maxIter, Lower: lo, Upper: hi, Ctx: g.ctx}
+// jac is the analytic Jacobian of the sub-problem's residuals; it is
+// dropped — falling back to finite differences inside lm — when the caller
+// opted into FDJacobian. This is the only place internal/core constructs
+// lm.Options, which is what lets the FDJacobian switch (and the CI grep
+// gate guarding it) cover every production fit path at once.
+func (g *gfit) lmOpts(maxIter int, lo, hi []float64, jac lm.JacobianFunc) lm.Options {
+	o := lm.Options{MaxIter: maxIter, Lower: lo, Upper: hi, Ctx: g.ctx}
+	if !g.opts.FDJacobian {
+		o.Jacobian = jac
+	}
+	return o
+}
+
+// lmFit runs one LM sub-problem, folding its iteration count and stall
+// verdict into the fit's running totals (surfaced per stage and per keyword
+// as FitEvent.LMStalls). Every production LM call in this file goes through
+// here, so the stall accounting covers the analytic and FD paths alike.
+func (g *gfit) lmFit(resid lm.ResidualIntoFunc, p0 []float64, o lm.Options) (lm.Result, error) {
+	res, err := lm.FitInto(resid, p0, o)
+	if err == nil {
+		g.lmIters += res.Iterations
+		if res.Stalled {
+			g.lmStalls++
+		}
+	}
+	return res, err
+}
+
+// sensJacobian adapts one LM sub-problem to the analytic sensitivity
+// kernel: assemble maps the LM vector v to the simulation inputs (params +
+// ε profile, using the gfit scratch buffers), and specs names the
+// differentiated lane of each v entry, in order. Residuals are seq − sim,
+// so every sensitivity is negated in place. The returned closure writes
+// the full m×dim Jacobian that lm expects; rows at missing observations
+// are zeroed by the lm driver itself.
+func (g *gfit) sensJacobian(specs []SensSpec, assemble func(v []float64) (*KeywordParams, []float64)) lm.JacobianFunc {
+	return func(jac, v []float64) {
+		p, eps := assemble(v)
+		g.sensBuf = ensureLen(g.sensBuf, 3*len(specs))
+		g.simBuf, jac = simulateSens(g.simBuf, jac, g.sensBuf, p, g.n, eps, -1, specs)
+		for i := range jac {
+			jac[i] = -jac[i]
+		}
+	}
 }
 
 type gsnapshot struct {
@@ -322,11 +456,18 @@ func (g *gfit) cost() float64 {
 // fitBase fits {N, β, δ, γ, i0} by LM with the current shocks and growth
 // fixed. multiStart additionally tries a deterministic set of alternative
 // starting points (used on the first round, when no warm start exists).
-func (g *gfit) fitBase(multiStart bool) { g.fitBaseIter(multiStart, 120) }
+func (g *gfit) fitBase(multiStart bool) { g.fitBaseIter(multiStart, 120, true) }
 
-func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
+// fitBaseIter is fitBase with an iteration budget and an optional batched
+// pruning of the multi-start set (one SimulateBatchInto pass keeps the best
+// start of each population-scale group — see the pruning block below). Both
+// the top-level base fits and the per-candidate masked fits prune; the
+// two-phase screen/polish loop underneath is what keeps pruning safe, since
+// every surviving start still gets a basin-ranking screening run before the
+// full budget is committed.
+func (g *gfit) fitBaseIter(multiStart bool, maxIter int, prune bool) {
 	t0 := g.traceNow()
-	itersBefore := g.lmIters
+	itersBefore, stallsBefore := g.lmIters, g.lmStalls
 	eps := g.epsilon()
 	resid := func(dst, p []float64) []float64 {
 		cand := g.params
@@ -334,6 +475,12 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 		g.simBuf = SimulateInto(g.simBuf, &cand, g.n, eps, -1)
 		return residualsInto(dst, g.seq, g.simBuf)
 	}
+	var jp KeywordParams
+	jacFn := g.sensJacobian(BaseSensSpecs(), func(v []float64) (*KeywordParams, []float64) {
+		jp = g.params
+		jp.N, jp.Beta, jp.Delta, jp.Gamma, jp.I0 = v[0], v[1], v[2], v[3], v[4]
+		return &jp, eps
+	})
 	lo := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7}
 	hi := []float64{20, 5, 2, 2, 1}
 
@@ -347,6 +494,7 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 		i0 := math.Max(g.seq[0], 1e-4)
 		starts = []start{{math.Max(2*m, 0.05), 0.5, 0.45, 0.5, i0}}
 	}
+	var groups [][2]int // index ranges of the fast-mixing contact-rate sweeps
 	if multiStart {
 		base := starts[0]
 		// Data-derived initial infective fraction: the first observations
@@ -368,28 +516,109 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 			if i0Est > 0.9 {
 				i0Est = 0.9
 			}
+			lo := len(starts)
 			for _, b := range []float64{0.2, 1.0, 2.5} {
 				starts = append(starts, start{n0, b, 0.45, 0.5, i0Est})
 			}
+			groups = append(groups, [2]int{lo, len(starts)})
 		}
 		starts = append(starts, start{base[0], 0.5, 0.05, 0.05, base[4]}) // slow-mixing
+	}
+	if prune && len(groups) > 0 {
+		// Batched pruning, one LM run per basin: the basins of the base fit
+		// are indexed by population-scale headroom, so each contact-rate
+		// sweep keeps only its lowest initial-SSE member (scored by one
+		// SimulateBatchInto pass over all starts) while the warm start and
+		// the slow-mixing start survive unconditionally. Pruning across
+		// groups by global SSE rank is tempting but wrong: a spiky-basin
+		// start can look terrible at its starting point yet win after LM.
+		cand := make([]KeywordParams, len(starts))
+		epsL := make([][]float64, len(starts))
+		for i, s0 := range starts {
+			p := g.params
+			p.N, p.Beta, p.Delta, p.Gamma, p.I0 = s0[0], s0[1], s0[2], s0[3], s0[4]
+			cand[i] = p
+			epsL[i] = eps
+		}
+		sses := g.batchStartSSE(cand, epsL)
+		keep := make(map[int]bool, len(groups)+2)
+		keep[0] = true
+		keep[len(starts)-1] = true
+		for _, gr := range groups {
+			best := gr[0]
+			for i := gr[0] + 1; i < gr[1]; i++ {
+				if sses[i] < sses[best] {
+					best = i
+				}
+			}
+			keep[best] = true
+		}
+		pruned := make([]start, 0, len(keep))
+		for i, s0 := range starts {
+			if keep[i] {
+				pruned = append(pruned, s0)
+			}
+		}
+		starts = pruned
 	}
 
 	bestSSE := math.Inf(1)
 	var bestParams []float64
-	for _, s0 := range starts {
-		if g.cancelled() {
-			break
+	if len(starts) == 1 {
+		// Warm single-start refit: one full-budget run, no phasing.
+		res, err := g.lmFit(resid,
+			[]float64{starts[0][0], starts[0][1], starts[0][2], starts[0][3], starts[0][4]},
+			g.lmOpts(maxIter, lo, hi, jacFn))
+		if err == nil {
+			bestSSE, bestParams = res.SSE, res.Params
 		}
-		p0 := []float64{s0[0], s0[1], s0[2], s0[3], s0[4]}
-		res, err := lm.FitInto(resid, p0, g.lmOpts(maxIter, lo, hi))
-		if err != nil {
-			continue
+	} else {
+		// Two-phase multi-start, as in evaluateCandidate: short screening
+		// runs rank the basins (each screened result remains a valid
+		// answer), then the best two resume with the remaining budget.
+		const screenIter, polishKeep = 10, 2
+		type screened struct {
+			params []float64
+			sse    float64
+			idx    int
 		}
-		g.lmIters += res.Iterations
-		if res.SSE < bestSSE {
-			bestSSE = res.SSE
-			bestParams = res.Params
+		scr := make([]screened, 0, len(starts))
+		for _, s0 := range starts {
+			if g.cancelled() {
+				break
+			}
+			p0 := []float64{s0[0], s0[1], s0[2], s0[3], s0[4]}
+			res, err := g.lmFit(resid, p0, g.lmOpts(screenIter, lo, hi, jacFn))
+			if err != nil {
+				continue
+			}
+			if res.SSE < bestSSE {
+				bestSSE = res.SSE
+				bestParams = res.Params
+			}
+			scr = append(scr, screened{params: res.Params, sse: res.SSE, idx: len(scr)})
+		}
+		sort.Slice(scr, func(a, b int) bool {
+			if scr[a].sse != scr[b].sse {
+				return scr[a].sse < scr[b].sse
+			}
+			return scr[a].idx < scr[b].idx
+		})
+		if len(scr) > polishKeep {
+			scr = scr[:polishKeep]
+		}
+		for _, sc := range scr {
+			if g.cancelled() {
+				break
+			}
+			res, err := g.lmFit(resid, sc.params, g.lmOpts(maxIter-screenIter, lo, hi, jacFn))
+			if err != nil {
+				continue
+			}
+			if res.SSE < bestSSE {
+				bestSSE = res.SSE
+				bestParams = res.Params
+			}
 		}
 	}
 	if bestParams != nil {
@@ -397,8 +626,8 @@ func (g *gfit) fitBaseIter(multiStart bool, maxIter int) {
 		g.params.Gamma, g.params.I0 = bestParams[3], bestParams[4]
 	}
 	g.emit(FitEvent{Stage: StageBase, Keyword: g.keyword, Location: -1,
-		LMIters: g.lmIters - itersBefore, Residual: bestSSE,
-		Duration: sinceIfTraced(g, t0)})
+		LMIters: g.lmIters - itersBefore, LMStalls: g.lmStalls - stallsBefore,
+		Residual: bestSSE, Duration: sinceIfTraced(g, t0)})
 }
 
 // sinceIfTraced returns the elapsed time since start when tracing is on.
@@ -501,6 +730,12 @@ func (g *gfit) jointGrowthFit(tEta int, eps []float64) KeywordParams {
 		g.simBuf = SimulateInto(g.simBuf, &cand, g.n, eps, -1)
 		return residualsInto(dst, g.seq, g.simBuf)
 	}
+	var jp KeywordParams
+	jacFn := g.sensJacobian(append(BaseSensSpecs(), SensSpec{Param: SensEta0}),
+		func(v []float64) (*KeywordParams, []float64) {
+			jp = build(v)
+			return &jp, eps
+		})
 	lo := []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7, 0}
 	hi := []float64{20, 5, 2, 2, 1, 10}
 	eta0, _, _ := optimize.GoldenCtx(g.ctx, func(e float64) float64 {
@@ -517,11 +752,10 @@ func (g *gfit) jointGrowthFit(tEta int, eps []float64) KeywordParams {
 		if g.cancelled() {
 			break
 		}
-		res, err := lm.FitInto(resid, s0, g.lmOpts(80, lo, hi))
+		res, err := g.lmFit(resid, s0, g.lmOpts(80, lo, hi, jacFn))
 		if err != nil {
 			continue
 		}
-		g.lmIters += res.Iterations
 		if res.SSE < bestSSE {
 			bestSSE = res.SSE
 			best = build(res.Params)
@@ -780,6 +1014,21 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 		g.simBuf = SimulateInto(g.simBuf, &p, g.n, g.epsBuf, -1)
 		return residualsInto(dst, g.seq, g.simBuf)
 	}
+	specs := BaseSensSpecs()
+	for m := 0; m < occ; m++ {
+		specs = append(specs, StrengthSpec(&s, m, g.n))
+	}
+	var jp KeywordParams
+	jacFn := g.sensJacobian(specs, func(v []float64) (*KeywordParams, []float64) {
+		var strengths []float64
+		jp, strengths = build(v)
+		cand := s
+		cand.Strength = strengths
+		g.epsBuf = ensureLen(g.epsBuf, g.n)
+		copy(g.epsBuf, epsBase)
+		addShockProfile(g.epsBuf, &cand, strengths)
+		return &jp, g.epsBuf
+	})
 	lo := make([]float64, 5+occ)
 	hi := make([]float64, 5+occ)
 	copy(lo, []float64{1e-4, 1e-4, 1e-4, 1e-4, 1e-7})
@@ -831,6 +1080,35 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 			starts = append(starts, cs)
 		}
 	}
+	if len(starts) > candKeep {
+		// Batched pruning: one SimulateBatchInto pass scores every start's
+		// initial SSE (each lane with its own strengths layered onto the
+		// shared base ε). The warm and masked starts (indices 0 and 1) are
+		// exempt — the masked start exists precisely because its basin beats
+		// its initial SSE — and the bar is deliberately loose: the screening
+		// runs below do the real basin ranking.
+		k := len(starts)
+		candP := make([]KeywordParams, k)
+		epsL := make([][]float64, k)
+		g.epsBatchBuf = ensureLen(g.epsBatchBuf, k*g.n)
+		for i, v := range starts {
+			p, strengths := build(v)
+			candP[i] = p
+			lane := g.epsBatchBuf[i*g.n : (i+1)*g.n]
+			copy(lane, epsBase)
+			cand := s
+			cand.Strength = strengths
+			addShockProfile(lane, &cand, strengths)
+			epsL[i] = lane
+		}
+		sses := g.batchStartSSE(candP, epsL)
+		keep := bestStartIdx(sses, candKeep, 2)
+		pruned := make([][]float64, 0, len(keep))
+		for _, i := range keep {
+			pruned = append(pruned, starts[i])
+		}
+		starts = pruned
+	}
 
 	// Each start is judged by the MDL cost of its fitted result — not by
 	// SSE. The acceptance gate downstream is MDL, and an extra start with
@@ -858,22 +1136,56 @@ func (g *gfit) evaluateCandidate(s Shock) (Shock, KeywordParams, float64) {
 	bestCost := math.Inf(1)
 	var bestShock Shock
 	bestParams := g.params
-	consider := func(v []float64) {
+	consider := func(v []float64) float64 {
 		out, p, c := costOf(v)
 		if c < bestCost {
 			bestCost, bestShock, bestParams = c, out, p
 		}
+		return c
 	}
 	consider(p0) // the un-refit warm start is itself a valid candidate
+
+	// Screening phase: a short LM run from every start, each result scored
+	// (and kept as a valid candidate — the polish phase can only improve on
+	// the screened best).
+	type screened struct {
+		params []float64
+		cost   float64
+		idx    int
+	}
+	scr := make([]screened, 0, len(starts))
 	for _, st := range starts {
 		if g.cancelled() {
 			break
 		}
-		res, err := lm.FitInto(resid, st, g.lmOpts(60, lo, hi))
+		res, err := g.lmFit(resid, st, g.lmOpts(candScreenIter, lo, hi, jacFn))
 		if err != nil {
 			continue
 		}
-		g.lmIters += res.Iterations
+		scr = append(scr, screened{params: res.Params, cost: consider(res.Params),
+			idx: len(scr)})
+	}
+
+	// Polish phase: the best screened results get the remaining iteration
+	// budget, resumed from their screened endpoints. Ties break on screening
+	// order, so the selection is deterministic.
+	sort.Slice(scr, func(a, b int) bool {
+		if scr[a].cost != scr[b].cost {
+			return scr[a].cost < scr[b].cost
+		}
+		return scr[a].idx < scr[b].idx
+	})
+	if len(scr) > candPolish {
+		scr = scr[:candPolish]
+	}
+	for _, sc := range scr {
+		if g.cancelled() {
+			break
+		}
+		res, err := g.lmFit(resid, sc.params, g.lmOpts(candPolishIter, lo, hi, jacFn))
+		if err != nil {
+			continue
+		}
 		consider(res.Params)
 	}
 	return bestShock, bestParams, bestCost
@@ -933,6 +1245,15 @@ func (g *gfit) fitShockStrengths(s *Shock) {
 	// more when its fitted strength is committed, so the profile stays
 	// current for the next occurrence).
 	g.epsBuf = epsilonFromShocksInto(g.epsBuf, working, g.n)
+	// Checkpointed simulation: occurrences are fitted in time order and
+	// Strength[m] only perturbs ε(t) inside its own window, so the state
+	// entering the window never depends on the value being searched. The
+	// shared state advances monotonically to each window start; per golden
+	// evaluation only [wstart, wend) is re-simulated from a copy of the
+	// checkpoint — bit-identical to the full re-simulation this replaces
+	// (simState.tick matches SimulateInto exactly; see batch.go).
+	g.simBuf = ensureLen(g.simBuf, g.n)
+	ckpt := newSimState(&g.params, g.n, -1)
 	for m := 0; m < occ; m++ {
 		if g.cancelled() {
 			break
@@ -947,10 +1268,12 @@ func (g *gfit) fitShockStrengths(s *Shock) {
 			wend = wstart + 4*s.Width + 16
 		}
 		ohi := wstart + s.Width
+		ckpt.advance(g.simBuf, g.epsBuf, wstart)
 		obj := func(str float64) float64 {
 			self.Strength[m] = str
 			rebuildEpsilonWindow(g.epsBuf, working, wstart, ohi)
-			g.simBuf = SimulateInto(g.simBuf, &g.params, g.n, g.epsBuf, -1)
+			win := ckpt
+			win.advance(g.simBuf, g.epsBuf, wend)
 			return stats.SSE(g.seq[wstart:wend], g.simBuf[wstart:wend])
 		}
 		strength, _, _ := optimize.GoldenCtx(g.ctx, obj, 0, 60, 1e-3, 60)
@@ -992,12 +1315,22 @@ func (g *gfit) refineStrengths() {
 		g.simBuf = SimulateInto(g.simBuf, &g.params, g.n, g.epsBuf, -1)
 		return residualsInto(dst, g.seq, g.simBuf)
 	}
-	res, err := lm.FitInto(resid, p0, g.lmOpts(60, lo, hi))
+	specs := make([]SensSpec, len(idx))
+	for i, id := range idx {
+		specs[i] = StrengthSpec(&g.shocks[id[0]], id[1], g.n)
+	}
+	jacFn := g.sensJacobian(specs, func(v []float64) (*KeywordParams, []float64) {
+		for i, id := range idx {
+			g.shocks[id[0]].Strength[id[1]] = v[i]
+		}
+		g.epsBuf = epsilonFromShocksInto(g.epsBuf, g.shocks, g.n)
+		return &g.params, g.epsBuf
+	})
+	res, err := g.lmFit(resid, p0, g.lmOpts(60, lo, hi, jacFn))
 	if err != nil {
 		resid(nil, p0) // restore
 		return
 	}
-	g.lmIters += res.Iterations
 	resid(nil, res.Params)
 }
 
@@ -1019,8 +1352,9 @@ func (g *gfit) maskedBaseParams(s *Shock) KeywordParams {
 	subOpts.Progress = nil // inner helper fit: no stage events of its own
 	sub := &gfit{seq: seqMasked, n: g.n, keyword: g.keyword, opts: subOpts, ctx: g.ctx}
 	sub.params = KeywordParams{TEta: g.params.TEta, Eta0: g.params.Eta0}
-	sub.fitBaseIter(true, 40)
+	sub.fitBaseIter(true, 40, true)
 	g.lmIters += sub.lmIters
+	g.lmStalls += sub.lmStalls
 	return sub.params
 }
 

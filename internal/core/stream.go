@@ -131,8 +131,8 @@ func ContinueGlobalSequence(seq []float64, keyword int, prev GlobalFitResult, op
 	params.N *= scale
 	if opts.Progress != nil {
 		opts.Progress(FitEvent{Stage: StageKeyword, Keyword: keyword, Location: -1,
-			Round: rounds, LMIters: st.lmIters, Residual: bestCost,
-			Duration: time.Since(start)})
+			Round: rounds, LMIters: st.lmIters, LMStalls: st.lmStalls,
+			Residual: bestCost, Duration: time.Since(start)})
 	}
 	return GlobalFitResult{Params: params, Shocks: shocks, Scale: scale, Cost: bestCost}, nil
 }

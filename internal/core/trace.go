@@ -30,16 +30,17 @@ const (
 
 // FitEvent is one fit-progress observation emitted at a stage boundary.
 type FitEvent struct {
-	Stage    string        // one of the Stage* constants
-	Keyword  int           // keyword index; -1 for phase-level events
-	Location int           // location index; -1 unless Stage == StageLocalCell
-	Round    int           // outer alternation round (keyword events)
-	LMIters  int           // LM iterations spent (base and keyword events)
-	Residual float64       // objective after the stage (SSE or MDL cost)
-	CostDelta float64      // candidate MDL cost − incumbent cost (shock/growth)
-	Accepted bool          // MDL verdict (shock/growth events)
-	Shock    *Shock        // the candidate (shock events; nil otherwise)
-	Duration time.Duration // wall-clock spent in the stage
+	Stage     string        // one of the Stage* constants
+	Keyword   int           // keyword index; -1 for phase-level events
+	Location  int           // location index; -1 unless Stage == StageLocalCell
+	Round     int           // outer alternation round (keyword events)
+	LMIters   int           // LM iterations spent (base and keyword events)
+	LMStalls  int           // LM runs that stalled at MaxLambda (base and keyword events)
+	Residual  float64       // objective after the stage (SSE or MDL cost)
+	CostDelta float64       // candidate MDL cost − incumbent cost (shock/growth)
+	Accepted  bool          // MDL verdict (shock/growth events)
+	Shock     *Shock        // the candidate (shock events; nil otherwise)
+	Duration  time.Duration // wall-clock spent in the stage
 }
 
 // ProgressFunc receives fit-progress events. It may be called concurrently
@@ -75,9 +76,16 @@ func (g *gfit) traceNow() time.Time {
 
 // KeywordFitStats summarises one keyword's global fit inside a FitReport.
 type KeywordFitStats struct {
-	Keyword        int           `json:"keyword"`
-	Rounds         int           `json:"rounds"`
-	LMIterations   int           `json:"lm_iterations"`
+	Keyword      int `json:"keyword"`
+	Rounds       int `json:"rounds"`
+	LMIterations int `json:"lm_iterations"`
+	// LMStalls counts LM sub-problems that ended stalled (damping hit
+	// MaxLambda without an improving step — lm.Result.Stalled) rather than
+	// converged or out of budget. A healthy analytic-Jacobian fit stalls
+	// only on starts parked in hopeless basins; a climbing stall rate is
+	// the early symptom of a wrong Jacobian, which LM experiences as an
+	// objective that refuses to descend along the predicted direction.
+	LMStalls       int           `json:"lm_stalls"`
 	Cost           float64       `json:"cost"` // final MDL cost (normalised data)
 	ShocksTried    int           `json:"shocks_tried"`
 	ShocksAccepted int           `json:"shocks_accepted"`
@@ -92,6 +100,7 @@ type KeywordFitStats struct {
 type FitReport struct {
 	Keywords       int                      `json:"keywords"`
 	LMIterations   int                      `json:"lm_iterations"`
+	LMStalls       int                      `json:"lm_stalls"`
 	ShocksTried    int                      `json:"shocks_tried"`
 	ShocksAccepted int                      `json:"shocks_accepted"`
 	GrowthTried    int                      `json:"growth_tried"`
@@ -113,8 +122,8 @@ func (r *FitReport) TotalDuration() time.Duration {
 // -stats CLI flags.
 func (r *FitReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fit report: %d keywords, %d LM iterations, shocks %d tried / %d accepted",
-		r.Keywords, r.LMIterations, r.ShocksTried, r.ShocksAccepted)
+	fmt.Fprintf(&b, "fit report: %d keywords, %d LM iterations (%d stalled runs), shocks %d tried / %d accepted",
+		r.Keywords, r.LMIterations, r.LMStalls, r.ShocksTried, r.ShocksAccepted)
 	if r.GrowthTried > 0 {
 		fmt.Fprintf(&b, ", growth %d tried / %d accepted", r.GrowthTried, r.GrowthAccepted)
 	}
@@ -198,9 +207,11 @@ func (t *FitTrace) observe(ev FitEvent) {
 	case StageKeyword:
 		t.report.Keywords++
 		t.report.LMIterations += ev.LMIters
+		t.report.LMStalls += ev.LMStalls
 		k := t.kw(ev.Keyword)
 		k.Rounds = ev.Round
 		k.LMIterations += ev.LMIters
+		k.LMStalls += ev.LMStalls
 		k.Cost = ev.Residual
 		k.Duration += ev.Duration
 	case StageGlobal:

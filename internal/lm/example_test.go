@@ -7,11 +7,15 @@ import (
 	"dspot/internal/lm"
 )
 
-// Fit an exponential decay y = a·exp(-b·t) to noiseless observations.
+// Fit an exponential decay y = a·exp(-b·t) to noisy observations. (On a
+// noiseless problem LM walks into the exact minimum — every step improves
+// by orders of magnitude until none improves at all — and reports Stalled
+// rather than Converged; a noise floor is what makes the relative-tolerance
+// test meaningful.)
 func ExampleFit() {
 	obs := make([]float64, 30)
 	for t := range obs {
-		obs[t] = 2.0 * math.Exp(-0.5*float64(t)*0.2)
+		obs[t] = 2.0*math.Exp(-0.5*float64(t)*0.2) + 1e-4*math.Sin(float64(t)*7)
 	}
 	resid := func(p []float64) []float64 {
 		r := make([]float64, len(obs))

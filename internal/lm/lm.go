@@ -3,7 +3,11 @@
 // Levenberg 1944). It is written for the shape of problem the fitters
 // produce: a handful of bounded parameters, residual vectors of a few
 // hundred to a few thousand entries, and objective functions that are full
-// SIV simulations (so Jacobians come from forward finite differences).
+// SIV simulations. Jacobians come from a caller-supplied analytic
+// JacobianFunc when Options.Jacobian is set (one sensitivity pass per
+// iteration), and from forward finite differences otherwise (p+1 residual
+// evaluations per iteration) — the FD path doubles as the cross-check
+// oracle for analytic implementations.
 package lm
 
 import (
@@ -29,6 +33,15 @@ type ResidualFunc func(p []float64) []float64
 // array on every call would corrupt the Jacobian.
 type ResidualIntoFunc func(dst, p []float64) []float64
 
+// JacobianFunc fills jac — row-major m×dim, m the residual length and dim
+// the parameter count — with the analytic Jacobian ∂r_i/∂p_j at p. The
+// buffer is caller-owned and sized; every entry must be written. Entries in
+// rows whose residual is NaN (missing observations) and non-finite entries
+// (overflowed sensitivities of explosive trajectories) are zeroed by the
+// driver after the call, so implementations need no special handling for
+// either.
+type JacobianFunc func(jac, p []float64)
+
 // Options configures a Fit run. The zero value selects sensible defaults.
 type Options struct {
 	MaxIter   int       // maximum outer iterations (default 100)
@@ -40,6 +53,12 @@ type Options struct {
 	Upper     []float64 // optional per-parameter upper bounds
 	FDStep    float64   // relative finite-difference step (default 1e-6)
 	MaxLambda float64   // damping ceiling before giving up (default 1e10)
+
+	// Jacobian, when non-nil, supplies the analytic Jacobian of the
+	// residuals and replaces the forward-difference probes entirely: one
+	// call per iteration instead of dim probe evaluations. FDStep is then
+	// unused.
+	Jacobian JacobianFunc
 
 	// Ctx, when non-nil, is checked at the top of every outer iteration:
 	// once it is done Fit stops and returns the best parameters found so
@@ -54,7 +73,13 @@ type Result struct {
 	Params     []float64 // best parameters found
 	SSE        float64   // sum of squared residuals at Params
 	Iterations int       // outer iterations performed
-	Converged  bool      // true if the tolerance was reached
+	Converged  bool      // true if the relative-improvement tolerance was reached
+	// Stalled is true when the damping loop hit MaxLambda without finding
+	// an improving step: the search stopped at a (possibly bounded) local
+	// minimum or on a pathological surface, not because the tolerance was
+	// met. Converged and Stalled are mutually exclusive; both false means
+	// MaxIter ran out while steps were still improving.
+	Stalled bool
 }
 
 func (o *Options) fill(dim int) error {
@@ -185,66 +210,91 @@ func fitCore(f ResidualIntoFunc, p0 []float64, opts Options) (Result, error) {
 		}
 		res.Iterations = iter + 1
 
-		// Forward-difference Jacobian of the residuals.
-		for j := 0; j < dim; j++ {
-			h := opts.FDStep * math.Abs(p[j])
-			if h == 0 {
-				h = opts.FDStep
-			}
-			// Step inside the bounds if a bound is active.
-			pj := p[j] + h
-			if opts.Upper != nil && pj > opts.Upper[j] {
-				pj = p[j] - h
-				h = -h
-			}
-			// The flipped (backward) probe must respect Lower too: with a
-			// tightly bounded or pinned parameter (hi−lo smaller than the
-			// step) the unclamped probe would evaluate f outside the box the
-			// caller promised it. Clamp the probe and recompute the step
-			// from the value actually probed; when the box leaves no room at
-			// all, the parameter is immovable — record a zero gradient
-			// column instead of probing.
-			if opts.Lower != nil && pj < opts.Lower[j] {
-				pj = opts.Lower[j]
-				h = pj - p[j]
-				if h == 0 {
-					for i := 0; i < m; i++ {
-						jac[i*dim+j] = 0
+		if opts.Jacobian != nil {
+			// Analytic Jacobian: one sensitivity pass replaces the dim
+			// probe evaluations below. The FD path zeroes missing-row and
+			// non-finite entries as it fills; the analytic path gets the
+			// same sanitisation in one sweep — the JᵀJ accumulation has no
+			// NaN guard and relies on those zeros.
+			opts.Jacobian(jac, p)
+			for i := 0; i < m; i++ {
+				row := jac[i*dim : i*dim+dim]
+				if ri := r[i]; ri != ri {
+					for j := range row {
+						row[j] = 0
 					}
 					continue
 				}
-			}
-			saved := p[j]
-			p[j] = pj
-			rj := f(probeBuf, p)
-			p[j] = saved
-			if len(rj) != m {
-				return res, errors.New("lm: residual length changed between calls")
-			}
-			inv := 1 / h
-			for i := 0; i < m; i++ {
-				d := (rj[i] - r[i]) * inv
-				// d-d is 0 only for finite d: a NaN residual on either
-				// side (missing observation) or a probe that blew up to
-				// ±Inf says nothing about the local slope, so the entry
-				// is recorded as missing rather than poisoning the
-				// normal equations. One subtract replaces the separate
-				// NaN/Inf tests on this very hot loop.
-				if d-d != 0 {
-					d = 0
+				for j, d := range row {
+					if d-d != 0 { // NaN or ±Inf
+						row[j] = 0
+					}
 				}
-				jac[i*dim+j] = d
+			}
+		} else {
+			// Forward-difference Jacobian of the residuals.
+			for j := 0; j < dim; j++ {
+				h := opts.FDStep * math.Abs(p[j])
+				if h == 0 {
+					h = opts.FDStep
+				}
+				// Step inside the bounds if a bound is active.
+				pj := p[j] + h
+				if opts.Upper != nil && pj > opts.Upper[j] {
+					pj = p[j] - h
+					h = -h
+				}
+				// The flipped (backward) probe must respect Lower too: with a
+				// tightly bounded or pinned parameter (hi−lo smaller than the
+				// step) the unclamped probe would evaluate f outside the box the
+				// caller promised it. Clamp the probe and recompute the step
+				// from the value actually probed; when the box leaves no room at
+				// all, the parameter is immovable — record a zero gradient
+				// column instead of probing.
+				if opts.Lower != nil && pj < opts.Lower[j] {
+					pj = opts.Lower[j]
+					h = pj - p[j]
+					if h == 0 {
+						for i := 0; i < m; i++ {
+							jac[i*dim+j] = 0
+						}
+						continue
+					}
+				}
+				saved := p[j]
+				p[j] = pj
+				rj := f(probeBuf, p)
+				p[j] = saved
+				if len(rj) != m {
+					return res, errors.New("lm: residual length changed between calls")
+				}
+				inv := 1 / h
+				for i := 0; i < m; i++ {
+					d := (rj[i] - r[i]) * inv
+					// d-d is 0 only for finite d: a NaN residual on either
+					// side (missing observation) or a probe that blew up to
+					// ±Inf says nothing about the local slope, so the entry
+					// is recorded as missing rather than poisoning the
+					// normal equations. One subtract replaces the separate
+					// NaN/Inf tests on this very hot loop.
+					if d-d != 0 {
+						d = 0
+					}
+					jac[i*dim+j] = d
+				}
 			}
 		}
 
-		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr. Each cell is a dot
-		// product over the residual index, accumulated in a register instead
-		// of read-modify-writing jtj once per term — the additions per cell
-		// happen in the same ascending-i order a row-wise sweep would
-		// produce, so the sums are bit-identical. Rows with a NaN residual
-		// carry all-zero Jacobian entries (set during the fill above), and
-		// adding +0 terms never changes a running sum, so only Jᵀr needs the
-		// explicit NaN guard.
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = Jᵀr, accumulated as one
+		// row-wise sweep of rank-1 updates. A cell-at-a-time dot product
+		// walks the whole m×dim Jacobian once per cell pair with stride dim
+		// (the m·dim²/2 loads all miss L1 once the Jacobian outgrows it);
+		// the row-wise sweep streams the Jacobian exactly once while jtj —
+		// dim² floats — stays cache-resident. Each cell still receives its
+		// terms in ascending-i order, so the sums are bit-identical to the
+		// dot-product form. Rows with a NaN residual carry all-zero Jacobian
+		// entries (set during the fill above), and adding +0 terms never
+		// changes a running sum, so only Jᵀr needs the explicit NaN guard.
 		for a := 0; a < dim; a++ {
 			sr := 0.0
 			for i, ia := 0, a; i < m; i, ia = i+1, ia+dim {
@@ -320,7 +370,12 @@ func fitCore(f ResidualIntoFunc, p0 []float64, opts Options) (Result, error) {
 			lambda *= opts.LambdaUp
 		}
 		if !improved {
-			res.Converged = true // stuck at a (possibly bounded) minimum
+			// Damping hit MaxLambda without an improving step: the search is
+			// stuck at a (possibly bounded) minimum or on a pathological
+			// surface. This used to be reported as Converged; it is a
+			// different outcome and callers watching fit health need to
+			// tell them apart.
+			res.Stalled = true
 			break
 		}
 		if res.Converged {
@@ -332,12 +387,19 @@ func fitCore(f ResidualIntoFunc, p0 []float64, opts Options) (Result, error) {
 	return res, nil
 }
 
-// Fit1D is a convenience wrapper fitting a single bounded parameter.
+// Fit1D is a convenience wrapper fitting a single bounded parameter. Like
+// Fit, it returns the best value found even on error — a cancelled run
+// hands back its best-so-far x and SSE alongside the wrapped ctx error, not
+// the starting point. Only when the run produced nothing at all (setup
+// errors) does it fall back to x0 with SSE = +Inf.
 func Fit1D(f func(x float64) []float64, x0, lo, hi float64, opts Options) (float64, float64, error) {
 	opts.Lower = []float64{lo}
 	opts.Upper = []float64{hi}
 	res, err := Fit(func(p []float64) []float64 { return f(p[0]) }, []float64{x0}, opts)
 	if err != nil {
+		if len(res.Params) == 1 {
+			return res.Params[0], res.SSE, err
+		}
 		return x0, math.Inf(1), err
 	}
 	return res.Params[0], res.SSE, nil

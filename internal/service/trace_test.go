@@ -180,6 +180,11 @@ func TestJobFitTraceEndToEnd(t *testing.T) {
 	} else if f, isNum := v.(float64); isNum && f < 1 { // JSON numbers decode as float64
 		t.Errorf("fit.keyword lm_iterations %v, want >= 1", v)
 	}
+	if v, ok := attrOf(keyword, "lm_stalls"); !ok {
+		t.Error("fit.keyword span missing lm_stalls attr")
+	} else if f, isNum := v.(float64); isNum && f < 0 {
+		t.Errorf("fit.keyword lm_stalls %v, want >= 0", v)
+	}
 	if v, ok := attrOf(runSpan, "state"); !ok || v != "done" {
 		t.Errorf("job.run state attr %v, want done", v)
 	}

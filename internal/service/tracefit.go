@@ -31,7 +31,8 @@ func fitSpanHook(tr *trace.Tracer, parent trace.SpanContext, engName string) eng
 				trace.String("engine", engName),
 				trace.Int("keyword", ev.Keyword),
 				trace.Int("round", ev.Round),
-				trace.Int("lm_iterations", ev.LMIters))
+				trace.Int("lm_iterations", ev.LMIters),
+				trace.Int("lm_stalls", ev.LMStalls))
 		case engine.StageGlobal:
 			tr.RecordChild(parent, "fit.global", ev.Duration,
 				trace.String("engine", engName))

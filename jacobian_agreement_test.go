@@ -1,0 +1,214 @@
+package dspot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dspot/internal/core"
+	"dspot/internal/datagen"
+)
+
+// FD-vs-analytic consistency at the root: the core package pins Jacobian
+// agreement on hand-picked parameter points; these tests close the loop on
+// *data-driven* points by fitting the datagen scenario worlds — one per
+// model family, plus a hostile regime change — both ways and checking (a)
+// the two Jacobian modes land on fits of equivalent quality and (b) the
+// analytic Jacobian still matches finite differences at the parameters the
+// fit actually converged to, which canonical test points cannot guarantee.
+
+// scenarioSequences returns one global sequence per scenario family. The
+// regime-change series is the hostile generator's append schedule flattened
+// in order (its ops are contiguous head appends).
+func scenarioSequences() map[string][]float64 {
+	cfg := datagen.Config{Locations: 8, Seed: 3}
+	seqs := map[string][]float64{
+		"trend":    datagen.TrendScenario(cfg).Tensor.Global(0),
+		"epidemic": datagen.EpidemicScenario(cfg).Tensor.Global(0),
+	}
+	hawkes, _ := datagen.HawkesScenario(cfg)
+	seqs["hawkes"] = hawkes.Tensor.Global(0)
+	var regime []float64
+	for _, op := range datagen.RegimeChange(rand.New(rand.NewSource(7)), 120).Ops {
+		regime = append(regime, op.Values...)
+	}
+	seqs["regime-change"] = regime
+	return seqs
+}
+
+// inSampleNRMSE scores a model's reconstruction of its own training window.
+func inSampleNRMSE(t *testing.T, m *Model, seq []float64) float64 {
+	t.Helper()
+	rec := m.ForecastGlobalFull(0, 0)
+	if len(rec) != len(seq) {
+		t.Fatalf("reconstruction length %d, want %d", len(rec), len(seq))
+	}
+	sse, mean := 0.0, 0.0
+	for i, v := range seq {
+		d := rec[i] - v
+		sse += d * d
+		mean += v
+	}
+	mean /= float64(len(seq))
+	if mean <= 0 {
+		t.Fatal("degenerate sequence: non-positive mean")
+	}
+	return math.Sqrt(sse/float64(len(seq))) / mean
+}
+
+// TestFDAndAnalyticFitsAgreeOnScenarios fits every scenario world twice —
+// analytic sensitivities (production) and finite differences (the oracle
+// the analytic path replaced) — and requires the two fits to be of
+// equivalent quality. The LM trajectories legitimately diverge (different
+// rounding in the Jacobian moves every accept/reject decision), so the
+// comparison is by reconstruction NRMSE, not by parameters, with the same
+// equivalence band the incremental-vs-batch stream test uses. A one-sided
+// failure (analytic much worse than FD) is the fit-level symptom of a
+// broken sensitivity term; FD much worse than analytic would mean the
+// oracle itself regressed. The FD-side band is looser because the FD path
+// is already measurably weaker here: on "trend" it stalls into a basin a
+// full 1.7× worse than the analytic fit (0.297 vs 0.177 NRMSE), which is
+// exactly the deficit the analytic switch was built to remove.
+func TestFDAndAnalyticFitsAgreeOnScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight full FitSequence runs")
+	}
+	for name, seq := range scenarioSequences() {
+		an, err := FitSequence(seq, Options{})
+		if err != nil {
+			t.Fatalf("%s analytic: %v", name, err)
+		}
+		fd, err := FitSequence(seq, Options{FDJacobian: true})
+		if err != nil {
+			t.Fatalf("%s fd: %v", name, err)
+		}
+		anQ, fdQ := inSampleNRMSE(t, an, seq), inSampleNRMSE(t, fd, seq)
+		t.Logf("%-13s NRMSE analytic %.4f fd %.4f", name, anQ, fdQ)
+		if anQ > fdQ*1.5+0.05 {
+			t.Errorf("%s: analytic NRMSE %.4f outside equivalence band of fd %.4f",
+				name, anQ, fdQ)
+		}
+		if fdQ > anQ*2+0.05 {
+			t.Errorf("%s: fd NRMSE %.4f outside equivalence band of analytic %.4f",
+				name, fdQ, anQ)
+		}
+	}
+}
+
+// TestScenarioJacobianMatchesFDAtFittedPoints evaluates the analytic
+// Jacobian at each scenario's *converged* parameters — with the fitted
+// shock profile in place — and cross-checks every lane against central
+// finite differences. The core-level agreement tests use canonical
+// parameter points; this one guards the points that matter in production,
+// where the state trajectory has been driven onto whatever clamp and
+// renormalisation boundaries the data demands.
+//
+// FD is trusted only where it is self-consistent: an entry is checked when
+// halving the step reproduces the central difference (Richardson gate),
+// which skips the kink-straddling entries where FD measures the wrong
+// one-sided slope. The gate must still pass the bulk of the entries or the
+// test is vacuous.
+func TestScenarioJacobianMatchesFDAtFittedPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full FitSequence runs")
+	}
+	for name, seq := range scenarioSequences() {
+		m, err := FitSequence(seq, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p := m.Global[0]
+		n := len(seq)
+
+		// Rebuild the fitted susceptibility profile ε(t) = 1 + Σ strengths.
+		eps := make([]float64, n)
+		for i := range eps {
+			eps[i] = 1
+		}
+		specs := core.BaseSensSpecs()
+		specs = append(specs, core.SensSpec{Param: core.SensEta0})
+		for si := range m.Shocks {
+			s := &m.Shocks[si]
+			for occ := range s.Strength {
+				start := s.OccurrenceStart(occ)
+				for tt := start; tt < start+s.Width && tt < n; tt++ {
+					if tt >= 0 {
+						eps[tt] += s.Strength[occ]
+					}
+				}
+				specs = append(specs, core.StrengthSpec(s, occ, n))
+			}
+		}
+
+		_, jac := core.SimulateWithSensitivities(nil, nil, &p, n, eps, -1, specs)
+
+		// Central difference of lane j at step h: perturb the parameter (or
+		// the strength's eps window) symmetrically and resimulate.
+		fdLane := func(j int, h float64) []float64 {
+			shift := func(sign float64) []float64 {
+				pp, ee := p, eps
+				d := sign * h
+				switch specs[j].Param {
+				case core.SensN:
+					pp.N += d
+				case core.SensBeta:
+					pp.Beta += d
+				case core.SensDelta:
+					pp.Delta += d
+				case core.SensGamma:
+					pp.Gamma += d
+				case core.SensI0:
+					pp.I0 += d
+				case core.SensEta0:
+					pp.Eta0 += d
+				case core.SensStrength:
+					ee = append([]float64(nil), eps...)
+					for tt := specs[j].Lo; tt < specs[j].Hi; tt++ {
+						ee[tt] += d
+					}
+				}
+				return core.Simulate(&pp, n, ee, -1)
+			}
+			hi, lo := shift(1), shift(-1)
+			out := make([]float64, n)
+			for tt := range out {
+				out[tt] = (hi[tt] - lo[tt]) / (2 * h)
+			}
+			return out
+		}
+
+		checked, total := 0, 0
+		for j := range specs {
+			// Step scaled to the parameter's magnitude so N (hundreds) and
+			// i0 (1e-5) both get a well-conditioned difference.
+			scale := 1.0
+			switch specs[j].Param {
+			case core.SensN:
+				scale = math.Max(1, math.Abs(p.N))
+			case core.SensStrength:
+				scale = math.Max(1, math.Abs(eps[specs[j].Lo]))
+			}
+			h := 1e-6 * scale
+			d1, d2 := fdLane(j, h), fdLane(j, h/2)
+			for tt := 0; tt < n; tt++ {
+				total++
+				ref := math.Max(math.Abs(d1[tt]), math.Abs(d2[tt]))
+				// Richardson gate: only trust FD where halving the step
+				// changes nothing beyond noise.
+				if math.Abs(d1[tt]-d2[tt]) > 1e-3*ref+1e-7*scale {
+					continue
+				}
+				checked++
+				got := jac[tt*len(specs)+j]
+				if math.Abs(got-d2[tt]) > 5e-3*ref+1e-6*scale {
+					t.Errorf("%s: lane %d (%v) tick %d: analytic %g, fd %g",
+						name, j, specs[j].Param, tt, got, d2[tt])
+				}
+			}
+		}
+		t.Logf("%-13s %d lanes, %d/%d entries FD-checkable", name, len(specs), checked, total)
+		if checked < total/2 {
+			t.Errorf("%s: Richardson gate skipped too much: %d of %d", name, checked, total)
+		}
+	}
+}
